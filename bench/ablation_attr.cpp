@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation across G-PCC's attribute coding families (paper Sec.
+ * II-B3 lists RAHT, Predicting Transform and Lifting Transform;
+ * the proposal replaces them with the Morton-segment codec).
+ *
+ * Compares, on one frame: RAHT (TMC13's configuration), the
+ * Predicting Transform, and the proposed segment Base+Delta codec —
+ * attribute latency (modelled), compressed attribute size, PSNR.
+ * The expected shape: the transforms compress better, the segment
+ * codec is an order of magnitude faster at a modest size cost,
+ * which is exactly the trade the paper makes.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace edgepcc;
+    const double scale = bench::defaultScale();
+    const EdgeDeviceModel model;
+    const VideoSpec spec =
+        makeVideoSpec(paperCatalogue()[0], scale);  // Redandblack
+
+    std::printf("Ablation: attribute codec family "
+                "(video=%s, scale=%.2f)\n\n",
+                spec.name.c_str(), scale);
+    std::printf("%-26s %12s %12s %12s\n", "Attribute codec",
+                "attr [ms]", "attr [MB]", "aPSNR [dB]");
+    bench::printRule(68);
+
+    CodecConfig raht = makeTmc13LikeConfig();
+    raht.name = "RAHT (TMC13)";
+
+    CodecConfig predicting = makeTmc13LikeConfig();
+    predicting.name = "Predicting Transform";
+    predicting.attr_mode = AttrMode::kPredicting;
+    predicting.predicting.qstep = 1.6;
+
+    CodecConfig segment = makeIntraOnlyConfig();
+    segment.name = "Segment Base+Delta";
+    // Use the TMC13 geometry so only the attribute stage differs.
+    segment.geometry = raht.geometry;
+
+    for (const CodecConfig &config : {raht, predicting, segment}) {
+        const bench::VideoRunResult r =
+            bench::runVideo(spec, config, 1, model);
+        std::printf("%-26s %12.1f %12.4f %12.1f\n",
+                    config.name.c_str(),
+                    r.enc_attr_model_s * 1e3, r.attr_mb,
+                    r.attr_psnr_db);
+    }
+    bench::printRule(68);
+    std::printf("\nExpected shape: the sequential transforms "
+                "(RAHT / Predicting) compress the\nattributes "
+                "hardest; the proposed data-parallel segment codec "
+                "trades a larger\nstream for a ~49x attribute "
+                "speedup (paper Sec. IV-C2).\n");
+    return 0;
+}

@@ -1,0 +1,181 @@
+#include "bench_common.h"
+
+#include <cmath>
+#include <limits>
+#include <cstdio>
+#include <map>
+
+#include "edgepcc/common/timer.h"
+#include "edgepcc/dataset/synthetic_human.h"
+#include "edgepcc/metrics/quality.h"
+
+namespace edgepcc::bench {
+
+double
+defaultScale()
+{
+    return workloadScaleFromEnv(0.12);
+}
+
+int
+defaultFrames()
+{
+    return framesFromEnv(3);
+}
+
+const std::vector<VoxelCloud> &
+framesFor(const VideoSpec &spec, int num_frames)
+{
+    static std::map<std::pair<std::string, int>,
+                    std::vector<VoxelCloud>>
+        cache;
+    const auto key = std::make_pair(
+        spec.name + "#" + std::to_string(spec.target_points),
+        num_frames);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    SyntheticHumanVideo video(spec);
+    std::vector<VoxelCloud> frames;
+    frames.reserve(static_cast<std::size_t>(num_frames));
+    for (int f = 0; f < num_frames; ++f)
+        frames.push_back(video.frame(f));
+    return cache.emplace(key, std::move(frames)).first->second;
+}
+
+VideoRunResult
+runVideo(const VideoSpec &spec, const CodecConfig &config,
+         int num_frames, const EdgeDeviceModel &model)
+{
+    VideoRunResult result;
+    result.video = spec.name;
+    result.config = config.name;
+    result.frames = num_frames;
+
+    const std::vector<VoxelCloud> &frames =
+        framesFor(spec, num_frames);
+    VideoEncoder encoder(config);
+    VideoDecoder decoder;
+
+    for (int f = 0; f < num_frames; ++f) {
+        const VoxelCloud &frame = frames[static_cast<std::size_t>(f)];
+
+        WallTimer enc_timer;
+        auto encoded = encoder.encode(frame);
+        const double enc_host = enc_timer.seconds();
+        if (!encoded) {
+            std::fprintf(stderr, "encode failed (%s/%s): %s\n",
+                         spec.name.c_str(), config.name.c_str(),
+                         encoded.status().toString().c_str());
+            return result;
+        }
+
+        WallTimer dec_timer;
+        auto decoded = decoder.decode(encoded->bitstream);
+        const double dec_host = dec_timer.seconds();
+        if (!decoded) {
+            std::fprintf(stderr, "decode failed (%s/%s): %s\n",
+                         spec.name.c_str(), config.name.c_str(),
+                         decoded.status().toString().c_str());
+            return result;
+        }
+
+        const PipelineTiming enc_timing =
+            model.evaluate(encoded->profile);
+        const PipelineTiming dec_timing =
+            model.evaluate(decoded->profile);
+
+        result.enc_model_s += enc_timing.modelSeconds();
+        result.enc_geom_model_s +=
+            enc_timing.modelSecondsWithPrefix("geom.");
+        result.enc_attr_model_s +=
+            enc_timing.modelSeconds() -
+            enc_timing.modelSecondsWithPrefix("geom.");
+        result.dec_model_s += dec_timing.modelSeconds();
+        result.enc_host_s += enc_host;
+        result.dec_host_s += dec_host;
+        result.enc_energy_j += enc_timing.joules();
+
+        result.raw_mb += static_cast<double>(
+                             encoded->stats.raw_bytes) /
+                         1e6;
+        result.compressed_mb +=
+            static_cast<double>(encoded->stats.total_bytes) / 1e6;
+        result.geometry_mb +=
+            static_cast<double>(encoded->stats.geometry_bytes) /
+            1e6;
+        result.attr_mb +=
+            static_cast<double>(encoded->stats.attr_bytes) / 1e6;
+
+        // Accumulate MSE (not PSNR) so multi-frame averages are
+        // well-defined even when single frames are lossless.
+        const AttrQuality attr =
+            attributePsnr(frame, decoded->cloud);
+        const GeometryQuality geom =
+            geometryPsnrD1(frame, decoded->cloud);
+        result.attr_psnr_db += attr.mse;   // repurposed: MSE sum
+        result.geom_psnr_db += geom.mse;   // converted below
+
+        if (encoded->stats.type == Frame::Type::kPredicted) {
+            ++result.p_frames;
+            if (config.inter_mode == InterMode::kBlockMatch) {
+                result.reuse_fraction +=
+                    encoded->stats.block_match.reuseFraction();
+            } else if (config.inter_mode ==
+                       InterMode::kMacroBlock) {
+                const auto &mb = encoded->stats.macro_block;
+                result.reuse_fraction +=
+                    mb.p_blocks > 0
+                        ? static_cast<double>(mb.reused_blocks) /
+                              static_cast<double>(mb.p_blocks)
+                        : 0.0;
+            }
+        }
+    }
+
+    const double inv =
+        1.0 / static_cast<double>(std::max(1, num_frames));
+    result.enc_model_s *= inv;
+    result.enc_geom_model_s *= inv;
+    result.enc_attr_model_s *= inv;
+    result.dec_model_s *= inv;
+    result.enc_host_s *= inv;
+    result.dec_host_s *= inv;
+    result.enc_energy_j *= inv;
+    result.raw_mb *= inv;
+    result.compressed_mb *= inv;
+    result.geometry_mb *= inv;
+    result.attr_mb *= inv;
+    const double attr_mse = result.attr_psnr_db * inv;
+    const double geom_mse = result.geom_psnr_db * inv;
+    result.attr_psnr_db = printablePsnr(
+        attr_mse > 0.0
+            ? 10.0 * std::log10(255.0 * 255.0 / attr_mse)
+            : std::numeric_limits<double>::infinity());
+    const double geom_peak = 1023.0;
+    result.geom_psnr_db = printablePsnr(
+        geom_mse > 0.0
+            ? 10.0 * std::log10(geom_peak * geom_peak / geom_mse)
+            : std::numeric_limits<double>::infinity());
+    if (result.p_frames > 0) {
+        result.reuse_fraction /=
+            static_cast<double>(result.p_frames);
+    }
+    return result;
+}
+
+double
+printablePsnr(double psnr)
+{
+    return std::isfinite(psnr) ? psnr : 99.9;
+}
+
+void
+printRule(int width)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+}  // namespace edgepcc::bench

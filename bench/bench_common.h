@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared driver for the paper-reproduction benches: runs one codec
+ * configuration over one synthetic video and aggregates the metrics
+ * every figure/table needs (modelled Jetson latency & energy, host
+ * wall-clock, compressed sizes, PSNR, reuse statistics).
+ *
+ * Workload size is controlled by EDGEPCC_SCALE (fraction of the
+ * paper's per-frame point counts, default 0.12) and EDGEPCC_FRAMES
+ * (frames per video, default 3 = one IPP group). EXPERIMENTS.md
+ * records a full-scale (EDGEPCC_SCALE=1) run.
+ */
+
+#ifndef EDGEPCC_BENCH_BENCH_COMMON_H
+#define EDGEPCC_BENCH_BENCH_COMMON_H
+
+#include <string>
+#include <vector>
+
+#include "edgepcc/core/video_codec.h"
+#include "edgepcc/dataset/catalogue.h"
+#include "edgepcc/platform/device_model.h"
+
+namespace edgepcc::bench {
+
+/** Default workload knobs shared by all benches. */
+double defaultScale();
+int defaultFrames();
+
+/** Generates (and caches per process) the frames of one video. */
+const std::vector<VoxelCloud> &framesFor(const VideoSpec &spec,
+                                         int num_frames);
+
+/** Aggregated result of encoding+decoding one video. */
+struct VideoRunResult {
+    std::string video;
+    std::string config;
+    int frames = 0;
+
+    // Modelled Jetson latency, averaged per frame (seconds).
+    double enc_model_s = 0.0;
+    double enc_geom_model_s = 0.0;
+    double enc_attr_model_s = 0.0;
+    double dec_model_s = 0.0;
+
+    // Host wall-clock per frame (seconds).
+    double enc_host_s = 0.0;
+    double dec_host_s = 0.0;
+
+    // Modelled energy per frame (joules).
+    double enc_energy_j = 0.0;
+
+    // Sizes per frame.
+    double raw_mb = 0.0;
+    double compressed_mb = 0.0;
+    double geometry_mb = 0.0;
+    double attr_mb = 0.0;
+
+    // Quality (averaged over frames).
+    double attr_psnr_db = 0.0;
+    double geom_psnr_db = 0.0;
+
+    // Inter statistics (averaged over P frames; 0 when intra).
+    double reuse_fraction = 0.0;
+    int p_frames = 0;
+
+    double
+    compressionRatio() const
+    {
+        return compressed_mb > 0.0 ? raw_mb / compressed_mb : 0.0;
+    }
+};
+
+/**
+ * Encodes `frames` frames of `spec` with `config`, decodes them,
+ * and aggregates metrics under `model`.
+ */
+VideoRunResult runVideo(const VideoSpec &spec,
+                        const CodecConfig &config, int num_frames,
+                        const EdgeDeviceModel &model);
+
+/** Caps infinite PSNR values for table printing. */
+double printablePsnr(double psnr);
+
+/** Prints a horizontal rule sized to `width`. */
+void printRule(int width);
+
+}  // namespace edgepcc::bench
+
+#endif  // EDGEPCC_BENCH_BENCH_COMMON_H

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Host-native microbenchmarks (google-benchmark) of the codec
+ * kernels. Unlike the fig* drivers (which report modelled Jetson
+ * numbers), these measure real wall-clock on the build host and
+ * demonstrate the *algorithmic* speedups natively: point-by-point
+ * octree insertion vs Morton-parallel construction, RAHT vs the
+ * segment Base+Delta codec, and the cost of entropy coding.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "edgepcc/attr/raht.h"
+#include "edgepcc/attr/segment_codec.h"
+#include "edgepcc/common/rng.h"
+#include "edgepcc/interframe/block_matcher.h"
+#include "edgepcc/morton/morton.h"
+#include "edgepcc/morton/morton_order.h"
+#include "edgepcc/octree/geometry_codec.h"
+#include "edgepcc/octree/parallel_builder.h"
+#include "edgepcc/octree/sequential_builder.h"
+#include "edgepcc/parallel/radix_sort.h"
+
+namespace {
+
+using namespace edgepcc;
+
+/** Surface-like cloud reused across benchmarks. */
+const VoxelCloud &
+benchCloud(std::size_t n)
+{
+    static std::map<std::size_t, VoxelCloud> cache;
+    auto it = cache.find(n);
+    if (it != cache.end())
+        return it->second;
+    Rng rng(4242);
+    VoxelCloud cloud(10);
+    std::set<std::uint64_t> used;
+    while (cloud.size() < n) {
+        const auto x =
+            static_cast<std::uint32_t>(rng.bounded(1024));
+        const auto y =
+            static_cast<std::uint32_t>(rng.bounded(1024));
+        const std::uint32_t z = (x * 3 + y * 2) % 1024;
+        if (!used.insert(mortonEncode(x, y, z)).second)
+            continue;
+        cloud.add(static_cast<std::uint16_t>(x),
+                  static_cast<std::uint16_t>(y),
+                  static_cast<std::uint16_t>(z),
+                  static_cast<std::uint8_t>(60 + x * 120 / 1024),
+                  static_cast<std::uint8_t>(70 + y * 110 / 1024),
+                  static_cast<std::uint8_t>(50 + z * 90 / 1024));
+    }
+    return cache.emplace(n, std::move(cloud)).first->second;
+}
+
+const VoxelCloud &
+sortedBenchCloud(std::size_t n)
+{
+    static std::map<std::size_t, VoxelCloud> cache;
+    auto it = cache.find(n);
+    if (it != cache.end())
+        return it->second;
+    const VoxelCloud &cloud = benchCloud(n);
+    const MortonOrder order = computeMortonOrder(cloud);
+    return cache.emplace(n, applyOrder(cloud, order))
+        .first->second;
+}
+
+void
+BM_MortonEncode(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const VoxelCloud &cloud = benchCloud(n);
+    for (auto _ : state) {
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            acc ^= mortonEncode(cloud.x()[i], cloud.y()[i],
+                                cloud.z()[i]);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MortonEncode)->Arg(1 << 16)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_RadixSortPairs(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    std::vector<KeyIndex> base(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        base[i] = {rng() & ((1ull << 30) - 1), i};
+    for (auto _ : state) {
+        std::vector<KeyIndex> pairs = base;
+        radixSortPairs(pairs, 30);
+        benchmark::DoNotOptimize(pairs.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RadixSortPairs)->Arg(1 << 16)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_OctreeSequentialBuild(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const VoxelCloud &cloud = benchCloud(n);
+    for (auto _ : state) {
+        const PointerOctree tree = buildSequentialOctree(cloud);
+        benchmark::DoNotOptimize(tree.numNodes());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_OctreeSequentialBuild)->Arg(1 << 16)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_OctreeParallelBuild(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const VoxelCloud &cloud = benchCloud(n);
+    const MortonOrder order = computeMortonOrder(cloud);
+    for (auto _ : state) {
+        auto tree = buildParallelOctree(order.codes, 10);
+        benchmark::DoNotOptimize(tree->numNodes());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_OctreeParallelBuild)->Arg(1 << 16)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_GeometryEncodeProposed(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const VoxelCloud &cloud = benchCloud(n);
+    GeometryConfig config;
+    for (auto _ : state) {
+        auto encoded = encodeGeometry(cloud, config);
+        benchmark::DoNotOptimize(encoded->payload.size());
+    }
+}
+BENCHMARK(BM_GeometryEncodeProposed)->Arg(1 << 16)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_GeometryEncodeBaseline(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const VoxelCloud &cloud = benchCloud(n);
+    GeometryConfig config;
+    config.builder = GeometryConfig::Builder::kSequential;
+    config.entropy_coding = true;
+    for (auto _ : state) {
+        auto encoded = encodeGeometry(cloud, config);
+        benchmark::DoNotOptimize(encoded->payload.size());
+    }
+}
+BENCHMARK(BM_GeometryEncodeBaseline)->Arg(1 << 16)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_AttrRaht(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const VoxelCloud &sorted = sortedBenchCloud(n);
+    for (auto _ : state) {
+        auto payload = encodeRaht(sorted, RahtConfig{});
+        benchmark::DoNotOptimize(payload->size());
+    }
+}
+BENCHMARK(BM_AttrRaht)->Arg(1 << 16)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_AttrSegment(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const VoxelCloud &sorted = sortedBenchCloud(n);
+    AttrChannels channels;
+    for (auto &channel : channels)
+        channel.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        channels[0][i] = sorted.r()[i];
+        channels[1][i] = sorted.g()[i];
+        channels[2][i] = sorted.b()[i];
+    }
+    for (auto _ : state) {
+        auto payload =
+            encodeSegmentAttr(channels, SegmentCodecConfig{});
+        benchmark::DoNotOptimize(payload->size());
+    }
+}
+BENCHMARK(BM_AttrSegment)->Arg(1 << 16)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_BlockMatch(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const VoxelCloud &sorted = sortedBenchCloud(n);
+    BlockMatchConfig config;
+    for (auto _ : state) {
+        auto encoded = encodeInterAttr(sorted, sorted, config);
+        benchmark::DoNotOptimize(encoded->payload.size());
+    }
+}
+BENCHMARK(BM_BlockMatch)->Arg(1 << 15)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces paper Fig. 8a: per-video encode latency (with the
+ * geometry/attribute split) for the five designs.
+ *
+ * Paper anchors at full scale (per frame): TMC13 ~4152 ms
+ * (1552 geometry + 2600 attributes), CWIPC ~4229 ms, Intra-Only
+ * ~95 ms (42 + 53), Intra-Inter-V1 ~124 ms (41 + 83),
+ * Intra-Inter-V2 ~121 ms (43 + 78). Headline speedups: 43.7x over
+ * TMC13 (intra) and ~34-35x over CWIPC (combined).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace edgepcc;
+    const double scale = bench::defaultScale();
+    const int frames = bench::defaultFrames();
+    const EdgeDeviceModel model;
+
+    std::printf("Fig. 8a: encode latency per frame "
+                "(scale=%.2f, frames=%d, device=%s)\n\n",
+                scale, frames, model.spec().name.c_str());
+    std::printf("%-13s %-15s %11s %11s %11s %12s\n", "Video",
+                "Design", "geom [ms]", "attr [ms]", "total [ms]",
+                "host [ms]");
+    bench::printRule(80);
+
+    double tmc13_total = 0.0, cwipc_total = 0.0;
+    double intra_total = 0.0, v1_total = 0.0, v2_total = 0.0;
+    int videos = 0;
+
+    for (const VideoSpec &spec : paperVideoSpecs(scale)) {
+        for (const CodecConfig &config : allPaperConfigs()) {
+            const bench::VideoRunResult r =
+                bench::runVideo(spec, config, frames, model);
+            std::printf("%-13s %-15s %11.1f %11.1f %11.1f %12.1f\n",
+                        r.video.c_str(), r.config.c_str(),
+                        r.enc_geom_model_s * 1e3,
+                        r.enc_attr_model_s * 1e3,
+                        r.enc_model_s * 1e3, r.enc_host_s * 1e3);
+            if (r.config == "TMC13")
+                tmc13_total += r.enc_model_s;
+            else if (r.config == "CWIPC")
+                cwipc_total += r.enc_model_s;
+            else if (r.config == "Intra-Only")
+                intra_total += r.enc_model_s;
+            else if (r.config == "Intra-Inter-V1")
+                v1_total += r.enc_model_s;
+            else if (r.config == "Intra-Inter-V2")
+                v2_total += r.enc_model_s;
+        }
+        bench::printRule(80);
+        ++videos;
+    }
+
+    if (videos > 0 && intra_total > 0.0) {
+        std::printf("\nGeomean-free summary (mean over %d "
+                    "videos):\n",
+                    videos);
+        std::printf("  Intra-Only speedup vs TMC13 : %6.1fx "
+                    "(paper: 43.7x)\n",
+                    tmc13_total / intra_total);
+        std::printf("  V1 speedup vs CWIPC         : %6.1fx "
+                    "(paper: ~34x)\n",
+                    cwipc_total / v1_total);
+        std::printf("  V2 speedup vs CWIPC         : %6.1fx "
+                    "(paper: ~35x)\n",
+                    cwipc_total / v2_total);
+    }
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces paper Fig. 8b: per-frame energy for the five designs.
+ *
+ * Paper anchors at full scale: TMC13 11.3 J, CWIPC 19.8 J,
+ * Intra-Only 0.38 J, Intra-Inter-V1 0.52 J, Intra-Inter-V2 0.50 J
+ * per frame; headline savings 96.6% vs TMC13 and ~97% vs CWIPC.
+ * Rail powers come straight from the paper (TMC13 CPU 1687 mW,
+ * CWIPC CPU 3622 mW, ours CPU 1310 mW + GPU 1065 mW).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace edgepcc;
+    const double scale = bench::defaultScale();
+    const int frames = bench::defaultFrames();
+    const EdgeDeviceModel model;
+
+    std::printf("Fig. 8b: energy per frame (scale=%.2f, "
+                "frames=%d, device=%s)\n\n",
+                scale, frames, model.spec().name.c_str());
+    std::printf("%-13s %-15s %13s %14s\n", "Video", "Design",
+                "energy [J]", "avg power [W]");
+    bench::printRule(60);
+
+    double tmc13 = 0.0, cwipc = 0.0, intra = 0.0, v1 = 0.0,
+           v2 = 0.0;
+    int videos = 0;
+    for (const VideoSpec &spec : paperVideoSpecs(scale)) {
+        for (const CodecConfig &config : allPaperConfigs()) {
+            const bench::VideoRunResult r =
+                bench::runVideo(spec, config, frames, model);
+            std::printf("%-13s %-15s %13.3f %14.2f\n",
+                        r.video.c_str(), r.config.c_str(),
+                        r.enc_energy_j,
+                        r.enc_model_s > 0.0
+                            ? r.enc_energy_j / r.enc_model_s
+                            : 0.0);
+            if (r.config == "TMC13") tmc13 += r.enc_energy_j;
+            else if (r.config == "CWIPC") cwipc += r.enc_energy_j;
+            else if (r.config == "Intra-Only")
+                intra += r.enc_energy_j;
+            else if (r.config == "Intra-Inter-V1")
+                v1 += r.enc_energy_j;
+            else if (r.config == "Intra-Inter-V2")
+                v2 += r.enc_energy_j;
+        }
+        bench::printRule(60);
+        ++videos;
+    }
+    if (videos > 0 && tmc13 > 0.0 && cwipc > 0.0) {
+        std::printf("\nEnergy savings (mean over %d videos):\n",
+                    videos);
+        std::printf("  Intra-Only vs TMC13 : %5.1f%%  (paper: "
+                    "96.6%%)\n",
+                    100.0 * (1.0 - intra / tmc13));
+        std::printf("  V1 vs CWIPC         : %5.1f%%  (paper: "
+                    "~97%%)\n",
+                    100.0 * (1.0 - v1 / cwipc));
+        std::printf("  V2 vs CWIPC         : %5.1f%%  (paper: "
+                    "~97%%)\n",
+                    100.0 * (1.0 - v2 / cwipc));
+    }
+    return 0;
+}

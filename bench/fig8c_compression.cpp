@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces paper Fig. 8c: compressed size and attribute PSNR for
+ * the five designs.
+ *
+ * Paper anchors: TMC13 compresses to ~8% of raw at ~55 dB; CWIPC
+ * to ~14% at ~47.8 dB; Intra-Only to ~17% at 48.5 dB (geometry 19%
+ * / attributes 81% of the compressed stream); V1 to ~12% at
+ * ~42.4 dB; V2 to ~10% at ~39.5 dB. Geometry PSNR stays "excellent"
+ * (>70 dB) everywhere.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace edgepcc;
+    const double scale = bench::defaultScale();
+    const int frames = bench::defaultFrames();
+    const EdgeDeviceModel model;
+
+    std::printf("Fig. 8c: compression efficiency "
+                "(scale=%.2f, frames=%d)\n\n",
+                scale, frames);
+    std::printf("%-13s %-15s %10s %9s %9s %10s %10s %10s\n",
+                "Video", "Design", "size [MB]", "of raw",
+                "geom%%", "attr%%", "aPSNR dB", "gPSNR dB");
+    bench::printRule(94);
+
+    for (const VideoSpec &spec : paperVideoSpecs(scale)) {
+        for (const CodecConfig &config : allPaperConfigs()) {
+            const bench::VideoRunResult r =
+                bench::runVideo(spec, config, frames, model);
+            const double of_raw =
+                r.raw_mb > 0.0 ? r.compressed_mb / r.raw_mb : 0.0;
+            const double payload =
+                r.geometry_mb + r.attr_mb;
+            std::printf(
+                "%-13s %-15s %10.3f %8.1f%% %8.1f%% %9.1f%% "
+                "%10.1f %10.1f\n",
+                r.video.c_str(), r.config.c_str(),
+                r.compressed_mb, of_raw * 100.0,
+                payload > 0.0 ? 100.0 * r.geometry_mb / payload
+                              : 0.0,
+                payload > 0.0 ? 100.0 * r.attr_mb / payload : 0.0,
+                r.attr_psnr_db, r.geom_psnr_db);
+        }
+        bench::printRule(94);
+    }
+    std::printf("\nPaper anchors: TMC13 ~8%% of raw @55 dB | "
+                "CWIPC ~14%% @47.8 dB | Intra-Only ~17%%\n@48.5 dB "
+                "(19%%/81%% geom/attr split) | V1 ~12%% @42.4 dB | "
+                "V2 ~10%% @39.5 dB.\nCompression ratio: intra 5.95 "
+                "-> inter 10.43 (Sec. I).\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Reproduces paper Fig. 9: energy breakdown of the inter-frame
+ * attribute compression (Loot video, V1).
+ *
+ * Paper shares: 2-norm distance 51% (Diff_Squared 35% +
+ * Squared_Sum 16%), address generation for delta stores 32%,
+ * everything else 17%.
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace edgepcc;
+    const double scale = bench::defaultScale();
+    const VideoSpec spec =
+        makeVideoSpec(paperCatalogue()[2], scale);  // Loot
+    const auto &frames = bench::framesFor(spec, 2);
+
+    const EdgeDeviceModel model;
+    VideoEncoder encoder(makeIntraInterV1Config());
+    auto i_frame = encoder.encode(frames[0]);
+    if (!i_frame) {
+        std::fprintf(stderr, "I-frame encode failed\n");
+        return 1;
+    }
+    auto p_frame = encoder.encode(frames[1]);
+    if (!p_frame) {
+        std::fprintf(stderr, "P-frame encode failed\n");
+        return 1;
+    }
+
+    // Aggregate kernel energies of the inter-frame attribute
+    // stages (everything that is not geometry).
+    const PipelineTiming timing = model.evaluate(p_frame->profile);
+    std::map<std::string, double> kernel_energy;
+    double total = 0.0;
+    for (const StageTiming &stage : timing.stages) {
+        if (stage.name.rfind("geom.", 0) == 0)
+            continue;
+        for (const KernelTiming &kernel : stage.kernels) {
+            kernel_energy[kernel.name] += kernel.joules;
+            total += kernel.joules;
+        }
+    }
+
+    // Map kernels onto the paper's Fig. 9 categories.
+    const auto category = [](const std::string &name) {
+        if (name == "bm.diff_squared")
+            return "Diff_Squared (2-norm)";
+        if (name == "bm.squared_sum")
+            return "Squared_Sum (2-norm)";
+        if (name == "bm.address_gen" ||
+            name == "attr.seg_addressgen")
+            return "Address generation";
+        return "Others (sort/segment/pack/reuse)";
+    };
+    std::map<std::string, double> buckets;
+    for (const auto &[name, joules] : kernel_energy)
+        buckets[category(name)] += joules;
+
+    std::printf("Fig. 9: energy breakdown of inter-frame "
+                "attribute compression\n");
+    std::printf("video=%s (P frame), scale=%.2f, total=%.3f J\n\n",
+                spec.name.c_str(), scale, total);
+    std::printf("%-36s %10s %8s %16s\n", "Category", "energy [J]",
+                "share", "paper share");
+    bench::printRule(76);
+    const std::map<std::string, const char *> paper = {
+        {"Diff_Squared (2-norm)", "35%"},
+        {"Squared_Sum (2-norm)", "16%"},
+        {"Address generation", "32%"},
+        {"Others (sort/segment/pack/reuse)", "17%"},
+    };
+    for (const auto &[name, joules] : buckets) {
+        const auto it = paper.find(name);
+        std::printf("%-36s %10.4f %7.1f%% %16s\n", name.c_str(),
+                    joules, 100.0 * joules / total,
+                    it != paper.end() ? it->second : "-");
+    }
+    bench::printRule(76);
+    std::printf("\nPer-kernel detail:\n");
+    for (const auto &[name, joules] : kernel_energy) {
+        std::printf("  %-28s %10.4f J (%5.1f%%)\n", name.c_str(),
+                    joules, 100.0 * joules / total);
+    }
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal leveled logging for EdgePCC tools, benches and examples.
+ *
+ * The library itself logs sparingly (codec hot paths never log);
+ * benches and examples use it for progress and reporting.
+ */
+
+#ifndef EDGEPCC_COMMON_LOG_H
+#define EDGEPCC_COMMON_LOG_H
+
+#include <sstream>
+#include <string>
+
+namespace edgepcc {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError };
+
+/** Global minimum level; messages below it are dropped. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** Emits one formatted line to stderr (thread-safe). */
+void logMessage(LogLevel level, const std::string &message);
+
+namespace detail {
+
+/** Stream-style accumulator that emits on destruction. */
+class LogLine
+{
+  public:
+    explicit LogLine(LogLevel level) : level_(level) {}
+    ~LogLine() { logMessage(level_, stream_.str()); }
+
+    LogLine(const LogLine &) = delete;
+    LogLine &operator=(const LogLine &) = delete;
+
+    template <typename T>
+    LogLine &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace edgepcc
+
+#define EDGEPCC_LOG(level) ::edgepcc::detail::LogLine(level)
+#define EDGEPCC_LOG_DEBUG EDGEPCC_LOG(::edgepcc::LogLevel::kDebug)
+#define EDGEPCC_LOG_INFO EDGEPCC_LOG(::edgepcc::LogLevel::kInfo)
+#define EDGEPCC_LOG_WARN EDGEPCC_LOG(::edgepcc::LogLevel::kWarn)
+#define EDGEPCC_LOG_ERROR EDGEPCC_LOG(::edgepcc::LogLevel::kError)
+
+#endif  // EDGEPCC_COMMON_LOG_H

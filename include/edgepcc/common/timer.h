@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Wall-clock timing helper.
+ */
+
+#ifndef EDGEPCC_COMMON_TIMER_H
+#define EDGEPCC_COMMON_TIMER_H
+
+#include <chrono>
+
+namespace edgepcc {
+
+/** Monotonic wall-clock stopwatch. */
+class WallTimer
+{
+  public:
+    WallTimer() { reset(); }
+
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        const auto now = Clock::now();
+        return std::chrono::duration<double>(now - start_).count();
+    }
+
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_COMMON_TIMER_H

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Stateful frame-by-frame video encoder/decoder (the library's main
+ * public API).
+ *
+ * Frames are fed in capture order; the encoder applies the
+ * configured GOP pattern (IPP in the paper), keeps the reconstructed
+ * I frame as the inter-prediction reference, and emits one
+ * self-contained bitstream per frame. Every encode/decode call also
+ * returns the recorded PipelineProfile so callers can run the edge
+ * device model over it.
+ */
+
+#ifndef EDGEPCC_CORE_VIDEO_CODEC_H
+#define EDGEPCC_CORE_VIDEO_CODEC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "edgepcc/common/status.h"
+#include "edgepcc/common/work_counters.h"
+#include "edgepcc/core/codec_config.h"
+#include "edgepcc/geometry/point_cloud.h"
+
+namespace edgepcc {
+
+/** Per-frame encoder statistics. */
+struct FrameStats {
+    Frame::Type type = Frame::Type::kIntra;
+    std::size_t num_input_points = 0;
+    std::size_t num_voxels = 0;
+    std::uint64_t raw_bytes = 0;       ///< 15 B/point accounting
+    std::uint64_t geometry_bytes = 0;
+    std::uint64_t attr_bytes = 0;
+    std::uint64_t total_bytes = 0;     ///< full container size
+    BlockMatchStats block_match{};     ///< valid for kBlockMatch P
+    MacroBlockStats macro_block{};     ///< valid for kMacroBlock P
+
+    double
+    compressionRatio() const
+    {
+        return total_bytes == 0
+                   ? 0.0
+                   : static_cast<double>(raw_bytes) /
+                         static_cast<double>(total_bytes);
+    }
+};
+
+/** One encoded frame. */
+struct EncodedFrame {
+    std::vector<std::uint8_t> bitstream;
+    FrameStats stats;
+    PipelineProfile profile;
+};
+
+/** One decoded frame. */
+struct DecodedFrame {
+    VoxelCloud cloud{10};
+    Frame::Type type = Frame::Type::kIntra;
+    PipelineProfile profile;
+};
+
+/** Frame-by-frame encoder. */
+class VideoEncoder
+{
+  public:
+    explicit VideoEncoder(CodecConfig config);
+
+    const CodecConfig &config() const { return config_; }
+
+    /**
+     * Encodes the next frame of the stream. Frame type follows the
+     * GOP pattern; inter coding silently falls back to intra when
+     * no reference exists yet.
+     */
+    Expected<EncodedFrame> encode(const VoxelCloud &cloud);
+
+    /** Restarts the GOP (next frame is an I frame). */
+    void reset();
+
+  private:
+    CodecConfig config_;
+    std::uint32_t frame_counter_ = 0;
+    VoxelCloud reference_{10};
+    bool has_reference_ = false;
+};
+
+/** Frame-by-frame decoder (mirrors VideoEncoder's state machine). */
+class VideoDecoder
+{
+  public:
+    VideoDecoder() = default;
+
+    Expected<DecodedFrame> decode(
+        const std::vector<std::uint8_t> &bitstream);
+
+    void reset();
+
+  private:
+    VoxelCloud reference_{10};
+    bool has_reference_ = false;
+};
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_CORE_VIDEO_CODEC_H

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Minimal PLY reader/writer for interop with the real 8iVFB/MVUB
+ * datasets (which ship as per-frame PLY files). Supports ascii and
+ * binary_little_endian files carrying float x/y/z and uchar
+ * red/green/blue properties.
+ */
+
+#ifndef EDGEPCC_DATASET_PLY_IO_H
+#define EDGEPCC_DATASET_PLY_IO_H
+
+#include <string>
+
+#include "edgepcc/common/status.h"
+#include "edgepcc/geometry/point_cloud.h"
+
+namespace edgepcc {
+
+/** Reads a PLY point cloud (positions + colors). */
+Expected<PointCloud> readPly(const std::string &path);
+
+/** Writes a PLY point cloud; binary_little_endian when `binary`. */
+Status writePly(const std::string &path, const PointCloud &cloud,
+                bool binary = true);
+
+/** Reads a PLY file and voxelizes it onto a 2^grid_bits grid. */
+Expected<VoxelCloud> readPlyVoxels(const std::string &path,
+                                   int grid_bits = 10);
+
+/** Writes a voxel cloud as PLY (voxel coordinates as floats). */
+Status writePlyVoxels(const std::string &path,
+                      const VoxelCloud &cloud, bool binary = true);
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_DATASET_PLY_IO_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Spatial hash over voxel coordinates for nearest-neighbour queries.
+ *
+ * Used by the quality metrics (attribute PSNR must match each source
+ * voxel with its nearest decoded voxel when geometry coding is lossy)
+ * and by tests.
+ */
+
+#ifndef EDGEPCC_GEOMETRY_GRID_HASH_H
+#define EDGEPCC_GEOMETRY_GRID_HASH_H
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "edgepcc/geometry/point_cloud.h"
+
+namespace edgepcc {
+
+/**
+ * Hash-grid index over a VoxelCloud.
+ *
+ * Cells are single voxels; a query expands cubic shells around the
+ * target until a hit is found or the radius limit is reached.
+ */
+class GridHash
+{
+  public:
+    /** Builds the index over `cloud`; the cloud must outlive it. */
+    explicit GridHash(const VoxelCloud &cloud);
+
+    /** Index of a voxel exactly at (x,y,z), if present. */
+    std::optional<std::size_t> findExact(std::uint16_t x,
+                                         std::uint16_t y,
+                                         std::uint16_t z) const;
+
+    /**
+     * Index of the nearest voxel to (x,y,z) within max_radius
+     * (Chebyshev shells, exact L2 selection inside the shell).
+     * @returns nullopt when nothing is within range.
+     */
+    std::optional<std::size_t> findNearest(std::uint16_t x,
+                                           std::uint16_t y,
+                                           std::uint16_t z,
+                                           int max_radius = 4) const;
+
+    std::size_t size() const { return cloud_->size(); }
+
+  private:
+    static std::uint64_t
+    key(std::uint32_t x, std::uint32_t y, std::uint32_t z)
+    {
+        return (static_cast<std::uint64_t>(x) << 42) |
+               (static_cast<std::uint64_t>(y) << 21) |
+               static_cast<std::uint64_t>(z);
+    }
+
+    const VoxelCloud *cloud_;
+    // Voxel key -> first index; duplicate voxels chain through next_.
+    std::unordered_map<std::uint64_t, std::uint32_t> map_;
+    std::vector<std::uint32_t> next_;
+};
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_GEOMETRY_GRID_HASH_H

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Point-cloud containers.
+ *
+ * Two representations exist:
+ *  - PointCloud: raw float positions + RGB, as captured (PLY input,
+ *    dataset generator output before voxelization).
+ *  - VoxelCloud: integer voxel coordinates on a 2^bits grid + RGB,
+ *    the representation every codec in this library consumes. The
+ *    datasets the paper evaluates (8iVFB, MVUB) ship pre-voxelized on
+ *    a 1024^3 grid.
+ */
+
+#ifndef EDGEPCC_GEOMETRY_POINT_CLOUD_H
+#define EDGEPCC_GEOMETRY_POINT_CLOUD_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "edgepcc/geometry/vec3.h"
+
+namespace edgepcc {
+
+/** Axis-aligned bounding box over float positions. */
+struct AABB {
+    Vec3f min{1e30f, 1e30f, 1e30f};
+    Vec3f max{-1e30f, -1e30f, -1e30f};
+
+    bool valid() const { return min.x <= max.x; }
+
+    void
+    expand(const Vec3f &p)
+    {
+        if (p.x < min.x) min.x = p.x;
+        if (p.y < min.y) min.y = p.y;
+        if (p.z < min.z) min.z = p.z;
+        if (p.x > max.x) max.x = p.x;
+        if (p.y > max.y) max.y = p.y;
+        if (p.z > max.z) max.z = p.z;
+    }
+
+    Vec3f extent() const { return max - min; }
+
+    bool
+    contains(const Vec3f &p) const
+    {
+        return p.x >= min.x && p.x <= max.x && p.y >= min.y &&
+               p.y <= max.y && p.z >= min.z && p.z <= max.z;
+    }
+};
+
+/** Raw float point cloud (AoS positions + colors). */
+class PointCloud
+{
+  public:
+    std::size_t size() const { return positions_.size(); }
+    bool empty() const { return positions_.empty(); }
+
+    void
+    reserve(std::size_t n)
+    {
+        positions_.reserve(n);
+        colors_.reserve(n);
+    }
+
+    void
+    add(const Vec3f &position, const Color &color)
+    {
+        positions_.push_back(position);
+        colors_.push_back(color);
+    }
+
+    const std::vector<Vec3f> &positions() const { return positions_; }
+    const std::vector<Color> &colors() const { return colors_; }
+    std::vector<Vec3f> &mutablePositions() { return positions_; }
+    std::vector<Color> &mutableColors() { return colors_; }
+
+    /** Bounding box over all positions (invalid when empty). */
+    AABB boundingBox() const;
+
+  private:
+    std::vector<Vec3f> positions_;
+    std::vector<Color> colors_;
+};
+
+/**
+ * Voxelized point cloud on a 2^gridBits cube, stored SoA so the
+ * data-parallel kernels stream each component contiguously.
+ *
+ * Invariant: all coordinate values are < (1 << gridBits), and the six
+ * component vectors have equal length.
+ */
+class VoxelCloud
+{
+  public:
+    explicit VoxelCloud(int grid_bits = 10) : grid_bits_(grid_bits) {}
+
+    int gridBits() const { return grid_bits_; }
+    std::uint32_t gridSize() const { return 1u << grid_bits_; }
+
+    std::size_t size() const { return x_.size(); }
+    bool empty() const { return x_.empty(); }
+
+    void
+    reserve(std::size_t n)
+    {
+        x_.reserve(n);
+        y_.reserve(n);
+        z_.reserve(n);
+        r_.reserve(n);
+        g_.reserve(n);
+        b_.reserve(n);
+    }
+
+    void
+    add(std::uint16_t x, std::uint16_t y, std::uint16_t z,
+        std::uint8_t r, std::uint8_t g, std::uint8_t b)
+    {
+        x_.push_back(x);
+        y_.push_back(y);
+        z_.push_back(z);
+        r_.push_back(r);
+        g_.push_back(g);
+        b_.push_back(b);
+    }
+
+    void
+    resize(std::size_t n)
+    {
+        x_.resize(n);
+        y_.resize(n);
+        z_.resize(n);
+        r_.resize(n);
+        g_.resize(n);
+        b_.resize(n);
+    }
+
+    const std::vector<std::uint16_t> &x() const { return x_; }
+    const std::vector<std::uint16_t> &y() const { return y_; }
+    const std::vector<std::uint16_t> &z() const { return z_; }
+    const std::vector<std::uint8_t> &r() const { return r_; }
+    const std::vector<std::uint8_t> &g() const { return g_; }
+    const std::vector<std::uint8_t> &b() const { return b_; }
+
+    std::vector<std::uint16_t> &mutableX() { return x_; }
+    std::vector<std::uint16_t> &mutableY() { return y_; }
+    std::vector<std::uint16_t> &mutableZ() { return z_; }
+    std::vector<std::uint8_t> &mutableR() { return r_; }
+    std::vector<std::uint8_t> &mutableG() { return g_; }
+    std::vector<std::uint8_t> &mutableB() { return b_; }
+
+    Color
+    color(std::size_t i) const
+    {
+        return Color{r_[i], g_[i], b_[i]};
+    }
+
+    void
+    setColor(std::size_t i, const Color &c)
+    {
+        r_[i] = c.r;
+        g_[i] = c.g;
+        b_[i] = c.b;
+    }
+
+    /** Raw (uncompressed) size in bytes at the paper's 15 B/point
+     *  accounting: 3 x 4-byte coordinates + 3 x 1-byte colors. */
+    std::uint64_t
+    rawBytes() const
+    {
+        return static_cast<std::uint64_t>(size()) * 15u;
+    }
+
+    /** True when every coordinate is inside the grid and the SoA
+     *  vectors are consistent; used by tests and input validation. */
+    bool checkInvariants() const;
+
+  private:
+    int grid_bits_;
+    std::vector<std::uint16_t> x_, y_, z_;
+    std::vector<std::uint8_t> r_, g_, b_;
+};
+
+/** One frame of a PC video: a voxel cloud plus stream metadata. */
+struct Frame {
+    enum class Type { kIntra, kPredicted };
+
+    VoxelCloud cloud;
+    std::uint32_t index = 0;
+    Type type = Type::kIntra;
+};
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_GEOMETRY_POINT_CLOUD_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Small vector math used by the dataset generator and metrics.
+ */
+
+#ifndef EDGEPCC_GEOMETRY_VEC3_H
+#define EDGEPCC_GEOMETRY_VEC3_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace edgepcc {
+
+/** 3-component float vector. */
+struct Vec3f {
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    Vec3f() = default;
+    Vec3f(float x_in, float y_in, float z_in)
+        : x(x_in), y(y_in), z(z_in)
+    {
+    }
+
+    Vec3f operator+(const Vec3f &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+    Vec3f operator-(const Vec3f &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+    Vec3f operator*(float s) const { return {x * s, y * s, z * s}; }
+    Vec3f operator/(float s) const { return {x / s, y / s, z / s}; }
+
+    Vec3f &
+    operator+=(const Vec3f &o)
+    {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+
+    float dot(const Vec3f &o) const
+    {
+        return x * o.x + y * o.y + z * o.z;
+    }
+
+    Vec3f
+    cross(const Vec3f &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z,
+                x * o.y - y * o.x};
+    }
+
+    float squaredNorm() const { return dot(*this); }
+    float norm() const { return std::sqrt(squaredNorm()); }
+
+    Vec3f
+    normalized() const
+    {
+        const float n = norm();
+        return n > 0.0f ? (*this) / n : Vec3f{};
+    }
+};
+
+inline Vec3f
+operator*(float s, const Vec3f &v)
+{
+    return v * s;
+}
+
+/** 8-bit RGB attribute triple. */
+struct Color {
+    std::uint8_t r = 0;
+    std::uint8_t g = 0;
+    std::uint8_t b = 0;
+
+    bool
+    operator==(const Color &o) const
+    {
+        return r == o.r && g == o.g && b == o.b;
+    }
+};
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_GEOMETRY_VEC3_H

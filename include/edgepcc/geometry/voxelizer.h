@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Float-cloud to voxel-grid quantization.
+ */
+
+#ifndef EDGEPCC_GEOMETRY_VOXELIZER_H
+#define EDGEPCC_GEOMETRY_VOXELIZER_H
+
+#include "edgepcc/common/status.h"
+#include "edgepcc/geometry/point_cloud.h"
+
+namespace edgepcc {
+
+/** Mapping between float space and the voxel grid. */
+struct VoxelGridTransform {
+    Vec3f origin;       ///< float position of voxel (0,0,0)
+    float scale = 1.0f; ///< float units per voxel step (cubic grid)
+
+    Vec3f
+    toFloat(std::uint16_t x, std::uint16_t y, std::uint16_t z) const
+    {
+        return origin + Vec3f(static_cast<float>(x),
+                              static_cast<float>(y),
+                              static_cast<float>(z)) *
+                            scale;
+    }
+};
+
+/** Result of voxelization. */
+struct VoxelizeResult {
+    VoxelCloud cloud;
+    VoxelGridTransform transform;
+    std::size_t merged_points = 0;  ///< inputs merged into one voxel
+};
+
+/**
+ * Quantizes a float cloud onto a 2^grid_bits cubic grid.
+ *
+ * The grid covers the cloud's bounding cube (max extent over the
+ * three axes). Points landing on the same voxel are merged and their
+ * colors averaged, matching how the 8iVFB/MVUB datasets were
+ * produced. Duplicate-free output is sorted by no particular order.
+ *
+ * @returns kInvalidArgument for an empty cloud or grid_bits outside
+ *          [1, 16].
+ */
+Expected<VoxelizeResult> voxelize(const PointCloud &cloud,
+                                  int grid_bits);
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_GEOMETRY_VOXELIZER_H

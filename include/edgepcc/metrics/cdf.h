@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Empirical CDF utility used by the Fig. 3 locality studies.
+ */
+
+#ifndef EDGEPCC_METRICS_CDF_H
+#define EDGEPCC_METRICS_CDF_H
+
+#include <vector>
+
+namespace edgepcc {
+
+/** Empirical CDF over a sample set. */
+class EmpiricalCdf
+{
+  public:
+    explicit EmpiricalCdf(std::vector<double> samples);
+
+    std::size_t sampleCount() const { return samples_.size(); }
+
+    /** Fraction of samples <= x. */
+    double fractionAtOrBelow(double x) const;
+
+    /** Value at quantile q in [0, 1]. */
+    double quantile(double q) const;
+
+    double min() const;
+    double max() const;
+    double mean() const;
+
+  private:
+    std::vector<double> samples_;  ///< sorted ascending
+};
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_METRICS_CDF_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Quality metrics matching the paper's evaluation methodology:
+ * attribute PSNR over nearest-neighbour matched points and D1
+ * (point-to-point) geometry PSNR, as computed by the MPEG pc_error
+ * tool the paper uses.
+ */
+
+#ifndef EDGEPCC_METRICS_QUALITY_H
+#define EDGEPCC_METRICS_QUALITY_H
+
+#include "edgepcc/geometry/point_cloud.h"
+
+namespace edgepcc {
+
+/** Attribute distortion summary. */
+struct AttrQuality {
+    double mse = 0.0;   ///< mean squared error over all channels
+    double psnr = 0.0;  ///< 10*log10(255^2 / mse); inf when lossless
+    std::size_t matched_points = 0;
+    std::size_t unmatched_points = 0;  ///< no neighbour within range
+};
+
+/**
+ * Attribute PSNR of `decoded` against `original`. Every original
+ * point is matched to its nearest decoded voxel (the decoded
+ * geometry may be slightly displaced by lossy coding) and the RGB
+ * squared error accumulated.
+ */
+AttrQuality attributePsnr(const VoxelCloud &original,
+                          const VoxelCloud &decoded);
+
+/** Geometry distortion summary. */
+struct GeometryQuality {
+    double mse = 0.0;   ///< symmetric mean squared NN distance
+    double psnr = 0.0;  ///< 10*log10(peak^2/mse), peak = grid-1
+};
+
+/**
+ * D1 point-to-point geometry PSNR, symmetric (max of the two
+ * directional MSEs, as pc_error reports).
+ */
+GeometryQuality geometryPsnrD1(const VoxelCloud &original,
+                               const VoxelCloud &decoded);
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_METRICS_QUALITY_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Morton (Z-order) encoding for 3D voxel coordinates.
+ *
+ * The Morton code is the backbone of both proposals in the paper: it
+ * linearizes the 3D grid while preserving spatial locality, which
+ * (1) fixes the octree's topographic structure up front so nodes can
+ * be built in parallel, and (2) clusters spatially-adjacent points so
+ * attribute similarity can be exploited by simple segmentation.
+ *
+ * Encoding interleaves the bits of (x, y, z) as ...z1y1x1 z0y0x0, so
+ * the low 3 bits select the octant within the parent voxel and
+ * `code >> 3` is the parent's code — exactly the property paper
+ * Algorithm 1 relies on.
+ */
+
+#ifndef EDGEPCC_MORTON_MORTON_H
+#define EDGEPCC_MORTON_MORTON_H
+
+#include <cstdint>
+
+namespace edgepcc {
+
+/** Maximum bits per axis that fit a 64-bit Morton code. */
+constexpr int kMaxMortonBitsPerAxis = 21;
+
+/** Spreads the low 21 bits of `v` so they occupy every 3rd bit. */
+std::uint64_t mortonExpandBits(std::uint32_t v);
+
+/** Inverse of mortonExpandBits. */
+std::uint32_t mortonCompactBits(std::uint64_t v);
+
+/** Interleaves (x, y, z) into a Morton code. x gets bit 0. */
+inline std::uint64_t
+mortonEncode(std::uint32_t x, std::uint32_t y, std::uint32_t z)
+{
+    return mortonExpandBits(x) | (mortonExpandBits(y) << 1) |
+           (mortonExpandBits(z) << 2);
+}
+
+/** Decoded voxel coordinates. */
+struct MortonXyz {
+    std::uint32_t x = 0;
+    std::uint32_t y = 0;
+    std::uint32_t z = 0;
+
+    bool
+    operator==(const MortonXyz &o) const
+    {
+        return x == o.x && y == o.y && z == o.z;
+    }
+};
+
+/** Recovers (x, y, z) from a Morton code. */
+inline MortonXyz
+mortonDecode(std::uint64_t code)
+{
+    return MortonXyz{mortonCompactBits(code),
+                     mortonCompactBits(code >> 1),
+                     mortonCompactBits(code >> 2)};
+}
+
+/**
+ * Octree level (from the root) at which two codes diverge, for a
+ * tree of `depth` levels: 0 means different root children, depth-1
+ * means siblings at the leaf level, `depth` means identical codes.
+ */
+int mortonCommonLevel(std::uint64_t a, std::uint64_t b, int depth);
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_MORTON_MORTON_H

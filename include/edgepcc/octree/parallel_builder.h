@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Morton-code-assisted parallel octree construction (the paper's
+ * intra-frame geometry proposal, Sec. IV-B).
+ *
+ * Because the points are sorted by Morton code, the topographic
+ * structure of the final tree is known up front: the nodes of level l
+ * are exactly the distinct values of `code >> 3*(depth-l)`. Each
+ * level is therefore derived from the sorted leaf codes with
+ * data-parallel run-boundary detection — no point-by-point update and
+ * no locks. The result keeps the paper's "code array / parent array"
+ * form, and paper Algorithm 1 merges them into occupancy bytes.
+ */
+
+#ifndef EDGEPCC_OCTREE_PARALLEL_BUILDER_H
+#define EDGEPCC_OCTREE_PARALLEL_BUILDER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "edgepcc/common/status.h"
+#include "edgepcc/common/work_counters.h"
+#include "edgepcc/octree/octree.h"
+
+namespace edgepcc {
+
+/**
+ * Builds the flat level-ordered octree from sorted leaf Morton
+ * codes.
+ *
+ * @param sorted_codes leaf codes in ascending order; duplicates are
+ *                     collapsed (the builder uniquifies them).
+ * @param depth        octree depth (grid bits).
+ * @param recorder     optional instrumentation sink.
+ * @returns kInvalidArgument when codes are empty or not sorted.
+ */
+Expected<FlatOctree> buildParallelOctree(
+    const std::vector<std::uint64_t> &sorted_codes, int depth,
+    WorkRecorder *recorder = nullptr);
+
+/**
+ * Paper Algorithm 1: merges the code/parent arrays into per-branch
+ * occupancy bytes, ordered breadth-first (level by level, codes
+ * ascending within a level). Runs as a data-parallel kernel over all
+ * non-root nodes.
+ */
+std::vector<std::uint8_t> occupancyFromFlatOctree(
+    const FlatOctree &tree, WorkRecorder *recorder = nullptr);
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_OCTREE_PARALLEL_BUILDER_H

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * PCL/TMC13-style sequential octree construction.
+ *
+ * This is the baseline the paper profiles in Fig. 2: points are
+ * inserted one at a time, each insert walking from the root to the
+ * leaf level while creating missing children. The global tree is
+ * unknown until the last point lands, which is exactly the
+ * "sequential update" dependency the proposal removes. The recorded
+ * work is charged to one ARM core by the device model.
+ */
+
+#ifndef EDGEPCC_OCTREE_SEQUENTIAL_BUILDER_H
+#define EDGEPCC_OCTREE_SEQUENTIAL_BUILDER_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "edgepcc/common/work_counters.h"
+#include "edgepcc/geometry/point_cloud.h"
+
+namespace edgepcc {
+
+/** Pointer-based octree produced by point-by-point insertion. */
+class PointerOctree
+{
+  public:
+    struct Node {
+        std::array<std::int32_t, 8> children;
+        std::uint8_t occupancy = 0;
+
+        Node() { children.fill(-1); }
+    };
+
+    explicit PointerOctree(int depth) : depth_(depth)
+    {
+        nodes_.emplace_back();  // root
+    }
+
+    int depth() const { return depth_; }
+    const std::vector<Node> &nodes() const { return nodes_; }
+    std::size_t numNodes() const { return nodes_.size(); }
+
+    /**
+     * Inserts one voxel, creating intermediate nodes as needed.
+     * @returns number of levels walked (the modelled serial work).
+     */
+    int insert(std::uint16_t x, std::uint16_t y, std::uint16_t z);
+
+    /** Number of distinct voxels inserted. */
+    std::size_t numLeaves() const { return num_leaves_; }
+
+  private:
+    int depth_;
+    std::vector<Node> nodes_;
+    std::size_t num_leaves_ = 0;
+};
+
+/**
+ * Builds the pointer octree by sequential insertion, recording the
+ * per-point walk cost for the device model.
+ */
+PointerOctree buildSequentialOctree(const VoxelCloud &cloud,
+                                    WorkRecorder *recorder = nullptr);
+
+/**
+ * Serializes a pointer octree depth-first (pre-order, octants
+ * ascending), one occupancy byte per branch node — the baseline's
+ * sequential "Octree Serialization" stage.
+ *
+ * @param contexts when non-null, receives each emitted byte's
+ *        parent occupancy byte (0 for the root), aligned with the
+ *        returned stream — the input to contextual entropy coding.
+ */
+std::vector<std::uint8_t> serializeDepthFirst(
+    const PointerOctree &tree, WorkRecorder *recorder = nullptr,
+    std::vector<std::uint8_t> *contexts = nullptr);
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_OCTREE_SEQUENTIAL_BUILDER_H

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Data-parallel primitives (`parallelFor`, `parallelReduce`) over the
+ * thread pool. These mirror the CUDA kernels of the paper's GPU
+ * implementation.
+ */
+
+#ifndef EDGEPCC_PARALLEL_PARALLEL_FOR_H
+#define EDGEPCC_PARALLEL_PARALLEL_FOR_H
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "edgepcc/parallel/thread_pool.h"
+
+namespace edgepcc {
+
+/**
+ * Applies `body(i)` for i in [begin, end) using the pool.
+ *
+ * The iteration space is split into contiguous chunks of at least
+ * `grain` elements so per-task overhead stays negligible. `body` must
+ * be safe to invoke concurrently for distinct indices.
+ */
+template <typename Body>
+void
+parallelFor(std::size_t begin, std::size_t end, const Body &body,
+            ThreadPool &pool = ThreadPool::global(),
+            std::size_t grain = 1024)
+{
+    if (begin >= end)
+        return;
+    const std::size_t n = end - begin;
+    const std::size_t workers = pool.numThreads() + 1;
+    std::size_t chunk = std::max(grain, (n + workers - 1) / workers);
+    if (workers == 1 || n <= grain) {
+        for (std::size_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+    for (std::size_t lo = begin; lo < end; lo += chunk) {
+        const std::size_t hi = std::min(end, lo + chunk);
+        pool.submit([lo, hi, &body] {
+            for (std::size_t i = lo; i < hi; ++i)
+                body(i);
+        });
+    }
+    pool.wait();
+}
+
+/**
+ * Chunked variant: `body(lo, hi)` is called once per chunk, which lets
+ * kernels keep per-chunk accumulators without false sharing.
+ */
+template <typename Body>
+void
+parallelForChunks(std::size_t begin, std::size_t end, const Body &body,
+                  ThreadPool &pool = ThreadPool::global(),
+                  std::size_t grain = 1024)
+{
+    if (begin >= end)
+        return;
+    const std::size_t n = end - begin;
+    const std::size_t workers = pool.numThreads() + 1;
+    std::size_t chunk = std::max(grain, (n + workers - 1) / workers);
+    if (workers == 1 || n <= grain) {
+        body(begin, end);
+        return;
+    }
+    for (std::size_t lo = begin; lo < end; lo += chunk) {
+        const std::size_t hi = std::min(end, lo + chunk);
+        pool.submit([lo, hi, &body] { body(lo, hi); });
+    }
+    pool.wait();
+}
+
+/**
+ * Parallel reduction: combines `identity` with `mapper(i)` over
+ * [begin, end) using the associative `combine`.
+ */
+template <typename T, typename Mapper, typename Combine>
+T
+parallelReduce(std::size_t begin, std::size_t end, T identity,
+               const Mapper &mapper, const Combine &combine,
+               ThreadPool &pool = ThreadPool::global(),
+               std::size_t grain = 4096)
+{
+    if (begin >= end)
+        return identity;
+    const std::size_t n = end - begin;
+    const std::size_t workers = pool.numThreads() + 1;
+    std::size_t chunk = std::max(grain, (n + workers - 1) / workers);
+    const std::size_t num_chunks = (n + chunk - 1) / chunk;
+    std::vector<T> partials(num_chunks, identity);
+    std::size_t index = 0;
+    for (std::size_t lo = begin; lo < end; lo += chunk, ++index) {
+        const std::size_t hi = std::min(end, lo + chunk);
+        T *slot = &partials[index];
+        pool.submit([lo, hi, slot, identity, &mapper, &combine] {
+            T acc = identity;
+            for (std::size_t i = lo; i < hi; ++i)
+                acc = combine(acc, mapper(i));
+            *slot = acc;
+        });
+    }
+    pool.wait();
+    T result = identity;
+    for (const T &partial : partials)
+        result = combine(result, partial);
+    return result;
+}
+
+/**
+ * Exclusive prefix sum over `values` (sequential; the device model
+ * charges it as a log-depth GPU scan).
+ * @return total sum.
+ */
+template <typename T>
+T
+exclusiveScan(std::vector<T> &values)
+{
+    T running{};
+    for (auto &value : values) {
+        T next = running + value;
+        value = running;
+        running = next;
+    }
+    return running;
+}
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_PARALLEL_PARALLEL_FOR_H

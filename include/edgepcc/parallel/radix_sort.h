@@ -1,0 +1,39 @@
+/**
+ * @file
+ * LSD radix sort for 64-bit keys with a 32-bit payload.
+ *
+ * This is the host-side equivalent of the GPU radix sort the paper
+ * uses to order points by Morton code. Keys up to `key_bits` wide are
+ * sorted in 8-bit digits; the payload is typically the original point
+ * index.
+ */
+
+#ifndef EDGEPCC_PARALLEL_RADIX_SORT_H
+#define EDGEPCC_PARALLEL_RADIX_SORT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace edgepcc {
+
+/** (Morton code, original index) pair sorted by radixSortPairs. */
+struct KeyIndex {
+    std::uint64_t key;
+    std::uint32_t index;
+};
+
+/**
+ * Stable LSD radix sort of `pairs` by key, ascending.
+ *
+ * @param pairs    the data to sort in place.
+ * @param key_bits number of significant low bits in the keys; digits
+ *                 above it are skipped. Must be in [1, 64].
+ */
+void radixSortPairs(std::vector<KeyIndex> &pairs, int key_bits = 64);
+
+/** Stable LSD radix sort of raw 64-bit keys, ascending. */
+void radixSortKeys(std::vector<std::uint64_t> &keys, int key_bits = 64);
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_PARALLEL_RADIX_SORT_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fixed-size worker pool used as the "GPU substitute" runtime.
+ *
+ * The paper offloads data-parallel kernels (Morton generation, octree
+ * construction, segment residuals, block matching) to a 512-core Volta
+ * GPU. This repository executes the same kernels with a thread pool;
+ * the device model (src/platform) charges them to the modelled GPU
+ * based on their recorded work, independent of how many host threads
+ * actually ran.
+ */
+
+#ifndef EDGEPCC_PARALLEL_THREAD_POOL_H
+#define EDGEPCC_PARALLEL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace edgepcc {
+
+/**
+ * A simple task-queue thread pool.
+ *
+ * Tasks are std::function<void()>; submission is thread-safe. The
+ * pool with zero workers degenerates to inline execution, which keeps
+ * single-core hosts (and deterministic tests) fast.
+ */
+class ThreadPool
+{
+  public:
+    /** @param num_threads worker count; 0 means "execute inline". */
+    explicit ThreadPool(std::size_t num_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t numThreads() const { return workers_.size(); }
+
+    /** Enqueues a task; runs inline when the pool has no workers. */
+    void submit(std::function<void()> task);
+
+    /** Blocks until every submitted task has finished. */
+    void wait();
+
+    /**
+     * Process-wide default pool, sized to the host's hardware
+     * concurrency minus one (0 workers on a single-core host).
+     */
+    static ThreadPool &global();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable task_available_;
+    std::condition_variable all_done_;
+    std::size_t in_flight_ = 0;
+    bool shutting_down_ = false;
+};
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_PARALLEL_THREAD_POOL_H

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Analytic edge-device timing and energy model.
+ *
+ * The paper evaluates on an NVIDIA Jetson AGX Xavier (8 Carmel CPU
+ * cores + 512-core Volta GPU) and reports wall-clock latency and
+ * rail energy per frame. This repository executes the same
+ * algorithms on a host CPU, so Jetson-scale numbers are produced by
+ * a model instead: every pipeline stage records KernelWork (ops,
+ * bytes, items, launches), and this module converts those counts
+ * into seconds and joules using per-kernel effective throughputs
+ * and energies calibrated once against the paper's reported stage
+ * latencies (see calibration.cpp for the anchor of every value).
+ *
+ * Latency:  t = ops / throughput(kernel) + launches * overhead
+ *           (GPU kernels only pay launch overhead; CPU-parallel
+ *           kernels divide by the modelled thread count.)
+ * Energy:   E = t * (board_idle + rail(resource)) + ops * e_dyn(kernel)
+ *
+ * The 10 W power mode scales all throughputs down by the paper's
+ * measured 1.29x latency factor (Sec. VI-C).
+ */
+
+#ifndef EDGEPCC_PLATFORM_DEVICE_MODEL_H
+#define EDGEPCC_PLATFORM_DEVICE_MODEL_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "edgepcc/common/work_counters.h"
+
+namespace edgepcc {
+
+/** Modelled device parameters. */
+struct DeviceSpec {
+    std::string name;
+
+    /** Global throughput scale (10 W mode = 1/1.29). */
+    double throughput_scale = 1.0;
+
+    /** Threads used by kCpuParallel kernels (paper: 4 for CWIPC). */
+    int cpu_parallel_threads = 4;
+
+    /** Per-launch overhead for GPU kernels (seconds). */
+    double gpu_launch_overhead_s = 30e-6;
+
+    /** Power rails in watts (board idle + active rail by resource). */
+    double board_idle_w = 1.0;
+    double cpu_seq_active_w = 1.687;  ///< paper: TMC13 CPU power
+    double cpu_par_active_w = 3.622;  ///< paper: CWIPC 4-thread power
+    double gpu_active_w = 2.375;      ///< GPU rail + host coordination
+
+    /** Jetson AGX Xavier in the paper's 15 W compute mode. */
+    static DeviceSpec jetsonXavier15W();
+    /** 10 W mode: throughputs scaled by 1/1.29 (paper Sec. VI-C). */
+    static DeviceSpec jetsonXavier10W();
+
+    double activeRailW(ExecResource resource) const;
+};
+
+/**
+ * Per-kernel effective throughputs (ops/s) and dynamic energies
+ * (J/op). Lookup is by exact kernel name with per-resource
+ * fallbacks. All values are for the 15 W Xavier; DeviceSpec scaling
+ * applies on top.
+ */
+class KernelCostTable
+{
+  public:
+    struct Cost {
+        double ops_per_second = 0.0;
+        double joules_per_op = 0.0;
+    };
+
+    /** The paper-anchored calibration (see calibration.cpp). */
+    static const KernelCostTable &calibrated();
+
+    Cost costFor(const std::string &kernel_name,
+                 ExecResource resource) const;
+
+    /** Registers/overrides one kernel's cost. */
+    void set(const std::string &kernel_name, Cost cost);
+
+    void
+    setDefault(ExecResource resource, Cost cost)
+    {
+        defaults_[static_cast<int>(resource)] = cost;
+    }
+
+  private:
+    std::unordered_map<std::string, Cost> by_name_;
+    Cost defaults_[3];
+};
+
+/** Modelled results for one kernel. */
+struct KernelTiming {
+    std::string name;
+    ExecResource resource = ExecResource::kCpuSequential;
+    double seconds = 0.0;
+    double joules = 0.0;
+};
+
+/** Modelled results for one pipeline stage. */
+struct StageTiming {
+    std::string name;
+    double model_seconds = 0.0;
+    double host_seconds = 0.0;
+    double joules = 0.0;
+    std::vector<KernelTiming> kernels;
+};
+
+/** Modelled results for a whole pipeline run. */
+struct PipelineTiming {
+    std::vector<StageTiming> stages;
+
+    double modelSeconds() const;
+    double hostSeconds() const;
+    double joules() const;
+
+    /** Sums model seconds over stages matching a name prefix. */
+    double modelSecondsWithPrefix(const std::string &prefix) const;
+    double joulesWithPrefix(const std::string &prefix) const;
+};
+
+/** Applies a DeviceSpec + KernelCostTable to recorded profiles. */
+class EdgeDeviceModel
+{
+  public:
+    explicit EdgeDeviceModel(
+        DeviceSpec spec = DeviceSpec::jetsonXavier15W(),
+        const KernelCostTable &table = KernelCostTable::calibrated())
+        : spec_(std::move(spec)), table_(&table)
+    {
+    }
+
+    const DeviceSpec &spec() const { return spec_; }
+
+    KernelTiming evaluateKernel(const KernelWork &work) const;
+    StageTiming evaluateStage(const StageProfile &stage) const;
+    PipelineTiming evaluate(const PipelineProfile &profile) const;
+
+  private:
+    DeviceSpec spec_;
+    const KernelCostTable *table_;
+};
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_PLATFORM_DEVICE_MODEL_H

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Analytic network model for the transmission stage of the paper's
+ * end-to-end pipeline (Fig. 1: content generation -> encoding ->
+ * transmission -> decoding -> render). The paper motivates
+ * compression by the infeasibility of shipping ~120 Mbit raw frames
+ * in real time; this model quantifies that.
+ */
+
+#ifndef EDGEPCC_STREAM_NETWORK_MODEL_H
+#define EDGEPCC_STREAM_NETWORK_MODEL_H
+
+#include <cstdint>
+#include <string>
+
+namespace edgepcc {
+
+/** Link parameters for the uplink between edge device and viewer. */
+struct NetworkSpec {
+    std::string name = "custom";
+    double bandwidth_mbps = 100.0;  ///< sustained goodput
+    double rtt_ms = 20.0;           ///< round-trip time
+    /** Protocol efficiency (payload / wire bytes). */
+    double efficiency = 0.95;
+
+    /** Typical home Wi-Fi (802.11ac, mid-range). */
+    static NetworkSpec wifi();
+    /** Cellular LTE uplink. */
+    static NetworkSpec lte();
+    /** 5G mid-band uplink. */
+    static NetworkSpec fiveG();
+
+    /** Seconds to deliver `bytes` (half-RTT + serialization). */
+    double transferSeconds(std::uint64_t bytes) const;
+};
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_STREAM_NETWORK_MODEL_H

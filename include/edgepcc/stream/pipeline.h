@@ -1,0 +1,89 @@
+/**
+ * @file
+ * End-to-end PC video pipeline evaluation (paper Fig. 1).
+ *
+ * Combines capture, encode (edge device model), transmission
+ * (network model), decode (viewer device model) and render into
+ * per-frame latency and pipelined throughput. The paper's claim:
+ * with the proposed codec the full pipeline reaches near real time
+ * (~10 FPS, decode ~70 ms), where the baselines sit at seconds per
+ * frame.
+ */
+
+#ifndef EDGEPCC_STREAM_PIPELINE_H
+#define EDGEPCC_STREAM_PIPELINE_H
+
+#include <vector>
+
+#include "edgepcc/common/status.h"
+#include "edgepcc/core/video_codec.h"
+#include "edgepcc/platform/device_model.h"
+#include "edgepcc/stream/network_model.h"
+
+namespace edgepcc {
+
+/** Fixed-stage latencies and pipeline configuration. */
+struct PipelineConfig {
+    /** 3D content generation (LiDAR scan / photogrammetry); the
+     *  paper cites "10s of milliseconds". */
+    double capture_seconds = 0.030;
+    /** Render & display stage on the viewer. */
+    double render_seconds = 0.012;
+
+    NetworkSpec network = NetworkSpec::wifi();
+    DeviceSpec encoder_device = DeviceSpec::jetsonXavier15W();
+    DeviceSpec decoder_device = DeviceSpec::jetsonXavier15W();
+};
+
+/** Per-frame end-to-end latency split. */
+struct FrameLatency {
+    Frame::Type type = Frame::Type::kIntra;
+    double capture_s = 0.0;
+    double encode_s = 0.0;
+    double transmit_s = 0.0;
+    double decode_s = 0.0;
+    double render_s = 0.0;
+    std::uint64_t bytes = 0;
+
+    double
+    total() const
+    {
+        return capture_s + encode_s + transmit_s + decode_s +
+               render_s;
+    }
+
+    /** Slowest stage bounds the pipelined frame rate. */
+    double
+    bottleneckSeconds() const
+    {
+        double worst = capture_s;
+        for (const double stage :
+             {encode_s, transmit_s, decode_s, render_s}) {
+            if (stage > worst)
+                worst = stage;
+        }
+        return worst;
+    }
+};
+
+/** Aggregate over a run. */
+struct PipelineReport {
+    std::vector<FrameLatency> frames;
+
+    double meanTotalSeconds() const;
+    /** Sustainable FPS with stage-level pipelining. */
+    double pipelinedFps() const;
+    double meanBitsPerFrame() const;
+};
+
+/**
+ * Runs `frames` through encode -> (modelled) transmit -> decode
+ * and reports the modelled end-to-end behaviour.
+ */
+Expected<PipelineReport> evaluatePipeline(
+    const std::vector<VoxelCloud> &frames,
+    const CodecConfig &codec, const PipelineConfig &config);
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_STREAM_PIPELINE_H

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The .epcv stream container: a trivial on-disk framing of encoded
+ * PC video frames (magic "EPCV", frame count, then length-prefixed
+ * frame bitstreams). Used by edgepcc_cli and any application that
+ * wants to persist or ship a whole encoded sequence.
+ */
+
+#ifndef EDGEPCC_STREAM_STREAM_FILE_H
+#define EDGEPCC_STREAM_STREAM_FILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "edgepcc/common/status.h"
+
+namespace edgepcc {
+
+/** Serializes encoded frames into the .epcv byte layout. */
+std::vector<std::uint8_t> packStream(
+    const std::vector<std::vector<std::uint8_t>> &frames);
+
+/** Parses a .epcv buffer back into per-frame bitstreams. */
+Expected<std::vector<std::vector<std::uint8_t>>> unpackStream(
+    const std::vector<std::uint8_t> &bytes);
+
+/** Writes frames to a .epcv file. */
+Status writeStreamFile(
+    const std::string &path,
+    const std::vector<std::vector<std::uint8_t>> &frames);
+
+/** Reads a .epcv file. */
+Expected<std::vector<std::vector<std::uint8_t>>> readStreamFile(
+    const std::string &path);
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_STREAM_STREAM_FILE_H

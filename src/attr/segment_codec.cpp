@@ -1,0 +1,231 @@
+#include "edgepcc/attr/segment_codec.h"
+
+#include <algorithm>
+
+#include "edgepcc/entropy/bitstream.h"
+
+namespace edgepcc {
+
+namespace {
+
+constexpr std::uint8_t kFlagTwoLayer = 1u << 0;
+
+/** Round-to-nearest division, symmetric around zero. */
+std::int64_t
+roundDiv(std::int64_t value, std::int64_t divisor)
+{
+    if (value >= 0)
+        return (value + divisor / 2) / divisor;
+    return -((-value + divisor / 2) / divisor);
+}
+
+/** floor((a+b)/2) that is safe for negative sums. */
+std::int32_t
+midOf(std::int32_t lo, std::int32_t hi)
+{
+    const std::int64_t sum =
+        static_cast<std::int64_t>(lo) + static_cast<std::int64_t>(hi);
+    return static_cast<std::int32_t>(sum >> 1);
+}
+
+}  // namespace
+
+SegmentLayout
+makeSegmentLayout(std::size_t n, const SegmentCodecConfig &config)
+{
+    SegmentLayout layout;
+    std::uint32_t segments = config.num_segments;
+    if (segments == 0) {
+        segments = static_cast<std::uint32_t>(
+            std::max<std::size_t>(1, n / 24));
+    }
+    segments = static_cast<std::uint32_t>(std::min<std::size_t>(
+        segments, std::max<std::size_t>(1, n)));
+    layout.num_segments = segments;
+    layout.points_per_segment = static_cast<std::uint32_t>(
+        (n + segments - 1) / segments);
+    // Recompute the segment count so no empty trailing segments
+    // exist (ceil division can overshoot).
+    layout.num_segments = static_cast<std::uint32_t>(
+        (n + layout.points_per_segment - 1) /
+        layout.points_per_segment);
+    return layout;
+}
+
+Expected<std::vector<std::uint8_t>>
+encodeSegmentAttr(const AttrChannels &channels,
+                  const SegmentCodecConfig &config,
+                  WorkRecorder *recorder)
+{
+    const std::size_t n = channels[0].size();
+    if (n == 0)
+        return invalidArgument("encodeSegmentAttr: no values");
+    if (channels[1].size() != n || channels[2].size() != n)
+        return invalidArgument(
+            "encodeSegmentAttr: channel size mismatch");
+    if (config.quant_step == 0)
+        return invalidArgument(
+            "encodeSegmentAttr: quant_step must be >= 1");
+
+    ScopedStage stage(recorder, "attr.segment");
+
+    const SegmentLayout layout = makeSegmentLayout(n, config);
+    const auto q = static_cast<std::int64_t>(config.quant_step);
+
+    BitWriter writer;
+    writer.writeBits('S', 8);
+    writer.writeBits('A', 8);
+    writer.writeBits('T', 8);
+    writer.writeBits(config.two_layer ? kFlagTwoLayer : 0, 8);
+    writer.writeVarint(n);
+    writer.writeVarint(layout.num_segments);
+    writer.writeVarint(config.quant_step);
+
+    std::vector<std::int32_t> quantized;  // reused per segment
+    for (std::uint32_t s = 0; s < layout.num_segments; ++s) {
+        const std::size_t lo = layout.begin(s);
+        const std::size_t hi = layout.end(s, n);
+        for (int c = 0; c < 3; ++c) {
+            const auto &values =
+                channels[static_cast<std::size_t>(c)];
+
+            // ---- layer 1: mid-range base + quantized residuals --
+            std::int32_t vmin = values[lo];
+            std::int32_t vmax = values[lo];
+            for (std::size_t i = lo + 1; i < hi; ++i) {
+                vmin = std::min(vmin, values[i]);
+                vmax = std::max(vmax, values[i]);
+            }
+            const std::int32_t mid1 = midOf(vmin, vmax);
+            quantized.clear();
+            for (std::size_t i = lo; i < hi; ++i) {
+                quantized.push_back(static_cast<std::int32_t>(
+                    roundDiv(values[i] - mid1, q)));
+            }
+
+            // ---- layer 2: lossless base + packed residuals -----
+            std::int32_t mid2 = 0;
+            if (config.two_layer) {
+                std::int32_t qmin = quantized.front();
+                std::int32_t qmax = quantized.front();
+                for (const std::int32_t v : quantized) {
+                    qmin = std::min(qmin, v);
+                    qmax = std::max(qmax, v);
+                }
+                mid2 = midOf(qmin, qmax);
+            }
+            std::uint64_t max_zig = 0;
+            for (const std::int32_t v : quantized) {
+                max_zig = std::max(
+                    max_zig, zigzagEncode(v - mid2));
+            }
+            const int width = bitWidth(max_zig);
+
+            writer.writeSignedVarint(mid1);
+            writer.writeSignedVarint(mid2);
+            writer.writeBits(static_cast<std::uint64_t>(width), 6);
+            for (const std::int32_t v : quantized)
+                writer.writeBits(zigzagEncode(v - mid2), width);
+        }
+    }
+
+    recordKernel(recorder,
+                 KernelWork{.name = "attr.seg_minmax",
+                            .resource = ExecResource::kGpu,
+                            .invocations = 1,
+                            .items = layout.num_segments,
+                            .ops = n * 3 * 2,
+                            .bytes = n * 3 * 4});
+    recordKernel(recorder,
+                 KernelWork{.name = "attr.seg_residual",
+                            .resource = ExecResource::kGpu,
+                            .invocations = 1,
+                            .items = n,
+                            .ops = n * 3 * 4,
+                            .bytes = n * 3 * 8});
+    recordKernel(recorder,
+                 KernelWork{.name = "attr.seg_addressgen",
+                            .resource = ExecResource::kGpu,
+                            .invocations = 1,
+                            .items = layout.num_segments,
+                            .ops = layout.num_segments * 12ull,
+                            .bytes = layout.num_segments * 16ull});
+    recordKernel(recorder,
+                 KernelWork{.name = "attr.seg_pack",
+                            .resource = ExecResource::kGpu,
+                            .invocations = 1,
+                            .items = n,
+                            .ops = n * 3 * 3,
+                            .bytes = n * 3 * 5});
+
+    return writer.take();
+}
+
+Expected<AttrChannels>
+decodeSegmentAttr(const std::vector<std::uint8_t> &payload,
+                  WorkRecorder *recorder)
+{
+    ScopedStage stage(recorder, "attrdec.segment");
+
+    BitReader reader(payload);
+    if (reader.readBits(8) != 'S' || reader.readBits(8) != 'A' ||
+        reader.readBits(8) != 'T') {
+        return corruptBitstream("segment payload: bad magic");
+    }
+    const std::uint8_t flags =
+        static_cast<std::uint8_t>(reader.readBits(8));
+    (void)flags;  // layer-2 presence is implicit in the mids
+    const std::size_t n =
+        static_cast<std::size_t>(reader.readVarint());
+    const std::uint32_t num_segments =
+        static_cast<std::uint32_t>(reader.readVarint());
+    const std::int64_t q =
+        static_cast<std::int64_t>(reader.readVarint());
+    if (reader.overrun() || n == 0 || num_segments == 0 || q == 0)
+        return corruptBitstream("segment payload: bad header");
+
+    SegmentLayout layout;
+    layout.num_segments = num_segments;
+    layout.points_per_segment = static_cast<std::uint32_t>(
+        (n + num_segments - 1) / num_segments);
+
+    AttrChannels channels;
+    for (auto &channel : channels)
+        channel.resize(n);
+
+    for (std::uint32_t s = 0; s < num_segments; ++s) {
+        const std::size_t lo = layout.begin(s);
+        const std::size_t hi = layout.end(s, n);
+        if (lo >= n)
+            return corruptBitstream(
+                "segment payload: segment out of range");
+        for (int c = 0; c < 3; ++c) {
+            const auto mid1 = static_cast<std::int64_t>(
+                reader.readSignedVarint());
+            const auto mid2 = static_cast<std::int64_t>(
+                reader.readSignedVarint());
+            const int width =
+                static_cast<int>(reader.readBits(6));
+            auto &values = channels[static_cast<std::size_t>(c)];
+            for (std::size_t i = lo; i < hi; ++i) {
+                const std::int64_t res2 =
+                    zigzagDecode(reader.readBits(width));
+                values[i] = static_cast<std::int32_t>(
+                    mid1 + (mid2 + res2) * q);
+            }
+        }
+    }
+    if (reader.overrun())
+        return corruptBitstream("segment payload: truncated");
+
+    recordKernel(recorder,
+                 KernelWork{.name = "attrdec.seg_unpack",
+                            .resource = ExecResource::kGpu,
+                            .invocations = 1,
+                            .items = n,
+                            .ops = n * 3 * 4,
+                            .bytes = n * 3 * 6});
+    return channels;
+}
+
+}  // namespace edgepcc

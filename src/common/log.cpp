@@ -1,0 +1,50 @@
+#include "edgepcc/common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace edgepcc {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_log_mutex;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+logMessage(LogLevel level, const std::string &message)
+{
+    if (static_cast<int>(level) < static_cast<int>(logLevel()))
+        return;
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::fprintf(stderr, "[edgepcc %s] %s\n", levelTag(level),
+                 message.c_str());
+}
+
+}  // namespace edgepcc

@@ -1,0 +1,26 @@
+#include "edgepcc/common/rng.h"
+
+#include <cmath>
+
+namespace edgepcc {
+
+double
+Rng::gaussian()
+{
+    if (have_spare_) {
+        have_spare_ = false;
+        return spare_;
+    }
+    double u, v, s;
+    do {
+        u = uniform() * 2.0 - 1.0;
+        v = uniform() * 2.0 - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    have_spare_ = true;
+    return u * mul;
+}
+
+}  // namespace edgepcc

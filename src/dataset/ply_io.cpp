@@ -1,0 +1,263 @@
+#include "edgepcc/dataset/ply_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "edgepcc/geometry/voxelizer.h"
+
+namespace edgepcc {
+
+namespace {
+
+enum class PlyFormat { kAscii, kBinaryLE };
+
+struct Property {
+    std::string type;
+    std::string name;
+
+    std::size_t
+    byteSize() const
+    {
+        if (type == "float" || type == "float32" || type == "int" ||
+            type == "int32" || type == "uint" || type == "uint32")
+            return 4;
+        if (type == "double" || type == "float64")
+            return 8;
+        if (type == "short" || type == "ushort" ||
+            type == "int16" || type == "uint16")
+            return 2;
+        return 1;  // char/uchar/int8/uint8
+    }
+};
+
+}  // namespace
+
+Expected<PointCloud>
+readPly(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        return ioError("readPly: cannot open " + path);
+
+    std::string line;
+    if (!std::getline(file, line) || line.rfind("ply", 0) != 0)
+        return corruptBitstream("readPly: missing ply magic");
+
+    PlyFormat format = PlyFormat::kAscii;
+    std::size_t vertex_count = 0;
+    std::vector<Property> properties;
+    bool in_vertex_element = false;
+
+    while (std::getline(file, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        std::istringstream tokens(line);
+        std::string keyword;
+        tokens >> keyword;
+        if (keyword == "comment")
+            continue;
+        if (keyword == "format") {
+            std::string fmt;
+            tokens >> fmt;
+            if (fmt == "ascii") {
+                format = PlyFormat::kAscii;
+            } else if (fmt == "binary_little_endian") {
+                format = PlyFormat::kBinaryLE;
+            } else {
+                return unimplemented(
+                    "readPly: unsupported format " + fmt);
+            }
+        } else if (keyword == "element") {
+            std::string name;
+            std::size_t count;
+            tokens >> name >> count;
+            in_vertex_element = (name == "vertex");
+            if (in_vertex_element)
+                vertex_count = count;
+        } else if (keyword == "property" && in_vertex_element) {
+            Property property;
+            tokens >> property.type >> property.name;
+            if (property.type == "list")
+                return unimplemented(
+                    "readPly: list property on vertex element");
+            properties.push_back(property);
+        } else if (keyword == "end_header") {
+            break;
+        }
+    }
+
+    int ix = -1, iy = -1, iz = -1, ir = -1, ig = -1, ib = -1;
+    for (std::size_t p = 0; p < properties.size(); ++p) {
+        const std::string &name = properties[p].name;
+        const int index = static_cast<int>(p);
+        if (name == "x") ix = index;
+        else if (name == "y") iy = index;
+        else if (name == "z") iz = index;
+        else if (name == "red" || name == "r") ir = index;
+        else if (name == "green" || name == "g") ig = index;
+        else if (name == "blue" || name == "b") ib = index;
+    }
+    if (ix < 0 || iy < 0 || iz < 0)
+        return corruptBitstream("readPly: missing x/y/z properties");
+
+    PointCloud cloud;
+    cloud.reserve(vertex_count);
+
+    if (format == PlyFormat::kAscii) {
+        std::vector<double> values(properties.size());
+        for (std::size_t v = 0; v < vertex_count; ++v) {
+            if (!std::getline(file, line))
+                return corruptBitstream(
+                    "readPly: truncated vertex data");
+            std::istringstream tokens(line);
+            for (double &value : values) {
+                if (!(tokens >> value))
+                    return corruptBitstream(
+                        "readPly: malformed vertex line");
+            }
+            Color color{128, 128, 128};
+            if (ir >= 0 && ig >= 0 && ib >= 0) {
+                color = Color{
+                    static_cast<std::uint8_t>(values[ir]),
+                    static_cast<std::uint8_t>(values[ig]),
+                    static_cast<std::uint8_t>(values[ib])};
+            }
+            cloud.add(
+                Vec3f(static_cast<float>(values[ix]),
+                      static_cast<float>(values[iy]),
+                      static_cast<float>(values[iz])),
+                color);
+        }
+        return cloud;
+    }
+
+    // Binary little-endian (host is little-endian).
+    std::size_t stride = 0;
+    std::vector<std::size_t> offsets(properties.size());
+    for (std::size_t p = 0; p < properties.size(); ++p) {
+        offsets[p] = stride;
+        stride += properties[p].byteSize();
+    }
+    std::vector<char> row(stride);
+    const auto read_scalar = [&](int index) -> double {
+        const Property &property =
+            properties[static_cast<std::size_t>(index)];
+        const char *src =
+            row.data() + offsets[static_cast<std::size_t>(index)];
+        if (property.type == "float" || property.type == "float32") {
+            float value;
+            std::memcpy(&value, src, 4);
+            return static_cast<double>(value);
+        }
+        if (property.type == "double" ||
+            property.type == "float64") {
+            double value;
+            std::memcpy(&value, src, 8);
+            return value;
+        }
+        if (property.byteSize() == 2) {
+            std::uint16_t value;
+            std::memcpy(&value, src, 2);
+            return value;
+        }
+        if (property.byteSize() == 4) {
+            std::int32_t value;
+            std::memcpy(&value, src, 4);
+            return value;
+        }
+        return static_cast<double>(
+            static_cast<std::uint8_t>(*src));
+    };
+    for (std::size_t v = 0; v < vertex_count; ++v) {
+        if (!file.read(row.data(),
+                       static_cast<std::streamsize>(stride)))
+            return corruptBitstream(
+                "readPly: truncated binary vertex data");
+        Color color{128, 128, 128};
+        if (ir >= 0 && ig >= 0 && ib >= 0) {
+            color = Color{
+                static_cast<std::uint8_t>(read_scalar(ir)),
+                static_cast<std::uint8_t>(read_scalar(ig)),
+                static_cast<std::uint8_t>(read_scalar(ib))};
+        }
+        cloud.add(Vec3f(static_cast<float>(read_scalar(ix)),
+                        static_cast<float>(read_scalar(iy)),
+                        static_cast<float>(read_scalar(iz))),
+                  color);
+    }
+    return cloud;
+}
+
+Status
+writePly(const std::string &path, const PointCloud &cloud,
+         bool binary)
+{
+    std::ofstream file(path, std::ios::binary);
+    if (!file)
+        return ioError("writePly: cannot open " + path);
+    file << "ply\nformat "
+         << (binary ? "binary_little_endian" : "ascii")
+         << " 1.0\ncomment EdgePCC export\nelement vertex "
+         << cloud.size()
+         << "\nproperty float x\nproperty float y\nproperty float "
+            "z\nproperty uchar red\nproperty uchar green\nproperty "
+            "uchar blue\nend_header\n";
+    const auto &positions = cloud.positions();
+    const auto &colors = cloud.colors();
+    if (binary) {
+        for (std::size_t i = 0; i < cloud.size(); ++i) {
+            file.write(
+                reinterpret_cast<const char *>(&positions[i].x), 4);
+            file.write(
+                reinterpret_cast<const char *>(&positions[i].y), 4);
+            file.write(
+                reinterpret_cast<const char *>(&positions[i].z), 4);
+            file.write(
+                reinterpret_cast<const char *>(&colors[i].r), 1);
+            file.write(
+                reinterpret_cast<const char *>(&colors[i].g), 1);
+            file.write(
+                reinterpret_cast<const char *>(&colors[i].b), 1);
+        }
+    } else {
+        for (std::size_t i = 0; i < cloud.size(); ++i) {
+            file << positions[i].x << ' ' << positions[i].y << ' '
+                 << positions[i].z << ' '
+                 << static_cast<int>(colors[i].r) << ' '
+                 << static_cast<int>(colors[i].g) << ' '
+                 << static_cast<int>(colors[i].b) << '\n';
+        }
+    }
+    if (!file)
+        return ioError("writePly: write failed for " + path);
+    return Status::ok();
+}
+
+Expected<VoxelCloud>
+readPlyVoxels(const std::string &path, int grid_bits)
+{
+    auto cloud = readPly(path);
+    if (!cloud)
+        return cloud.status();
+    auto voxelized = voxelize(*cloud, grid_bits);
+    if (!voxelized)
+        return voxelized.status();
+    return std::move(voxelized->cloud);
+}
+
+Status
+writePlyVoxels(const std::string &path, const VoxelCloud &cloud,
+               bool binary)
+{
+    PointCloud points;
+    points.reserve(cloud.size());
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        points.add(Vec3f(cloud.x()[i], cloud.y()[i], cloud.z()[i]),
+                   cloud.color(i));
+    }
+    return writePly(path, points, binary);
+}
+
+}  // namespace edgepcc

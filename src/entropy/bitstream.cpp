@@ -1,0 +1,135 @@
+#include "edgepcc/entropy/bitstream.h"
+
+#include <bit>
+#include <cassert>
+
+namespace edgepcc {
+
+void
+BitWriter::writeBits(std::uint64_t value, int count)
+{
+    assert(count >= 0 && count <= 64);
+    if (count < 64)
+        value &= (std::uint64_t{1} << count) - 1;
+    while (count > 0) {
+        if (fill_ == 8) {
+            bytes_.push_back(0);
+            fill_ = 0;
+        }
+        const int space = 8 - fill_;
+        const int take = count < space ? count : space;
+        bytes_.back() |= static_cast<std::uint8_t>(
+            (value & ((std::uint64_t{1} << take) - 1)) << fill_);
+        value >>= take;
+        fill_ += take;
+        count -= take;
+    }
+}
+
+void
+BitWriter::alignToByte()
+{
+    fill_ = 8;
+}
+
+void
+BitWriter::writeBytes(const std::uint8_t *data, std::size_t size)
+{
+    alignToByte();
+    bytes_.insert(bytes_.end(), data, data + size);
+}
+
+void
+BitWriter::writeVarint(std::uint64_t value)
+{
+    while (value >= 0x80) {
+        writeBits((value & 0x7f) | 0x80, 8);
+        value >>= 7;
+    }
+    writeBits(value, 8);
+}
+
+void
+BitWriter::writeSignedVarint(std::int64_t value)
+{
+    writeVarint(zigzagEncode(value));
+}
+
+std::vector<std::uint8_t>
+BitWriter::take()
+{
+    alignToByte();
+    return std::move(bytes_);
+}
+
+std::uint64_t
+BitReader::readBits(int count)
+{
+    assert(count >= 0 && count <= 64);
+    std::uint64_t value = 0;
+    int produced = 0;
+    while (produced < count) {
+        if (byte_ >= size_) {
+            overrun_ = true;
+            return value;
+        }
+        const int avail = 8 - bit_;
+        const int take = (count - produced) < avail
+                             ? (count - produced)
+                             : avail;
+        const std::uint64_t chunk =
+            (static_cast<std::uint64_t>(data_[byte_]) >> bit_) &
+            ((std::uint64_t{1} << take) - 1);
+        value |= chunk << produced;
+        produced += take;
+        bit_ += take;
+        if (bit_ == 8) {
+            bit_ = 0;
+            ++byte_;
+        }
+    }
+    return value;
+}
+
+void
+BitReader::alignToByte()
+{
+    if (bit_ != 0) {
+        bit_ = 0;
+        ++byte_;
+    }
+}
+
+std::uint64_t
+BitReader::readVarint()
+{
+    std::uint64_t value = 0;
+    int shift = 0;
+    for (;;) {
+        const std::uint64_t byte = readBits(8);
+        if (overrun_)
+            return value;
+        value |= (byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return value;
+        shift += 7;
+        if (shift >= 64) {
+            overrun_ = true;
+            return value;
+        }
+    }
+}
+
+std::int64_t
+BitReader::readSignedVarint()
+{
+    return zigzagDecode(readVarint());
+}
+
+int
+bitWidth(std::uint64_t value)
+{
+    return value == 0 ? 0 : 64 - std::countl_zero(value);
+}
+
+}  // namespace edgepcc

@@ -1,0 +1,101 @@
+#include "edgepcc/geometry/grid_hash.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+namespace edgepcc {
+
+namespace {
+constexpr std::uint32_t kNoIndex =
+    std::numeric_limits<std::uint32_t>::max();
+}
+
+GridHash::GridHash(const VoxelCloud &cloud) : cloud_(&cloud)
+{
+    map_.reserve(cloud.size());
+    next_.assign(cloud.size(), kNoIndex);
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        const std::uint64_t k =
+            key(cloud.x()[i], cloud.y()[i], cloud.z()[i]);
+        auto [it, inserted] =
+            map_.try_emplace(k, static_cast<std::uint32_t>(i));
+        if (!inserted) {
+            next_[i] = it->second;
+            it->second = static_cast<std::uint32_t>(i);
+        }
+    }
+}
+
+std::optional<std::size_t>
+GridHash::findExact(std::uint16_t x, std::uint16_t y,
+                    std::uint16_t z) const
+{
+    const auto it = map_.find(key(x, y, z));
+    if (it == map_.end())
+        return std::nullopt;
+    return static_cast<std::size_t>(it->second);
+}
+
+std::optional<std::size_t>
+GridHash::findNearest(std::uint16_t x, std::uint16_t y,
+                      std::uint16_t z, int max_radius) const
+{
+    // Shell 0: exact hit.
+    if (auto exact = findExact(x, y, z))
+        return exact;
+
+    const std::int64_t cx = x, cy = y, cz = z;
+    const std::int64_t grid = cloud_->gridSize();
+
+    std::optional<std::size_t> best;
+    std::int64_t best_d2 = std::numeric_limits<std::int64_t>::max();
+
+    for (int radius = 1; radius <= max_radius; ++radius) {
+        // Once a hit exists, one extra shell suffices: any point in a
+        // farther shell is at L2 distance >= radius > best hit's
+        // shell distance bound... not exactly, so we finish the shell
+        // after the first hit and one more to be safe.
+        for (std::int64_t dx = -radius; dx <= radius; ++dx) {
+            for (std::int64_t dy = -radius; dy <= radius; ++dy) {
+                for (std::int64_t dz = -radius; dz <= radius;
+                     ++dz) {
+                    // Only the shell surface (interior already done).
+                    if (std::max({std::abs(dx), std::abs(dy),
+                                  std::abs(dz)}) != radius) {
+                        continue;
+                    }
+                    const std::int64_t nx = cx + dx;
+                    const std::int64_t ny = cy + dy;
+                    const std::int64_t nz = cz + dz;
+                    if (nx < 0 || ny < 0 || nz < 0 || nx >= grid ||
+                        ny >= grid || nz >= grid) {
+                        continue;
+                    }
+                    const auto it = map_.find(
+                        key(static_cast<std::uint32_t>(nx),
+                            static_cast<std::uint32_t>(ny),
+                            static_cast<std::uint32_t>(nz)));
+                    if (it == map_.end())
+                        continue;
+                    const std::int64_t d2 =
+                        dx * dx + dy * dy + dz * dz;
+                    if (d2 < best_d2) {
+                        best_d2 = d2;
+                        best = static_cast<std::size_t>(it->second);
+                    }
+                }
+            }
+        }
+        // A hit in shell r has L2 <= sqrt(3)*r; a point in shell r+1
+        // can be as close as r+1. Stop once r+1 can't beat the best.
+        if (best &&
+            static_cast<std::int64_t>(radius + 1) *
+                    (radius + 1) >= best_d2) {
+            break;
+        }
+    }
+    return best;
+}
+
+}  // namespace edgepcc

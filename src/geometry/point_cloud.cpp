@@ -1,0 +1,30 @@
+#include "edgepcc/geometry/point_cloud.h"
+
+namespace edgepcc {
+
+AABB
+PointCloud::boundingBox() const
+{
+    AABB box;
+    for (const auto &p : positions_)
+        box.expand(p);
+    return box;
+}
+
+bool
+VoxelCloud::checkInvariants() const
+{
+    const std::size_t n = x_.size();
+    if (y_.size() != n || z_.size() != n || r_.size() != n ||
+        g_.size() != n || b_.size() != n) {
+        return false;
+    }
+    const std::uint32_t limit = gridSize();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (x_[i] >= limit || y_[i] >= limit || z_[i] >= limit)
+            return false;
+    }
+    return true;
+}
+
+}  // namespace edgepcc

@@ -1,0 +1,96 @@
+#include "edgepcc/geometry/voxelizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace edgepcc {
+
+namespace {
+
+/** Packs three 16-bit voxel coordinates into one hashable key. */
+std::uint64_t
+packKey(std::uint16_t x, std::uint16_t y, std::uint16_t z)
+{
+    return (static_cast<std::uint64_t>(x) << 32) |
+           (static_cast<std::uint64_t>(y) << 16) |
+           static_cast<std::uint64_t>(z);
+}
+
+struct ColorAccum {
+    std::uint32_t r = 0;
+    std::uint32_t g = 0;
+    std::uint32_t b = 0;
+    std::uint32_t count = 0;
+    std::size_t slot = 0;  ///< output index in the voxel cloud
+};
+
+}  // namespace
+
+Expected<VoxelizeResult>
+voxelize(const PointCloud &cloud, int grid_bits)
+{
+    if (cloud.empty())
+        return invalidArgument("voxelize: empty cloud");
+    if (grid_bits < 1 || grid_bits > 16)
+        return invalidArgument("voxelize: grid_bits must be in [1,16]");
+
+    const AABB box = cloud.boundingBox();
+    const Vec3f extent = box.extent();
+    const float max_extent =
+        std::max({extent.x, extent.y, extent.z, 1e-20f});
+    const std::uint32_t grid = 1u << grid_bits;
+    const float scale = max_extent / static_cast<float>(grid - 1);
+
+    VoxelizeResult result;
+    result.cloud = VoxelCloud(grid_bits);
+    result.transform.origin = box.min;
+    result.transform.scale = scale;
+
+    std::unordered_map<std::uint64_t, ColorAccum> voxels;
+    voxels.reserve(cloud.size());
+
+    const auto &positions = cloud.positions();
+    const auto &colors = cloud.colors();
+    auto &out = result.cloud;
+    out.reserve(cloud.size());
+
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        const Vec3f rel = (positions[i] - box.min) / scale;
+        const auto qx = static_cast<std::uint16_t>(std::min<long>(
+            grid - 1, std::lround(std::max(0.0f, rel.x))));
+        const auto qy = static_cast<std::uint16_t>(std::min<long>(
+            grid - 1, std::lround(std::max(0.0f, rel.y))));
+        const auto qz = static_cast<std::uint16_t>(std::min<long>(
+            grid - 1, std::lround(std::max(0.0f, rel.z))));
+
+        auto [it, inserted] =
+            voxels.try_emplace(packKey(qx, qy, qz));
+        ColorAccum &accum = it->second;
+        if (inserted) {
+            accum.slot = out.size();
+            out.add(qx, qy, qz, 0, 0, 0);
+        } else {
+            ++result.merged_points;
+        }
+        accum.r += colors[i].r;
+        accum.g += colors[i].g;
+        accum.b += colors[i].b;
+        ++accum.count;
+    }
+
+    for (const auto &[key, accum] : voxels) {
+        (void)key;
+        out.setColor(accum.slot,
+                     Color{static_cast<std::uint8_t>(
+                               accum.r / accum.count),
+                           static_cast<std::uint8_t>(
+                               accum.g / accum.count),
+                           static_cast<std::uint8_t>(
+                               accum.b / accum.count)});
+    }
+
+    return result;
+}
+
+}  // namespace edgepcc

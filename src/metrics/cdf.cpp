@@ -1,0 +1,58 @@
+#include "edgepcc/metrics/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace edgepcc {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : samples_(std::move(samples))
+{
+    std::sort(samples_.begin(), samples_.end());
+}
+
+double
+EmpiricalCdf::fractionAtOrBelow(double x) const
+{
+    if (samples_.empty())
+        return 0.0;
+    const auto it =
+        std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+}
+
+double
+EmpiricalCdf::quantile(double q) const
+{
+    if (samples_.empty())
+        return 0.0;
+    const double clamped = std::clamp(q, 0.0, 1.0);
+    const auto index = static_cast<std::size_t>(std::llround(
+        clamped * static_cast<double>(samples_.size() - 1)));
+    return samples_[index];
+}
+
+double
+EmpiricalCdf::min() const
+{
+    return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double
+EmpiricalCdf::max() const
+{
+    return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double
+EmpiricalCdf::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+           static_cast<double>(samples_.size());
+}
+
+}  // namespace edgepcc

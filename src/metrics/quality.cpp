@@ -1,0 +1,103 @@
+#include "edgepcc/metrics/quality.h"
+
+#include <cmath>
+#include <limits>
+
+#include "edgepcc/geometry/grid_hash.h"
+
+namespace edgepcc {
+
+namespace {
+
+double
+toPsnr(double mse, double peak)
+{
+    if (mse <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(peak * peak / mse);
+}
+
+/** One-directional mean squared NN distance (a -> b). */
+double
+directionalGeometryMse(const VoxelCloud &a, const GridHash &b_hash,
+                       const VoxelCloud &b)
+{
+    double sum = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const auto nn =
+            b_hash.findNearest(a.x()[i], a.y()[i], a.z()[i], 8);
+        if (!nn)
+            continue;
+        const double dx = static_cast<double>(a.x()[i]) -
+                          static_cast<double>(b.x()[*nn]);
+        const double dy = static_cast<double>(a.y()[i]) -
+                          static_cast<double>(b.y()[*nn]);
+        const double dz = static_cast<double>(a.z()[i]) -
+                          static_cast<double>(b.z()[*nn]);
+        sum += dx * dx + dy * dy + dz * dz;
+        ++counted;
+    }
+    return counted == 0 ? 0.0
+                        : sum / static_cast<double>(counted);
+}
+
+}  // namespace
+
+AttrQuality
+attributePsnr(const VoxelCloud &original, const VoxelCloud &decoded)
+{
+    AttrQuality quality;
+    if (original.empty() || decoded.empty())
+        return quality;
+
+    const GridHash hash(decoded);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        const auto nn = hash.findNearest(
+            original.x()[i], original.y()[i], original.z()[i], 8);
+        if (!nn) {
+            ++quality.unmatched_points;
+            continue;
+        }
+        const double dr =
+            static_cast<double>(original.r()[i]) -
+            static_cast<double>(decoded.r()[*nn]);
+        const double dg =
+            static_cast<double>(original.g()[i]) -
+            static_cast<double>(decoded.g()[*nn]);
+        const double db =
+            static_cast<double>(original.b()[i]) -
+            static_cast<double>(decoded.b()[*nn]);
+        sum += dr * dr + dg * dg + db * db;
+        ++quality.matched_points;
+    }
+    if (quality.matched_points > 0) {
+        quality.mse =
+            sum /
+            (3.0 * static_cast<double>(quality.matched_points));
+    }
+    quality.psnr = toPsnr(quality.mse, 255.0);
+    return quality;
+}
+
+GeometryQuality
+geometryPsnrD1(const VoxelCloud &original, const VoxelCloud &decoded)
+{
+    GeometryQuality quality;
+    if (original.empty() || decoded.empty())
+        return quality;
+    const GridHash original_hash(original);
+    const GridHash decoded_hash(decoded);
+    const double forward =
+        directionalGeometryMse(original, decoded_hash, decoded);
+    const double backward =
+        directionalGeometryMse(decoded, original_hash, original);
+    quality.mse = std::max(forward, backward);
+    const double peak =
+        static_cast<double>(original.gridSize() - 1);
+    quality.psnr = toPsnr(quality.mse, peak);
+    return quality;
+}
+
+}  // namespace edgepcc

@@ -1,0 +1,42 @@
+#include "edgepcc/morton/morton.h"
+
+namespace edgepcc {
+
+std::uint64_t
+mortonExpandBits(std::uint32_t v)
+{
+    // Classic bit-spreading sequence for 21-bit inputs
+    // (Baert, "Morton encoding/decoding through bit interleaving").
+    std::uint64_t x = v & 0x1fffffULL;
+    x = (x | (x << 32)) & 0x1f00000000ffffULL;
+    x = (x | (x << 16)) & 0x1f0000ff0000ffULL;
+    x = (x | (x << 8)) & 0x100f00f00f00f00fULL;
+    x = (x | (x << 4)) & 0x10c30c30c30c30c3ULL;
+    x = (x | (x << 2)) & 0x1249249249249249ULL;
+    return x;
+}
+
+std::uint32_t
+mortonCompactBits(std::uint64_t v)
+{
+    std::uint64_t x = v & 0x1249249249249249ULL;
+    x = (x ^ (x >> 2)) & 0x10c30c30c30c30c3ULL;
+    x = (x ^ (x >> 4)) & 0x100f00f00f00f00fULL;
+    x = (x ^ (x >> 8)) & 0x1f0000ff0000ffULL;
+    x = (x ^ (x >> 16)) & 0x1f00000000ffffULL;
+    x = (x ^ (x >> 32)) & 0x1fffffULL;
+    return static_cast<std::uint32_t>(x);
+}
+
+int
+mortonCommonLevel(std::uint64_t a, std::uint64_t b, int depth)
+{
+    for (int level = 0; level < depth; ++level) {
+        const int shift = 3 * (depth - 1 - level);
+        if ((a >> shift) != (b >> shift))
+            return level;
+    }
+    return depth;
+}
+
+}  // namespace edgepcc

@@ -1,0 +1,91 @@
+#include "edgepcc/morton/morton_order.h"
+
+#include "edgepcc/morton/morton.h"
+#include "edgepcc/parallel/parallel_for.h"
+#include "edgepcc/parallel/radix_sort.h"
+
+namespace edgepcc {
+
+MortonOrder
+computeMortonOrder(const VoxelCloud &cloud, WorkRecorder *recorder)
+{
+    const std::size_t n = cloud.size();
+    MortonOrder order;
+    order.depth = cloud.gridBits();
+
+    std::vector<KeyIndex> pairs(n);
+    const auto &x = cloud.x();
+    const auto &y = cloud.y();
+    const auto &z = cloud.z();
+
+    parallelFor(0, n, [&](std::size_t i) {
+        pairs[i].key = mortonEncode(x[i], y[i], z[i]);
+        pairs[i].index = static_cast<std::uint32_t>(i);
+    });
+    recordKernel(recorder,
+                 KernelWork{.name = "morton.generate",
+                            .resource = ExecResource::kGpu,
+                            .invocations = 1,
+                            .items = n,
+                            // ~6 shift/or ops per axis, 3 axes.
+                            .ops = n * 18,
+                            .bytes = n * (6 + 12)});
+
+    const int key_bits = 3 * cloud.gridBits();
+    radixSortPairs(pairs, key_bits);
+    const auto passes =
+        static_cast<std::uint64_t>((key_bits + 7) / 8);
+    recordKernel(recorder,
+                 KernelWork{.name = "morton.sort",
+                            .resource = ExecResource::kGpu,
+                            .invocations = passes,
+                            .items = n,
+                            .ops = n * passes * 4,
+                            .bytes = n * passes * 2 * 12});
+
+    order.codes.resize(n);
+    order.perm.resize(n);
+    parallelFor(0, n, [&](std::size_t i) {
+        order.codes[i] = pairs[i].key;
+        order.perm[i] = pairs[i].index;
+    });
+    return order;
+}
+
+VoxelCloud
+applyOrder(const VoxelCloud &cloud, const MortonOrder &order,
+           WorkRecorder *recorder)
+{
+    const std::size_t n = cloud.size();
+    VoxelCloud out(cloud.gridBits());
+    out.resize(n);
+    parallelFor(0, n, [&](std::size_t i) {
+        const std::uint32_t src = order.perm[i];
+        out.mutableX()[i] = cloud.x()[src];
+        out.mutableY()[i] = cloud.y()[src];
+        out.mutableZ()[i] = cloud.z()[src];
+        out.mutableR()[i] = cloud.r()[src];
+        out.mutableG()[i] = cloud.g()[src];
+        out.mutableB()[i] = cloud.b()[src];
+    });
+    recordKernel(recorder,
+                 KernelWork{.name = "morton.gather",
+                            .resource = ExecResource::kGpu,
+                            .invocations = 1,
+                            .items = n,
+                            .ops = n * 6,
+                            .bytes = n * 2 * 9});
+    return out;
+}
+
+bool
+isSorted(const std::vector<std::uint64_t> &codes)
+{
+    for (std::size_t i = 1; i < codes.size(); ++i) {
+        if (codes[i - 1] > codes[i])
+            return false;
+    }
+    return true;
+}
+
+}  // namespace edgepcc

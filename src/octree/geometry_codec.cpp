@@ -1,0 +1,638 @@
+#include "edgepcc/octree/geometry_codec.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "edgepcc/entropy/bitstream.h"
+#include "edgepcc/entropy/range_coder.h"
+#include "edgepcc/morton/morton.h"
+#include "edgepcc/octree/parallel_builder.h"
+#include "edgepcc/octree/sequential_builder.h"
+#include "edgepcc/parallel/parallel_for.h"
+
+namespace edgepcc {
+
+namespace {
+
+constexpr std::uint8_t kFlagBuilderParallel = 1u << 0;
+constexpr std::uint8_t kFlagEntropy = 1u << 1;
+constexpr std::uint8_t kFlagTightBbox = 1u << 2;
+constexpr std::uint8_t kFlagContextual = 1u << 3;
+
+/**
+ * Tight-cuboid renormalization parameters (paper Fig. 5): the
+ * octree is fitted to the occupied bounding cuboid instead of the
+ * full capture grid. Coordinates are shifted by the per-axis
+ * minimum and the tree depth shrinks to cover only the largest
+ * extent, which both trims empty upper levels and keeps the Morton
+ * codes short. On integer (pre-voxelized) input the shift is
+ * exactly invertible; the paper's sub-voxel loss only appears for
+ * float capture coordinates (see DESIGN.md).
+ */
+struct BoxParams {
+    std::uint32_t min[3] = {0, 0, 0};
+    int original_depth = 0;  ///< gridBits of the input cloud
+};
+
+/** Collapses duplicate codes, keeping the first point's color. */
+VoxelCloud
+dedupeSorted(const VoxelCloud &sorted,
+             const std::vector<std::uint64_t> &codes,
+             WorkRecorder *recorder)
+{
+    const std::size_t n = sorted.size();
+    VoxelCloud out(sorted.gridBits());
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i > 0 && codes[i] == codes[i - 1])
+            continue;
+        out.add(sorted.x()[i], sorted.y()[i], sorted.z()[i],
+                sorted.r()[i], sorted.g()[i], sorted.b()[i]);
+    }
+    recordKernel(recorder,
+                 KernelWork{.name = "geom.dedup",
+                            .resource = ExecResource::kGpu,
+                            .invocations = 1,
+                            .items = n,
+                            .ops = n * 3,
+                            .bytes = n * (8 + 9)});
+    return out;
+}
+
+void
+writeHeader(BitWriter &writer, std::uint8_t flags, int depth,
+            std::size_t num_voxels, const BoxParams *box)
+{
+    writer.writeBits('G', 8);
+    writer.writeBits('E', 8);
+    writer.writeBits('O', 8);
+    writer.writeBits(flags, 8);
+    writer.writeVarint(static_cast<std::uint64_t>(depth));
+    writer.writeVarint(num_voxels);
+    if (box) {
+        writer.writeVarint(
+            static_cast<std::uint64_t>(box->original_depth));
+        for (int a = 0; a < 3; ++a)
+            writer.writeVarint(box->min[a]);
+    }
+}
+
+std::vector<std::uint8_t>
+assemblePayload(std::uint8_t flags, int depth, std::size_t num_voxels,
+                const BoxParams *box,
+                const std::vector<std::uint8_t> &occupancy,
+                const std::vector<std::uint8_t> *contexts,
+                WorkRecorder *recorder)
+{
+    const bool entropy = flags & kFlagEntropy;
+    const bool try_contextual =
+        (flags & kFlagContextual) && contexts != nullptr;
+
+    std::vector<std::uint8_t> packed;
+    if (entropy) {
+        const std::vector<std::uint8_t> order0 =
+            entropyCompress(occupancy);
+        packed = order0;
+        flags &= static_cast<std::uint8_t>(~kFlagContextual);
+        if (try_contextual) {
+            // Mode decision: context modelling wins on locally
+            // dense surfaces but can lose on uniformly sparse
+            // ones; keep whichever stream is smaller (TMC13-style
+            // encoder-side decision, signalled via the flag).
+            std::vector<std::uint8_t> ctx_packed;
+            RangeEncoder encoder(ctx_packed);
+            ContextualByteCoder coder;
+            for (std::size_t i = 0; i < occupancy.size(); ++i)
+                coder.encode(encoder, (*contexts)[i],
+                             occupancy[i]);
+            encoder.finish();
+            if (ctx_packed.size() < order0.size()) {
+                packed = std::move(ctx_packed);
+                flags |= kFlagContextual;
+            }
+        }
+    } else {
+        flags &= static_cast<std::uint8_t>(~kFlagContextual);
+    }
+
+    BitWriter writer;
+    writeHeader(writer, flags, depth, num_voxels, box);
+    writer.writeVarint(occupancy.size());
+    if (entropy) {
+        writer.writeVarint(packed.size());
+        writer.writeBytes(packed.data(), packed.size());
+        recordKernel(
+            recorder,
+            KernelWork{.name = "geom.entropy",
+                       .resource = ExecResource::kCpuSequential,
+                       .invocations = 1,
+                       .items = occupancy.size(),
+                       .ops = occupancy.size() *
+                              (try_contextual ? 28u : 24u),
+                       .bytes = occupancy.size() + packed.size()});
+    } else {
+        writer.writeBytes(occupancy.data(), occupancy.size());
+    }
+    return writer.take();
+}
+
+}  // namespace
+
+Expected<GeometryEncoded>
+encodeGeometry(const VoxelCloud &cloud, const GeometryConfig &config,
+               WorkRecorder *recorder)
+{
+    if (cloud.empty())
+        return invalidArgument("encodeGeometry: empty cloud");
+
+    const std::size_t n = cloud.size();
+    const std::uint32_t grid = cloud.gridSize();
+    int depth = cloud.gridBits();
+
+    GeometryEncoded result;
+
+    const bool parallel =
+        config.builder == GeometryConfig::Builder::kParallelMorton;
+    const bool tight = parallel && config.tight_bbox;
+
+    std::uint8_t flags = 0;
+    if (parallel)
+        flags |= kFlagBuilderParallel;
+    const bool entropy =
+        config.entropy_coding || config.contextual_entropy;
+    if (entropy)
+        flags |= kFlagEntropy;
+    if (config.contextual_entropy)
+        flags |= kFlagContextual;
+    if (tight)
+        flags |= kFlagTightBbox;
+
+    // ----- Normalization (proposed pipeline only) -----------------
+    BoxParams box;
+    box.original_depth = depth;
+    VoxelCloud working = cloud;  // coordinates possibly rewritten
+    if (tight) {
+        ScopedStage stage(recorder, "geom.normalize");
+        std::uint32_t lo[3] = {grid, grid, grid};
+        std::uint32_t hi[3] = {0, 0, 0};
+        for (std::size_t i = 0; i < n; ++i) {
+            lo[0] = std::min<std::uint32_t>(lo[0], cloud.x()[i]);
+            lo[1] = std::min<std::uint32_t>(lo[1], cloud.y()[i]);
+            lo[2] = std::min<std::uint32_t>(lo[2], cloud.z()[i]);
+            hi[0] = std::max<std::uint32_t>(hi[0], cloud.x()[i]);
+            hi[1] = std::max<std::uint32_t>(hi[1], cloud.y()[i]);
+            hi[2] = std::max<std::uint32_t>(hi[2], cloud.z()[i]);
+        }
+        std::uint32_t max_extent = 0;
+        for (int a = 0; a < 3; ++a) {
+            box.min[a] = lo[a];
+            max_extent =
+                std::max(max_extent, hi[a] - lo[a]);
+        }
+        recordKernel(recorder,
+                     KernelWork{.name = "geom.bbox_reduce",
+                                .resource = ExecResource::kGpu,
+                                .invocations = 1,
+                                .items = n,
+                                .ops = n * 6,
+                                .bytes = n * 6});
+        // Fit the tree to the cuboid: shift out the minimum and
+        // shrink the depth to cover the largest extent.
+        depth = std::max(1, bitWidth(max_extent));
+        parallelFor(0, n, [&](std::size_t i) {
+            working.mutableX()[i] = static_cast<std::uint16_t>(
+                cloud.x()[i] - box.min[0]);
+            working.mutableY()[i] = static_cast<std::uint16_t>(
+                cloud.y()[i] - box.min[1]);
+            working.mutableZ()[i] = static_cast<std::uint16_t>(
+                cloud.z()[i] - box.min[2]);
+        });
+        recordKernel(recorder,
+                     KernelWork{.name = "geom.requant",
+                                .resource = ExecResource::kGpu,
+                                .invocations = 1,
+                                .items = n,
+                                .ops = n * 6,
+                                .bytes = n * 12});
+    }
+    result.depth = depth;
+
+    if (parallel) {
+        // ----- Morton generation + sort (Fig. 4c stage 1) ---------
+        MortonOrder order;
+        {
+            ScopedStage stage(recorder, "geom.morton");
+            order = computeMortonOrder(working, recorder);
+        }
+
+        // ----- Parallel octree construction ------------------------
+        VoxelCloud unique_cloud(cloud.gridBits());
+        std::vector<std::uint8_t> occupancy;
+        std::vector<std::uint8_t> contexts;
+        std::size_t num_voxels = 0;
+        {
+            ScopedStage stage(recorder, "geom.build");
+            VoxelCloud sorted =
+                applyOrder(working, order, recorder);
+            unique_cloud =
+                dedupeSorted(sorted, order.codes, recorder);
+            num_voxels = unique_cloud.size();
+            if (tight) {
+                // Shift back so sorted_cloud carries the original
+                // coordinates (order stays the shifted Morton
+                // order, matching the decoder's output order).
+                for (std::size_t i = 0; i < num_voxels; ++i) {
+                    unique_cloud.mutableX()[i] =
+                        static_cast<std::uint16_t>(
+                            unique_cloud.x()[i] + box.min[0]);
+                    unique_cloud.mutableY()[i] =
+                        static_cast<std::uint16_t>(
+                            unique_cloud.y()[i] + box.min[1]);
+                    unique_cloud.mutableZ()[i] =
+                        static_cast<std::uint16_t>(
+                            unique_cloud.z()[i] + box.min[2]);
+                }
+            }
+            std::vector<std::uint64_t> unique_codes;
+            unique_codes.reserve(num_voxels);
+            for (std::size_t i = 0; i < order.codes.size(); ++i) {
+                if (i == 0 || order.codes[i] != order.codes[i - 1])
+                    unique_codes.push_back(order.codes[i]);
+            }
+            auto tree =
+                buildParallelOctree(unique_codes, depth, recorder);
+            if (!tree)
+                return tree.status();
+
+            // ----- Post processing (Algorithm 1 + stream) ----------
+            occupancy = occupancyFromFlatOctree(*tree, recorder);
+            if (config.contextual_entropy) {
+                // Parent occupancy byte of each branch node (the
+                // parents of branch nodes are branch nodes, so
+                // they index into `occupancy` directly).
+                contexts.resize(occupancy.size(), 0);
+                for (std::size_t i = 1; i < occupancy.size();
+                     ++i) {
+                    contexts[i] =
+                        occupancy[static_cast<std::size_t>(
+                            tree->parent[i])];
+                }
+            }
+        }
+        {
+            ScopedStage stage(recorder, "geom.post");
+            result.payload = assemblePayload(
+                flags, depth, num_voxels, tight ? &box : nullptr,
+                occupancy,
+                config.contextual_entropy ? &contexts : nullptr,
+                recorder);
+        }
+        result.num_voxels = num_voxels;
+        result.sorted_cloud = std::move(unique_cloud);
+        return result;
+    }
+
+    // ----- Sequential baseline (Fig. 4a) ---------------------------
+    std::vector<std::uint8_t> occupancy;
+    std::vector<std::uint8_t> contexts;
+    {
+        ScopedStage stage(recorder, "geom.build");
+        const PointerOctree tree =
+            buildSequentialOctree(working, recorder);
+        ScopedStage serialize_stage(recorder, "geom.serialize");
+        occupancy = serializeDepthFirst(
+            tree, recorder,
+            config.contextual_entropy ? &contexts : nullptr);
+    }
+    // The attribute stage needs the Morton-sorted unique cloud; in
+    // TMC13 this ordering falls out of the octree itself, so its cost
+    // is part of the RAHT calibration and is not recorded here.
+    MortonOrder order = computeMortonOrder(working, nullptr);
+    VoxelCloud sorted = applyOrder(working, order, nullptr);
+    result.sorted_cloud = dedupeSorted(sorted, order.codes, nullptr);
+    result.num_voxels = result.sorted_cloud.size();
+
+    {
+        ScopedStage stage(recorder, "geom.post");
+        result.payload = assemblePayload(
+            flags, depth, result.num_voxels, nullptr, occupancy,
+            config.contextual_entropy ? &contexts : nullptr,
+            recorder);
+    }
+    return result;
+}
+
+namespace {
+
+struct ParsedHeader {
+    std::uint8_t flags = 0;
+    int depth = 0;
+    std::size_t num_voxels = 0;
+    BoxParams box;
+    /** Plain (or order-0 pre-decoded) occupancy bytes. Empty in
+     *  contextual mode, where `packed` is decoded on the fly. */
+    std::vector<std::uint8_t> occupancy;
+    std::vector<std::uint8_t> packed;
+    std::size_t occupancy_size = 0;
+};
+
+/**
+ * Byte supplier for tree expansion: either a plain buffer or a
+ * context-conditioned range decoder (bytes must then be pulled in
+ * stream order, with each node's parent byte as context).
+ */
+class OccupancyByteSource
+{
+  public:
+    explicit OccupancyByteSource(const ParsedHeader &header)
+        : header_(&header)
+    {
+        if (header.flags & kFlagContextual) {
+            decoder_.emplace(header.packed);
+            remaining_ = header.occupancy_size;
+        }
+    }
+
+    /** Next occupancy byte; -1 on underflow/corruption. */
+    int
+    next(std::uint8_t parent_byte)
+    {
+        if (decoder_) {
+            if (remaining_ == 0)
+                return -1;
+            --remaining_;
+            const std::uint8_t byte =
+                coder_.decode(*decoder_, parent_byte);
+            if (decoder_->overrun())
+                return -1;
+            return byte;
+        }
+        if (cursor_ >= header_->occupancy.size())
+            return -1;
+        return header_->occupancy[cursor_++];
+    }
+
+    /** True when exactly all bytes were consumed. */
+    bool
+    exhausted() const
+    {
+        return decoder_ ? remaining_ == 0
+                        : cursor_ == header_->occupancy.size();
+    }
+
+  private:
+    const ParsedHeader *header_;
+    std::size_t cursor_ = 0;
+    std::optional<RangeDecoder> decoder_;
+    ContextualByteCoder coder_;
+    std::size_t remaining_ = 0;
+};
+
+Expected<ParsedHeader>
+parsePayload(const std::vector<std::uint8_t> &payload)
+{
+    BitReader reader(payload);
+    ParsedHeader header;
+    const auto g = reader.readBits(8);
+    const auto e = reader.readBits(8);
+    const auto o = reader.readBits(8);
+    if (g != 'G' || e != 'E' || o != 'O')
+        return corruptBitstream("geometry payload: bad magic");
+    header.flags = static_cast<std::uint8_t>(reader.readBits(8));
+    header.depth = static_cast<int>(reader.readVarint());
+    header.num_voxels =
+        static_cast<std::size_t>(reader.readVarint());
+    if (header.depth < 1 || header.depth > kMaxMortonBitsPerAxis)
+        return corruptBitstream("geometry payload: bad depth");
+    if (header.flags & kFlagTightBbox) {
+        header.box.original_depth =
+            static_cast<int>(reader.readVarint());
+        if (header.box.original_depth < header.depth ||
+            header.box.original_depth > kMaxMortonBitsPerAxis) {
+            return corruptBitstream(
+                "geometry payload: bad original depth");
+        }
+        for (int a = 0; a < 3; ++a) {
+            header.box.min[a] =
+                static_cast<std::uint32_t>(reader.readVarint());
+        }
+    }
+    const auto occupancy_size =
+        static_cast<std::size_t>(reader.readVarint());
+    header.occupancy_size = occupancy_size;
+    if (header.flags & kFlagEntropy) {
+        const auto packed_size =
+            static_cast<std::size_t>(reader.readVarint());
+        reader.alignToByte();
+        if (reader.byteOffset() + packed_size > payload.size())
+            return corruptBitstream(
+                "geometry payload: truncated entropy block");
+        std::vector<std::uint8_t> packed(
+            payload.begin() +
+                static_cast<std::ptrdiff_t>(reader.byteOffset()),
+            payload.begin() +
+                static_cast<std::ptrdiff_t>(reader.byteOffset() +
+                                            packed_size));
+        if (header.flags & kFlagContextual) {
+            // Contextual decoding interleaves with expansion.
+            header.packed = std::move(packed);
+        } else {
+            auto unpacked =
+                entropyDecompress(packed, occupancy_size);
+            if (!unpacked)
+                return unpacked.status();
+            header.occupancy = unpacked.takeValue();
+        }
+    } else {
+        reader.alignToByte();
+        if (reader.byteOffset() + occupancy_size > payload.size())
+            return corruptBitstream(
+                "geometry payload: truncated occupancy");
+        header.occupancy.assign(
+            payload.begin() +
+                static_cast<std::ptrdiff_t>(reader.byteOffset()),
+            payload.begin() +
+                static_cast<std::ptrdiff_t>(reader.byteOffset() +
+                                            occupancy_size));
+    }
+    if (reader.overrun())
+        return corruptBitstream("geometry payload: header overrun");
+    return header;
+}
+
+/** Expands BFS occupancy bytes into sorted leaf codes. */
+Expected<std::vector<std::uint64_t>>
+expandBreadthFirst(const ParsedHeader &header)
+{
+    OccupancyByteSource source(header);
+
+    struct Node {
+        std::uint64_t code;
+        std::uint8_t parent_byte;
+    };
+    std::vector<Node> frontier{{0, 0}};
+    for (int level = 0; level < header.depth; ++level) {
+        std::vector<Node> next;
+        next.reserve(frontier.size() * 2);
+        for (const Node &node : frontier) {
+            const int bits = source.next(node.parent_byte);
+            if (bits < 0)
+                return corruptBitstream(
+                    "geometry payload: occupancy underflow");
+            if (bits == 0)
+                return corruptBitstream(
+                    "geometry payload: empty branch node");
+            for (int octant = 0; octant < 8; ++octant) {
+                if (bits & (1 << octant)) {
+                    next.push_back(
+                        {(node.code << 3) |
+                             static_cast<std::uint64_t>(octant),
+                         static_cast<std::uint8_t>(bits)});
+                }
+            }
+        }
+        frontier = std::move(next);
+    }
+    if (!source.exhausted())
+        return corruptBitstream(
+            "geometry payload: trailing occupancy bytes");
+    std::vector<std::uint64_t> leaves;
+    leaves.reserve(frontier.size());
+    for (const Node &node : frontier)
+        leaves.push_back(node.code);
+    return leaves;
+}
+
+/** Expands DFS occupancy bytes into sorted leaf codes. */
+Expected<std::vector<std::uint64_t>>
+expandDepthFirst(const ParsedHeader &header)
+{
+    OccupancyByteSource source(header);
+    std::vector<std::uint64_t> leaves;
+
+    struct StackEntry {
+        std::uint64_t code;
+        int level;
+        std::uint8_t parent_byte;
+    };
+    std::vector<StackEntry> stack{{0, 0, 0}};
+    while (!stack.empty()) {
+        const StackEntry entry = stack.back();
+        stack.pop_back();
+        if (entry.level == header.depth) {
+            leaves.push_back(entry.code);
+            continue;
+        }
+        const int bits = source.next(entry.parent_byte);
+        if (bits < 0)
+            return corruptBitstream(
+                "geometry payload: occupancy underflow");
+        if (bits == 0)
+            return corruptBitstream(
+                "geometry payload: empty branch node");
+        // Push octants in reverse so they pop in ascending order.
+        for (int octant = 7; octant >= 0; --octant) {
+            if (bits & (1 << octant)) {
+                stack.push_back(
+                    {(entry.code << 3) |
+                         static_cast<std::uint64_t>(octant),
+                     entry.level + 1,
+                     static_cast<std::uint8_t>(bits)});
+            }
+        }
+    }
+    if (!source.exhausted())
+        return corruptBitstream(
+            "geometry payload: trailing occupancy bytes");
+    return leaves;
+}
+
+}  // namespace
+
+Expected<VoxelCloud>
+decodeGeometry(const std::vector<std::uint8_t> &payload,
+               WorkRecorder *recorder)
+{
+    ScopedStage parse_stage(recorder, "geomdec.parse");
+    auto header = parsePayload(payload);
+    if (!header)
+        return header.status();
+    recordKernel(recorder,
+                 KernelWork{.name = "geomdec.parse",
+                            .resource = ExecResource::kCpuSequential,
+                            .invocations = 1,
+                            .items = header->occupancy_size,
+                            .ops = header->occupancy_size *
+                                   ((header->flags & kFlagEntropy)
+                                        ? 30u
+                                        : 1u),
+                            .bytes = payload.size()});
+
+    const bool parallel = header->flags & kFlagBuilderParallel;
+    Expected<std::vector<std::uint64_t>> leaves =
+        parallel ? expandBreadthFirst(*header)
+                 : expandDepthFirst(*header);
+    if (!leaves)
+        return leaves.status();
+    recordKernel(
+        recorder,
+        KernelWork{.name = "geomdec.expand",
+                   .resource = parallel
+                                   ? ExecResource::kGpu
+                                   : ExecResource::kCpuSequential,
+                   .invocations =
+                       static_cast<std::uint64_t>(header->depth),
+                   .items = header->occupancy_size,
+                   .ops = header->occupancy_size * 10,
+                   .bytes = header->occupancy_size +
+                            leaves->size() * 8});
+
+    if (header->num_voxels != 0 &&
+        leaves->size() != header->num_voxels) {
+        return corruptBitstream(
+            "geometry payload: voxel count mismatch");
+    }
+
+    const bool tight = header->flags & kFlagTightBbox;
+    // The output cloud lives on the original capture grid; the
+    // coded tree may be shallower (cuboid-fitted).
+    VoxelCloud cloud(tight ? header->box.original_depth
+                           : header->depth);
+    cloud.resize(leaves->size());
+    const auto &codes = *leaves;
+    const std::uint32_t grid_limit = cloud.gridSize();
+    bool out_of_grid = false;
+    parallelFor(0, codes.size(), [&](std::size_t i) {
+        const MortonXyz xyz = mortonDecode(codes[i]);
+        const std::uint32_t ox =
+            xyz.x + (tight ? header->box.min[0] : 0);
+        const std::uint32_t oy =
+            xyz.y + (tight ? header->box.min[1] : 0);
+        const std::uint32_t oz =
+            xyz.z + (tight ? header->box.min[2] : 0);
+        if (ox >= grid_limit || oy >= grid_limit ||
+            oz >= grid_limit) {
+            out_of_grid = true;
+            return;
+        }
+        cloud.mutableX()[i] = static_cast<std::uint16_t>(ox);
+        cloud.mutableY()[i] = static_cast<std::uint16_t>(oy);
+        cloud.mutableZ()[i] = static_cast<std::uint16_t>(oz);
+    });
+    if (out_of_grid)
+        return corruptBitstream(
+            "geometry payload: decoded voxel outside grid");
+    recordKernel(recorder,
+                 KernelWork{.name = "geomdec.dequant",
+                            .resource = parallel
+                                            ? ExecResource::kGpu
+                                            : ExecResource::
+                                                  kCpuSequential,
+                            .invocations = 1,
+                            .items = codes.size(),
+                            .ops = codes.size() * 24,
+                            .bytes = codes.size() * 14});
+    return cloud;
+}
+
+}  // namespace edgepcc

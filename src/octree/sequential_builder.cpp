@@ -1,0 +1,105 @@
+#include "edgepcc/octree/sequential_builder.h"
+
+#include "edgepcc/morton/morton.h"
+
+namespace edgepcc {
+
+int
+PointerOctree::insert(std::uint16_t x, std::uint16_t y,
+                      std::uint16_t z)
+{
+    const std::uint64_t code = mortonEncode(x, y, z);
+    std::int32_t current = 0;
+    int walked = 0;
+    for (int level = 0; level < depth_; ++level) {
+        const int shift = 3 * (depth_ - 1 - level);
+        const int octant = static_cast<int>((code >> shift) & 7);
+        Node &node = nodes_[static_cast<std::size_t>(current)];
+        std::int32_t child = node.children[octant];
+        if (child < 0) {
+            child = static_cast<std::int32_t>(nodes_.size());
+            node.occupancy |=
+                static_cast<std::uint8_t>(1u << octant);
+            // Note: push_back may reallocate; `node` is dead after.
+            nodes_[static_cast<std::size_t>(current)]
+                .children[octant] = child;
+            nodes_.emplace_back();
+            if (level == depth_ - 1)
+                ++num_leaves_;
+        }
+        current = child;
+        ++walked;
+    }
+    return walked;
+}
+
+PointerOctree
+buildSequentialOctree(const VoxelCloud &cloud, WorkRecorder *recorder)
+{
+    PointerOctree tree(cloud.gridBits());
+    std::uint64_t walked_total = 0;
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        walked_total += static_cast<std::uint64_t>(
+            tree.insert(cloud.x()[i], cloud.y()[i], cloud.z()[i]));
+    }
+    recordKernel(
+        recorder,
+        KernelWork{.name = "octree.seq_insert",
+                   .resource = ExecResource::kCpuSequential,
+                   .invocations = cloud.size(),
+                   .items = cloud.size(),
+                   // Each level walked touches one node: octant
+                   // extraction, child lookup, possible allocation.
+                   .ops = walked_total,
+                   .bytes = walked_total * 40});
+    return tree;
+}
+
+namespace {
+
+void
+serializeNode(const PointerOctree &tree, std::int32_t index,
+              int level, std::uint8_t parent_byte,
+              std::vector<std::uint8_t> &out,
+              std::vector<std::uint8_t> *contexts)
+{
+    const auto &node =
+        tree.nodes()[static_cast<std::size_t>(index)];
+    if (level == tree.depth())
+        return;  // leaves carry no occupancy byte
+    out.push_back(node.occupancy);
+    if (contexts)
+        contexts->push_back(parent_byte);
+    for (int octant = 0; octant < 8; ++octant) {
+        const std::int32_t child = node.children[octant];
+        if (child >= 0) {
+            serializeNode(tree, child, level + 1, node.occupancy,
+                          out, contexts);
+        }
+    }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t>
+serializeDepthFirst(const PointerOctree &tree,
+                    WorkRecorder *recorder,
+                    std::vector<std::uint8_t> *contexts)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(tree.numNodes());
+    if (contexts)
+        contexts->reserve(tree.numNodes());
+    serializeNode(tree, 0, 0, 0, out, contexts);
+    recordKernel(
+        recorder,
+        KernelWork{.name = "octree.seq_serialize",
+                   .resource = ExecResource::kCpuSequential,
+                   .invocations = 1,
+                   .items = tree.numNodes(),
+                   .ops = tree.numNodes() * 9,
+                   .bytes = tree.numNodes() * 40 + out.size()});
+    return out;
+}
+
+}  // namespace edgepcc

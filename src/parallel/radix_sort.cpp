@@ -1,0 +1,68 @@
+#include "edgepcc/parallel/radix_sort.h"
+
+#include <array>
+#include <cassert>
+#include <utility>
+
+namespace edgepcc {
+
+namespace {
+
+constexpr int kDigitBits = 8;
+constexpr int kBuckets = 1 << kDigitBits;
+
+template <typename T, typename KeyOf>
+void
+radixSortImpl(std::vector<T> &data, int key_bits, const KeyOf &key_of)
+{
+    assert(key_bits >= 1 && key_bits <= 64);
+    if (data.size() < 2)
+        return;
+
+    std::vector<T> scratch(data.size());
+    const int passes = (key_bits + kDigitBits - 1) / kDigitBits;
+
+    for (int pass = 0; pass < passes; ++pass) {
+        const int shift = pass * kDigitBits;
+        std::array<std::size_t, kBuckets> counts{};
+        for (const T &item : data)
+            ++counts[(key_of(item) >> shift) & (kBuckets - 1)];
+
+        // Skip passes where every key shares the digit.
+        if (counts[(key_of(data[0]) >> shift) & (kBuckets - 1)] ==
+            data.size()) {
+            continue;
+        }
+
+        std::size_t offset = 0;
+        for (int bucket = 0; bucket < kBuckets; ++bucket) {
+            const std::size_t count = counts[bucket];
+            counts[bucket] = offset;
+            offset += count;
+        }
+        for (const T &item : data) {
+            const std::size_t bucket =
+                (key_of(item) >> shift) & (kBuckets - 1);
+            scratch[counts[bucket]++] = item;
+        }
+        data.swap(scratch);
+    }
+}
+
+}  // namespace
+
+void
+radixSortPairs(std::vector<KeyIndex> &pairs, int key_bits)
+{
+    radixSortImpl(pairs, key_bits,
+                  [](const KeyIndex &pair) { return pair.key; });
+}
+
+void
+radixSortKeys(std::vector<std::uint64_t> &keys, int key_bits)
+{
+    radixSortImpl(keys, key_bits,
+                  [](std::uint64_t key) { return key; });
+}
+
+}  // namespace edgepcc

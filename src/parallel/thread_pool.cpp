@@ -1,0 +1,85 @@
+#include "edgepcc/parallel/thread_pool.h"
+
+namespace edgepcc {
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutting_down_ = true;
+    }
+    task_available_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (workers_.empty()) {
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+        ++in_flight_;
+    }
+    task_available_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    if (workers_.empty())
+        return;
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            task_available_.wait(lock, [this] {
+                return shutting_down_ || !queue_.empty();
+            });
+            if (queue_.empty()) {
+                if (shutting_down_)
+                    return;
+                continue;
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --in_flight_;
+            if (in_flight_ == 0)
+                all_done_.notify_all();
+        }
+    }
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool([] {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw > 1 ? static_cast<std::size_t>(hw - 1) : 0u;
+    }());
+    return pool;
+}
+
+}  // namespace edgepcc

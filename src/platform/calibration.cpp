@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Paper-anchored calibration of the edge-device model.
+ *
+ * Each entry gives the *effective* throughput (ops/s) of one kernel
+ * on the 15 W Jetson AGX Xavier, plus its dynamic energy per op.
+ * "Effective" folds real-hardware effects the functional host run
+ * cannot observe (memory stalls, divergence, allocator pressure,
+ * small-kernel underutilization), which is why some values look far
+ * from peak FLOPS. Every value is anchored to a latency the paper
+ * reports; anchors are quoted per group below. Work counts are
+ * evaluated at the paper's Redandblack scale (N = 727k, depth 10).
+ *
+ * Anchors (paper Figs. 2 and 8a, Secs. IV-B/IV-C/V-A):
+ *   TMC13 geometry (seq. octree build + serialize + entropy) 1552 ms
+ *   TMC13 attributes (RAHT + quantize + entropy)             2600 ms
+ *   Proposed geometry (morton gen 0.5 ms, total)               42 ms
+ *   Proposed intra attributes                                  53 ms
+ *   Proposed inter attributes (V1)                             83 ms
+ *   CWIPC P-frame (MB tree search + ICP on 4 threads)        ~5.9 s
+ *   Decode (geometry + attributes)                            ~70 ms
+ *
+ * Energy rails come straight from the paper (Sec. VI-C): TMC13 CPU
+ * 1687 mW, CWIPC CPU 3622 mW, proposed CPU 1310 mW + GPU 1065 mW;
+ * the per-op dynamic energies are fitted so Fig. 8b totals and the
+ * Fig. 9 breakdown (Diff_Squared 35%, Squared_Sum 16%, address
+ * generation 32%) are reproduced.
+ */
+
+#include "edgepcc/platform/device_model.h"
+
+namespace edgepcc {
+
+namespace {
+
+KernelCostTable
+buildCalibratedTable()
+{
+    using Cost = KernelCostTable::Cost;
+    KernelCostTable table;
+
+    // Fallbacks for kernels without a dedicated anchor.
+    table.setDefault(ExecResource::kGpu, Cost{1.0e9, 5.0e-11});
+    table.setDefault(ExecResource::kCpuSequential,
+                     Cost{5.0e7, 2.0e-11});
+    table.setDefault(ExecResource::kCpuParallel,
+                     Cost{8.0e7, 2.0e-11});
+
+    // ---- Proposed geometry pipeline: 42 ms total at N=727k -------
+    // Morton generation is the paper's quoted 0.5 ms.
+    table.set("morton.generate", Cost{2.6e10, 5.0e-11});
+    table.set("morton.sort", Cost{8.5e8, 5.0e-11});
+    table.set("morton.gather", Cost{2.2e9, 5.0e-11});
+    table.set("geom.bbox_reduce", Cost{2.2e9, 5.0e-11});
+    table.set("geom.requant", Cost{3.3e9, 5.0e-11});
+    table.set("geom.dedup", Cost{1.1e9, 5.0e-11});
+    table.set("octree.par_levels", Cost{1.6e9, 5.0e-11});
+    table.set("octree.par_parents", Cost{2.5e9, 5.0e-11});
+    table.set("octree.occupancy_merge", Cost{1.45e9, 5.0e-11});
+
+    // ---- Baseline geometry: 1552 ms at N=727k --------------------
+    // Point-by-point insertion walks ~N*depth nodes with pointer
+    // chasing and allocation (~310 effective cycles per step).
+    table.set("octree.seq_insert", Cost{7.3e6, 3.0e-10});
+    table.set("octree.seq_serialize", Cost{1.8e7, 2.0e-10});
+    table.set("geom.entropy", Cost{1.2e8, 5.0e-11});
+
+    // ---- Baseline attributes: 2600 ms at N=727k ------------------
+    table.set("attr.raht_transform", Cost{2.5e7, 1.5e-10});
+    table.set("attr.raht_entropy", Cost{1.0e8, 5.0e-11});
+    // CWIPC's raw attribute entropy pass.
+    table.set("attr.raw_entropy", Cost{1.0e8, 5.0e-11});
+
+    // ---- Proposed intra attributes: 53 ms at N=727k --------------
+    table.set("attr.seg_minmax", Cost{2.8e8, 5.0e-11});
+    table.set("attr.seg_residual", Cost{6.2e8, 5.0e-11});
+    table.set("attr.seg_addressgen", Cost{9.0e7, 2.0e-9});
+    table.set("attr.seg_pack", Cost{4.1e8, 5.0e-11});
+
+    // ---- Proposed inter attributes: 83 ms (V1) at N=727k ---------
+    // Eq.-2 kernels dominate (Fig. 9: 51% of energy together).
+    table.set("bm.diff_squared", Cost{1.6e10, 5.0e-11});
+    table.set("bm.squared_sum", Cost{9.0e9, 7.0e-10});
+    table.set("bm.argmin", Cost{4.5e9, 5.0e-11});
+    // Scattered delta stores hit DRAM per element (Fig. 9: 32%).
+    table.set("bm.address_gen", Cost{2.6e8, 6.0e-8});
+    table.set("bm.reuse_copy", Cost{1.0e9, 5.0e-11});
+
+    // ---- CWIPC macro-block pipeline: ~5.9 s P frames -------------
+    // Values are per-thread; CWIPC runs 4 threads (paper Sec. VI-B).
+    table.set("mb.tree_build", Cost{8.0e7, 2.0e-11});
+    table.set("mb.tree_search", Cost{6.0e7, 2.0e-11});
+    table.set("mb.icp", Cost{5.2e8, 2.0e-11});
+    table.set("mb.attr_entropy", Cost{1.0e8, 5.0e-11});
+
+    // ---- Decoders: ~70 ms/frame total -----------------------------
+    table.set("geomdec.parse", Cost{1.2e8, 2.0e-11});
+    table.set("geomdec.expand", Cost{6.5e8, 5.0e-11});
+    table.set("geomdec.dequant", Cost{1.7e9, 5.0e-11});
+    table.set("attrdec.seg_unpack", Cost{3.5e8, 5.0e-11});
+    table.set("attrdec.raht_inverse", Cost{3.5e7, 1.5e-10});
+    table.set("interdec.reconstruct", Cost{5.8e8, 5.0e-11});
+
+    return table;
+}
+
+}  // namespace
+
+const KernelCostTable &
+KernelCostTable::calibrated()
+{
+    static const KernelCostTable table = buildCalibratedTable();
+    return table;
+}
+
+}  // namespace edgepcc

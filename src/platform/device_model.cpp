@@ -1,0 +1,162 @@
+#include "edgepcc/platform/device_model.h"
+
+#include <algorithm>
+
+namespace edgepcc {
+
+DeviceSpec
+DeviceSpec::jetsonXavier15W()
+{
+    DeviceSpec spec;
+    spec.name = "Jetson AGX Xavier (15W)";
+    return spec;
+}
+
+DeviceSpec
+DeviceSpec::jetsonXavier10W()
+{
+    DeviceSpec spec;
+    spec.name = "Jetson AGX Xavier (10W)";
+    // Paper Sec. VI-C: total latency in 10 W mode is 1.29x the
+    // 15 W latency for the Loot video.
+    spec.throughput_scale = 1.0 / 1.29;
+    // Lower clocks also pull the rails down slightly.
+    spec.cpu_seq_active_w = 1.35;
+    spec.cpu_par_active_w = 2.9;
+    spec.gpu_active_w = 1.9;
+    return spec;
+}
+
+double
+DeviceSpec::activeRailW(ExecResource resource) const
+{
+    switch (resource) {
+      case ExecResource::kCpuSequential: return cpu_seq_active_w;
+      case ExecResource::kCpuParallel: return cpu_par_active_w;
+      case ExecResource::kGpu: return gpu_active_w;
+    }
+    return cpu_seq_active_w;
+}
+
+KernelCostTable::Cost
+KernelCostTable::costFor(const std::string &kernel_name,
+                         ExecResource resource) const
+{
+    const auto it = by_name_.find(kernel_name);
+    if (it != by_name_.end())
+        return it->second;
+    return defaults_[static_cast<int>(resource)];
+}
+
+void
+KernelCostTable::set(const std::string &kernel_name, Cost cost)
+{
+    by_name_[kernel_name] = cost;
+}
+
+KernelTiming
+EdgeDeviceModel::evaluateKernel(const KernelWork &work) const
+{
+    const KernelCostTable::Cost cost =
+        table_->costFor(work.name, work.resource);
+
+    double throughput = cost.ops_per_second * spec_.throughput_scale;
+    if (work.resource == ExecResource::kCpuParallel) {
+        // Table values are per-thread for CPU-parallel kernels.
+        throughput *= static_cast<double>(
+            std::max(1, spec_.cpu_parallel_threads));
+    }
+
+    KernelTiming timing;
+    timing.name = work.name;
+    timing.resource = work.resource;
+    timing.seconds =
+        static_cast<double>(work.ops) / std::max(throughput, 1.0);
+    if (work.resource == ExecResource::kGpu) {
+        timing.seconds += static_cast<double>(work.invocations) *
+                          spec_.gpu_launch_overhead_s /
+                          spec_.throughput_scale;
+    }
+    timing.joules =
+        timing.seconds *
+            (spec_.board_idle_w + spec_.activeRailW(work.resource)) +
+        static_cast<double>(work.ops) * cost.joules_per_op;
+    return timing;
+}
+
+StageTiming
+EdgeDeviceModel::evaluateStage(const StageProfile &stage) const
+{
+    StageTiming timing;
+    timing.name = stage.name;
+    timing.host_seconds = stage.host_seconds;
+    for (const KernelWork &work : stage.kernels) {
+        KernelTiming kernel = evaluateKernel(work);
+        timing.model_seconds += kernel.seconds;
+        timing.joules += kernel.joules;
+        timing.kernels.push_back(std::move(kernel));
+    }
+    return timing;
+}
+
+PipelineTiming
+EdgeDeviceModel::evaluate(const PipelineProfile &profile) const
+{
+    PipelineTiming timing;
+    timing.stages.reserve(profile.stages.size());
+    for (const StageProfile &stage : profile.stages)
+        timing.stages.push_back(evaluateStage(stage));
+    return timing;
+}
+
+double
+PipelineTiming::modelSeconds() const
+{
+    double total = 0.0;
+    for (const auto &stage : stages)
+        total += stage.model_seconds;
+    return total;
+}
+
+double
+PipelineTiming::hostSeconds() const
+{
+    double total = 0.0;
+    for (const auto &stage : stages)
+        total += stage.host_seconds;
+    return total;
+}
+
+double
+PipelineTiming::joules() const
+{
+    double total = 0.0;
+    for (const auto &stage : stages)
+        total += stage.joules;
+    return total;
+}
+
+double
+PipelineTiming::modelSecondsWithPrefix(
+    const std::string &prefix) const
+{
+    double total = 0.0;
+    for (const auto &stage : stages) {
+        if (stage.name.rfind(prefix, 0) == 0)
+            total += stage.model_seconds;
+    }
+    return total;
+}
+
+double
+PipelineTiming::joulesWithPrefix(const std::string &prefix) const
+{
+    double total = 0.0;
+    for (const auto &stage : stages) {
+        if (stage.name.rfind(prefix, 0) == 0)
+            total += stage.joules;
+    }
+    return total;
+}
+
+}  // namespace edgepcc

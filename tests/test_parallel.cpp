@@ -1,0 +1,191 @@
+/** @file Tests for the thread pool, parallel primitives and sort. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "edgepcc/common/rng.h"
+#include "edgepcc/parallel/parallel_for.h"
+#include "edgepcc/parallel/radix_sort.h"
+#include "edgepcc/parallel/thread_pool.h"
+
+namespace edgepcc {
+namespace {
+
+TEST(ThreadPool, InlineExecutionWithZeroWorkers)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.numThreads(), 0u);
+    int value = 0;
+    pool.submit([&value] { value = 7; });
+    pool.wait();
+    EXPECT_EQ(value, 7);
+}
+
+TEST(ThreadPool, RunsAllTasks)
+{
+    ThreadPool pool(3);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReentrant)
+{
+    ThreadPool pool(2);
+    pool.wait();  // no tasks
+    std::atomic<int> counter{0};
+    pool.submit([&counter] { ++counter; });
+    pool.wait();
+    pool.wait();
+    EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    std::vector<std::atomic<int>> hits(5000);
+    parallelFor(0, hits.size(),
+                [&](std::size_t i) { ++hits[i]; });
+    for (const auto &hit : hits)
+        EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRange)
+{
+    bool touched = false;
+    parallelFor(5, 5, [&](std::size_t) { touched = true; });
+    EXPECT_FALSE(touched);
+}
+
+TEST(ParallelForChunks, ChunksPartitionTheRange)
+{
+    std::vector<int> data(10000, 0);
+    parallelForChunks(0, data.size(),
+                      [&](std::size_t lo, std::size_t hi) {
+                          for (std::size_t i = lo; i < hi; ++i)
+                              data[i] += 1;
+                      });
+    EXPECT_TRUE(std::all_of(data.begin(), data.end(),
+                            [](int v) { return v == 1; }));
+}
+
+TEST(ParallelReduce, SumMatchesSequential)
+{
+    std::vector<std::uint64_t> values(20000);
+    Rng rng(5);
+    for (auto &value : values)
+        value = rng.bounded(1000);
+    const std::uint64_t expected = std::accumulate(
+        values.begin(), values.end(), std::uint64_t{0});
+    const std::uint64_t got = parallelReduce<std::uint64_t>(
+        0, values.size(), 0,
+        [&](std::size_t i) { return values[i]; },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    EXPECT_EQ(got, expected);
+}
+
+TEST(ExclusiveScan, KnownSequence)
+{
+    std::vector<std::uint32_t> values{3, 1, 4, 1, 5};
+    const std::uint32_t total = exclusiveScan(values);
+    EXPECT_EQ(total, 14u);
+    EXPECT_EQ(values,
+              (std::vector<std::uint32_t>{0, 3, 4, 8, 9}));
+}
+
+TEST(RadixSort, EmptyAndSingle)
+{
+    std::vector<KeyIndex> empty;
+    radixSortPairs(empty);
+    EXPECT_TRUE(empty.empty());
+
+    std::vector<KeyIndex> one{{42, 0}};
+    radixSortPairs(one);
+    EXPECT_EQ(one[0].key, 42u);
+}
+
+TEST(RadixSort, MatchesStdSort)
+{
+    Rng rng(6);
+    std::vector<KeyIndex> pairs(30000);
+    for (std::uint32_t i = 0; i < pairs.size(); ++i)
+        pairs[i] = {rng(), i};
+    std::vector<std::uint64_t> expected;
+    expected.reserve(pairs.size());
+    for (const auto &pair : pairs)
+        expected.push_back(pair.key);
+    std::sort(expected.begin(), expected.end());
+
+    radixSortPairs(pairs);
+    for (std::size_t i = 0; i < pairs.size(); ++i)
+        EXPECT_EQ(pairs[i].key, expected[i]);
+}
+
+TEST(RadixSort, IsStable)
+{
+    // Equal keys must preserve their input index order.
+    std::vector<KeyIndex> pairs;
+    for (std::uint32_t i = 0; i < 1000; ++i)
+        pairs.push_back({i % 7, i});
+    radixSortPairs(pairs, 8);
+    for (std::size_t i = 1; i < pairs.size(); ++i) {
+        if (pairs[i - 1].key == pairs[i].key)
+            EXPECT_LT(pairs[i - 1].index, pairs[i].index);
+    }
+}
+
+TEST(RadixSort, RespectsKeyBitsLimit)
+{
+    // Keys above key_bits are ignored by construction: with 8-bit
+    // sorting, only the low byte decides the order.
+    std::vector<KeyIndex> pairs{{0x0102, 0}, {0x0201, 1}};
+    radixSortPairs(pairs, 8);
+    EXPECT_EQ(pairs[0].key, 0x0201u);  // low byte 0x01 first
+    EXPECT_EQ(pairs[1].key, 0x0102u);
+}
+
+TEST(RadixSort, KeysOnlyVariant)
+{
+    Rng rng(8);
+    std::vector<std::uint64_t> keys(10000);
+    for (auto &key : keys)
+        key = rng();
+    std::vector<std::uint64_t> expected = keys;
+    std::sort(expected.begin(), expected.end());
+    radixSortKeys(keys);
+    EXPECT_EQ(keys, expected);
+}
+
+/** Parameterized sweep over sizes and key widths. */
+class RadixSortSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(RadixSortSweep, SortedAscending)
+{
+    const auto [size, bits] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(size) * 131 +
+            static_cast<std::uint64_t>(bits));
+    std::vector<KeyIndex> pairs(static_cast<std::size_t>(size));
+    const std::uint64_t mask =
+        bits == 64 ? ~std::uint64_t{0}
+                   : ((std::uint64_t{1} << bits) - 1);
+    for (std::uint32_t i = 0; i < pairs.size(); ++i)
+        pairs[i] = {rng() & mask, i};
+    radixSortPairs(pairs, bits);
+    for (std::size_t i = 1; i < pairs.size(); ++i)
+        EXPECT_LE(pairs[i - 1].key, pairs[i].key);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndWidths, RadixSortSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 100, 4096),
+                       ::testing::Values(1, 8, 30, 33, 64)));
+
+}  // namespace
+}  // namespace edgepcc

@@ -1,0 +1,188 @@
+/** @file Tests for the edge-device timing and energy model. */
+
+#include "edgepcc/platform/device_model.h"
+
+#include <gtest/gtest.h>
+
+namespace edgepcc {
+namespace {
+
+KernelWork
+gpuKernel(std::uint64_t ops, std::uint64_t launches = 1)
+{
+    KernelWork work;
+    work.name = "test.gpu_kernel";
+    work.resource = ExecResource::kGpu;
+    work.invocations = launches;
+    work.items = ops;
+    work.ops = ops;
+    work.bytes = ops;
+    return work;
+}
+
+TEST(DeviceSpec, RailLookup)
+{
+    const DeviceSpec spec = DeviceSpec::jetsonXavier15W();
+    EXPECT_DOUBLE_EQ(spec.activeRailW(ExecResource::kCpuSequential),
+                     spec.cpu_seq_active_w);
+    EXPECT_DOUBLE_EQ(spec.activeRailW(ExecResource::kCpuParallel),
+                     spec.cpu_par_active_w);
+    EXPECT_DOUBLE_EQ(spec.activeRailW(ExecResource::kGpu),
+                     spec.gpu_active_w);
+}
+
+TEST(KernelCostTable, NamedOverridesBeatDefaults)
+{
+    KernelCostTable table;
+    table.setDefault(ExecResource::kGpu, {1e9, 1e-12});
+    table.set("special", {5e9, 2e-12});
+    EXPECT_DOUBLE_EQ(
+        table.costFor("special", ExecResource::kGpu)
+            .ops_per_second,
+        5e9);
+    EXPECT_DOUBLE_EQ(
+        table.costFor("other", ExecResource::kGpu).ops_per_second,
+        1e9);
+}
+
+TEST(KernelCostTable, CalibratedTableCoversPaperKernels)
+{
+    const KernelCostTable &table = KernelCostTable::calibrated();
+    // Spot-check the paper-anchored entries exist (they differ
+    // from the resource defaults).
+    EXPECT_NE(table.costFor("octree.seq_insert",
+                            ExecResource::kCpuSequential)
+                  .ops_per_second,
+              table.costFor("unknown",
+                            ExecResource::kCpuSequential)
+                  .ops_per_second);
+    EXPECT_NE(
+        table.costFor("bm.diff_squared", ExecResource::kGpu)
+            .ops_per_second,
+        table.costFor("unknown", ExecResource::kGpu)
+            .ops_per_second);
+}
+
+TEST(EdgeDeviceModel, TimeScalesLinearlyWithOps)
+{
+    const EdgeDeviceModel model;
+    const KernelTiming a = model.evaluateKernel(gpuKernel(1000000));
+    const KernelTiming b =
+        model.evaluateKernel(gpuKernel(2000000));
+    // Launch overhead is constant; subtracting it, time doubles.
+    const double overhead =
+        model.spec().gpu_launch_overhead_s;
+    EXPECT_NEAR((b.seconds - overhead) / (a.seconds - overhead),
+                2.0, 1e-6);
+}
+
+TEST(EdgeDeviceModel, LaunchOverheadCharged)
+{
+    const EdgeDeviceModel model;
+    const KernelTiming one = model.evaluateKernel(gpuKernel(0, 1));
+    const KernelTiming ten =
+        model.evaluateKernel(gpuKernel(0, 10));
+    EXPECT_NEAR(ten.seconds, 10.0 * one.seconds, 1e-12);
+}
+
+TEST(EdgeDeviceModel, CpuParallelDividesByThreads)
+{
+    KernelWork work;
+    work.name = "test.cpu_par";
+    work.resource = ExecResource::kCpuParallel;
+    work.ops = 1000000;
+
+    DeviceSpec spec = DeviceSpec::jetsonXavier15W();
+    spec.cpu_parallel_threads = 1;
+    const EdgeDeviceModel one(spec);
+    spec.cpu_parallel_threads = 4;
+    const EdgeDeviceModel four(spec);
+    EXPECT_NEAR(one.evaluateKernel(work).seconds /
+                    four.evaluateKernel(work).seconds,
+                4.0, 1e-9);
+}
+
+TEST(EdgeDeviceModel, TenWattModeIsSlowances)
+{
+    const EdgeDeviceModel fast(DeviceSpec::jetsonXavier15W());
+    const EdgeDeviceModel slow(DeviceSpec::jetsonXavier10W());
+    const KernelWork work = gpuKernel(10000000, 0);
+    EXPECT_NEAR(slow.evaluateKernel(work).seconds /
+                    fast.evaluateKernel(work).seconds,
+                1.29, 1e-6);
+}
+
+TEST(EdgeDeviceModel, EnergyIncludesStaticAndDynamic)
+{
+    DeviceSpec spec = DeviceSpec::jetsonXavier15W();
+    KernelCostTable table;
+    table.setDefault(ExecResource::kGpu, {1e9, 1e-9});
+    const EdgeDeviceModel model(spec, table);
+    KernelWork work = gpuKernel(1000000, 0);
+    const KernelTiming timing = model.evaluateKernel(work);
+    const double static_j =
+        timing.seconds * (spec.board_idle_w + spec.gpu_active_w);
+    const double dynamic_j = 1e6 * 1e-9;
+    EXPECT_NEAR(timing.joules, static_j + dynamic_j, 1e-12);
+}
+
+TEST(EdgeDeviceModel, StageAndPipelineAggregation)
+{
+    WorkRecorder recorder;
+    recorder.beginStage("stage.a");
+    recorder.addKernel(gpuKernel(1000000));
+    recorder.addKernel(gpuKernel(2000000));
+    recorder.endStage();
+    recorder.beginStage("stage.b");
+    recorder.addKernel(gpuKernel(500000));
+    recorder.endStage();
+
+    const EdgeDeviceModel model;
+    const PipelineTiming timing =
+        model.evaluate(recorder.profile());
+    ASSERT_EQ(timing.stages.size(), 2u);
+    EXPECT_EQ(timing.stages[0].kernels.size(), 2u);
+    EXPECT_NEAR(timing.modelSeconds(),
+                timing.stages[0].model_seconds +
+                    timing.stages[1].model_seconds,
+                1e-15);
+    EXPECT_NEAR(timing.joules(),
+                timing.stages[0].joules + timing.stages[1].joules,
+                1e-15);
+    EXPECT_NEAR(timing.modelSecondsWithPrefix("stage.a"),
+                timing.stages[0].model_seconds, 1e-15);
+    EXPECT_GT(timing.joulesWithPrefix("stage."), 0.0);
+    EXPECT_DOUBLE_EQ(timing.modelSecondsWithPrefix("zzz"), 0.0);
+}
+
+TEST(EdgeDeviceModel, PaperAnchorSequentialOctree)
+{
+    // At the paper's Redandblack scale the sequential build walks
+    // ~N*depth = 7.27M node steps and must land near the paper's
+    // ~1.0 s construction time (within 30%).
+    KernelWork work;
+    work.name = "octree.seq_insert";
+    work.resource = ExecResource::kCpuSequential;
+    work.ops = 727070ull * 10ull;
+    const EdgeDeviceModel model;
+    const double seconds = model.evaluateKernel(work).seconds;
+    EXPECT_GT(seconds, 0.7);
+    EXPECT_LT(seconds, 1.3);
+}
+
+TEST(EdgeDeviceModel, PaperAnchorMortonGeneration)
+{
+    // Morton generation is quoted at 0.5 ms for one frame.
+    KernelWork work;
+    work.name = "morton.generate";
+    work.resource = ExecResource::kGpu;
+    work.invocations = 1;
+    work.ops = 727070ull * 18ull;
+    const EdgeDeviceModel model;
+    const double seconds = model.evaluateKernel(work).seconds;
+    EXPECT_GT(seconds, 0.0002);
+    EXPECT_LT(seconds, 0.001);
+}
+
+}  // namespace
+}  // namespace edgepcc

@@ -1,0 +1,237 @@
+/** @file Tests for the G-PCC Predicting Transform attribute codec. */
+
+#include "edgepcc/attr/predicting_transform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+#include "edgepcc/common/rng.h"
+#include "edgepcc/morton/morton.h"
+
+namespace edgepcc {
+namespace {
+
+VoxelCloud
+smoothSortedCloud(std::uint64_t seed, std::size_t n, int bits)
+{
+    Rng rng(seed);
+    std::set<std::uint64_t> codes;
+    const std::uint32_t grid = 1u << bits;
+    while (codes.size() < n) {
+        const auto x =
+            static_cast<std::uint32_t>(rng.bounded(grid));
+        const auto y =
+            static_cast<std::uint32_t>(rng.bounded(grid));
+        const std::uint32_t z = (x + 2 * y) % grid;
+        codes.insert(mortonEncode(x, y, z));
+    }
+    VoxelCloud cloud(bits);
+    for (const std::uint64_t code : codes) {
+        const MortonXyz xyz = mortonDecode(code);
+        cloud.add(static_cast<std::uint16_t>(xyz.x),
+                  static_cast<std::uint16_t>(xyz.y),
+                  static_cast<std::uint16_t>(xyz.z),
+                  static_cast<std::uint8_t>(
+                      40 + xyz.x * 150 / grid),
+                  static_cast<std::uint8_t>(
+                      60 + xyz.y * 120 / grid),
+                  static_cast<std::uint8_t>(
+                      90 + xyz.z * 80 / grid));
+    }
+    return cloud;
+}
+
+double
+maxAbsColorError(const VoxelCloud &a, const VoxelCloud &b)
+{
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        max_err = std::max(max_err,
+                           std::abs(static_cast<double>(a.r()[i]) -
+                                    b.r()[i]));
+        max_err = std::max(max_err,
+                           std::abs(static_cast<double>(a.g()[i]) -
+                                    b.g()[i]));
+        max_err = std::max(max_err,
+                           std::abs(static_cast<double>(a.b()[i]) -
+                                    b.b()[i]));
+    }
+    return max_err;
+}
+
+TEST(Predicting, RejectsBadConfig)
+{
+    VoxelCloud empty(6);
+    EXPECT_FALSE(
+        encodePredicting(empty, PredictingConfig{}).hasValue());
+
+    VoxelCloud one(6);
+    one.add(1, 1, 1, 9, 9, 9);
+    PredictingConfig bad;
+    bad.qstep = 0.0;
+    EXPECT_FALSE(encodePredicting(one, bad).hasValue());
+    bad = PredictingConfig{};
+    bad.num_neighbors = 0;
+    EXPECT_FALSE(encodePredicting(one, bad).hasValue());
+    bad.num_neighbors = 5;
+    EXPECT_FALSE(encodePredicting(one, bad).hasValue());
+}
+
+TEST(Predicting, SinglePointRoundtrip)
+{
+    VoxelCloud cloud(6);
+    cloud.add(7, 3, 1, 200, 100, 50);
+    PredictingConfig config;
+    config.qstep = 1.0;
+    auto payload = encodePredicting(cloud, config);
+    ASSERT_TRUE(payload.hasValue());
+    VoxelCloud decoded = cloud;
+    decoded.setColor(0, Color{});
+    ASSERT_TRUE(decodePredictingInto(*payload, decoded).isOk());
+    EXPECT_NEAR(decoded.r()[0], 200, 1);
+    EXPECT_NEAR(decoded.g()[0], 100, 1);
+    EXPECT_NEAR(decoded.b()[0], 50, 1);
+}
+
+TEST(Predicting, FineQstepReconstructsTightly)
+{
+    const VoxelCloud cloud = smoothSortedCloud(200, 1200, 7);
+    PredictingConfig config;
+    config.qstep = 0.5;
+    auto payload = encodePredicting(cloud, config);
+    ASSERT_TRUE(payload.hasValue());
+    VoxelCloud decoded = cloud;
+    ASSERT_TRUE(decodePredictingInto(*payload, decoded).isOk());
+    EXPECT_LE(maxAbsColorError(cloud, decoded), 1.0);
+}
+
+TEST(Predicting, QstepControlsRateDistortion)
+{
+    const VoxelCloud cloud = smoothSortedCloud(201, 3000, 8);
+    PredictingConfig fine;
+    fine.qstep = 1.0;
+    PredictingConfig coarse;
+    coarse.qstep = 16.0;
+    auto fine_payload = encodePredicting(cloud, fine);
+    auto coarse_payload = encodePredicting(cloud, coarse);
+    ASSERT_TRUE(fine_payload.hasValue());
+    ASSERT_TRUE(coarse_payload.hasValue());
+    EXPECT_LT(coarse_payload->size(), fine_payload->size());
+}
+
+TEST(Predicting, SmoothContentCompressesBelowRaw)
+{
+    const VoxelCloud cloud = smoothSortedCloud(202, 5000, 8);
+    PredictingConfig config;
+    auto payload = encodePredicting(cloud, config);
+    ASSERT_TRUE(payload.hasValue());
+    EXPECT_LT(payload->size(), cloud.size() * 3);
+}
+
+TEST(Predicting, NeighborCountSweepStaysCorrect)
+{
+    const VoxelCloud cloud = smoothSortedCloud(203, 900, 7);
+    for (int neighbors = 1; neighbors <= 4; ++neighbors) {
+        PredictingConfig config;
+        config.num_neighbors = neighbors;
+        config.qstep = 1.0;
+        auto payload = encodePredicting(cloud, config);
+        ASSERT_TRUE(payload.hasValue()) << neighbors;
+        VoxelCloud decoded = cloud;
+        ASSERT_TRUE(
+            decodePredictingInto(*payload, decoded).isOk())
+            << neighbors;
+        EXPECT_LE(maxAbsColorError(cloud, decoded), 1.0)
+            << neighbors;
+    }
+}
+
+TEST(Predicting, LodLevelSweepStaysCorrect)
+{
+    const VoxelCloud cloud = smoothSortedCloud(204, 700, 7);
+    for (const int levels : {0, 1, 4, 8, 16}) {
+        PredictingConfig config;
+        config.lod_levels = levels;
+        config.qstep = 1.0;
+        auto payload = encodePredicting(cloud, config);
+        ASSERT_TRUE(payload.hasValue()) << levels;
+        VoxelCloud decoded = cloud;
+        ASSERT_TRUE(
+            decodePredictingInto(*payload, decoded).isOk())
+            << levels;
+        EXPECT_LE(maxAbsColorError(cloud, decoded), 1.0)
+            << levels;
+    }
+}
+
+TEST(Predicting, PointCountMismatchRejected)
+{
+    const VoxelCloud cloud = smoothSortedCloud(205, 500, 7);
+    auto payload = encodePredicting(cloud, PredictingConfig{});
+    ASSERT_TRUE(payload.hasValue());
+    VoxelCloud wrong = smoothSortedCloud(206, 400, 7);
+    EXPECT_FALSE(decodePredictingInto(*payload, wrong).isOk());
+}
+
+TEST(Predicting, CorruptPayloadRejected)
+{
+    const VoxelCloud cloud = smoothSortedCloud(207, 500, 7);
+    auto payload = encodePredicting(cloud, PredictingConfig{});
+    ASSERT_TRUE(payload.hasValue());
+    auto bad = *payload;
+    bad[0] = 'X';
+    VoxelCloud decoded = cloud;
+    EXPECT_FALSE(decodePredictingInto(bad, decoded).isOk());
+    bad = *payload;
+    bad.resize(bad.size() / 2);
+    EXPECT_FALSE(decodePredictingInto(bad, decoded).isOk());
+}
+
+TEST(Predicting, RecordsSequentialKernel)
+{
+    const VoxelCloud cloud = smoothSortedCloud(208, 400, 7);
+    WorkRecorder recorder;
+    auto payload =
+        encodePredicting(cloud, PredictingConfig{}, &recorder);
+    ASSERT_TRUE(payload.hasValue());
+    const auto profile = recorder.takeProfile();
+    ASSERT_FALSE(profile.stages.empty());
+    EXPECT_EQ(profile.stages[0].name, "attr.predicting");
+    ASSERT_FALSE(profile.stages[0].kernels.empty());
+    EXPECT_EQ(profile.stages[0].kernels[0].resource,
+              ExecResource::kCpuSequential);
+}
+
+/** Sweep: roundtrip across sizes and qsteps with bounded error.
+ *  Prediction residual quantization error does not accumulate
+ *  beyond a small multiple of qstep on smooth content. */
+class PredictingSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>>
+{
+};
+
+TEST_P(PredictingSweep, BoundedReconstructionError)
+{
+    const auto [n, qstep] = GetParam();
+    const VoxelCloud cloud = smoothSortedCloud(
+        209 + static_cast<std::uint64_t>(n),
+        static_cast<std::size_t>(n), 8);
+    PredictingConfig config;
+    config.qstep = qstep;
+    auto payload = encodePredicting(cloud, config);
+    ASSERT_TRUE(payload.hasValue());
+    VoxelCloud decoded = cloud;
+    ASSERT_TRUE(decodePredictingInto(*payload, decoded).isOk());
+    EXPECT_LE(maxAbsColorError(cloud, decoded), qstep / 2 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PredictingSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 64, 1000),
+                       ::testing::Values(1.0, 4.0)));
+
+}  // namespace
+}  // namespace edgepcc

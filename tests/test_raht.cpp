@@ -1,0 +1,232 @@
+/** @file Tests for the RAHT attribute codec. */
+
+#include "edgepcc/attr/raht.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "edgepcc/common/rng.h"
+#include "edgepcc/morton/morton.h"
+#include "edgepcc/morton/morton_order.h"
+
+namespace edgepcc {
+namespace {
+
+/** Morton-sorted, duplicate-free cloud with smooth colors. */
+VoxelCloud
+smoothSortedCloud(std::uint64_t seed, std::size_t n, int bits)
+{
+    Rng rng(seed);
+    std::set<std::uint64_t> codes;
+    const std::uint32_t grid = 1u << bits;
+    while (codes.size() < n) {
+        // Cluster points on a smooth 2D-ish sheet for locality.
+        const auto x =
+            static_cast<std::uint32_t>(rng.bounded(grid));
+        const auto y =
+            static_cast<std::uint32_t>(rng.bounded(grid));
+        const auto z = static_cast<std::uint32_t>(
+            (x + y) % grid);
+        codes.insert(mortonEncode(x, y, z));
+    }
+    VoxelCloud cloud(bits);
+    for (const std::uint64_t code : codes) {
+        const MortonXyz xyz = mortonDecode(code);
+        // Smooth color field over position.
+        const auto r = static_cast<std::uint8_t>(
+            100 + (xyz.x * 100) / grid);
+        const auto g = static_cast<std::uint8_t>(
+            50 + (xyz.y * 150) / grid);
+        const auto b = static_cast<std::uint8_t>(
+            30 + ((xyz.x + xyz.z) * 90) / (2 * grid));
+        cloud.add(static_cast<std::uint16_t>(xyz.x),
+                  static_cast<std::uint16_t>(xyz.y),
+                  static_cast<std::uint16_t>(xyz.z), r, g, b);
+    }
+    return cloud;
+}
+
+double
+maxAbsColorError(const VoxelCloud &a, const VoxelCloud &b)
+{
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        max_err = std::max(
+            max_err,
+            std::abs(static_cast<double>(a.r()[i]) - b.r()[i]));
+        max_err = std::max(
+            max_err,
+            std::abs(static_cast<double>(a.g()[i]) - b.g()[i]));
+        max_err = std::max(
+            max_err,
+            std::abs(static_cast<double>(a.b()[i]) - b.b()[i]));
+    }
+    return max_err;
+}
+
+TEST(Raht, RejectsEmptyAndUnsorted)
+{
+    VoxelCloud empty(4);
+    EXPECT_FALSE(encodeRaht(empty, RahtConfig{}).hasValue());
+
+    VoxelCloud unsorted(4);
+    unsorted.add(5, 5, 5, 0, 0, 0);
+    unsorted.add(0, 0, 0, 0, 0, 0);
+    EXPECT_FALSE(encodeRaht(unsorted, RahtConfig{}).hasValue());
+}
+
+TEST(Raht, RejectsNonPositiveQstep)
+{
+    VoxelCloud cloud(4);
+    cloud.add(0, 0, 0, 1, 2, 3);
+    RahtConfig config;
+    config.qstep = 0.0;
+    EXPECT_FALSE(encodeRaht(cloud, config).hasValue());
+}
+
+TEST(Raht, SinglePointRoundtrip)
+{
+    VoxelCloud cloud(4);
+    cloud.add(3, 9, 2, 123, 45, 210);
+    RahtConfig config;
+    config.qstep = 1.0;
+    auto payload = encodeRaht(cloud, config);
+    ASSERT_TRUE(payload.hasValue());
+    VoxelCloud decoded = cloud;
+    decoded.mutableR()[0] = 0;
+    decoded.mutableG()[0] = 0;
+    decoded.mutableB()[0] = 0;
+    ASSERT_TRUE(decodeRahtInto(*payload, decoded).isOk());
+    EXPECT_NEAR(decoded.r()[0], 123, 1);
+    EXPECT_NEAR(decoded.g()[0], 45, 1);
+    EXPECT_NEAR(decoded.b()[0], 210, 1);
+}
+
+TEST(Raht, ConstantColorsAreNearLossless)
+{
+    VoxelCloud cloud = smoothSortedCloud(70, 500, 6);
+    for (std::size_t i = 0; i < cloud.size(); ++i)
+        cloud.setColor(i, Color{90, 120, 60});
+    RahtConfig config;
+    config.qstep = 4.0;
+    auto payload = encodeRaht(cloud, config);
+    ASSERT_TRUE(payload.hasValue());
+    VoxelCloud decoded = cloud;
+    ASSERT_TRUE(decodeRahtInto(*payload, decoded).isOk());
+    // All HC coefficients are zero for constant input; only DC
+    // quantization error remains.
+    EXPECT_LE(maxAbsColorError(cloud, decoded), 3.0);
+}
+
+TEST(Raht, FineQstepGivesTightReconstruction)
+{
+    const VoxelCloud cloud = smoothSortedCloud(71, 800, 6);
+    RahtConfig config;
+    config.qstep = 0.25;
+    auto payload = encodeRaht(cloud, config);
+    ASSERT_TRUE(payload.hasValue());
+    VoxelCloud decoded = cloud;
+    ASSERT_TRUE(decodeRahtInto(*payload, decoded).isOk());
+    EXPECT_LE(maxAbsColorError(cloud, decoded), 2.0);
+}
+
+TEST(Raht, QstepControlsRateDistortion)
+{
+    const VoxelCloud cloud = smoothSortedCloud(72, 1500, 7);
+    RahtConfig fine;
+    fine.qstep = 1.0;
+    RahtConfig coarse;
+    coarse.qstep = 16.0;
+    auto fine_payload = encodeRaht(cloud, fine);
+    auto coarse_payload = encodeRaht(cloud, coarse);
+    ASSERT_TRUE(fine_payload.hasValue());
+    ASSERT_TRUE(coarse_payload.hasValue());
+    // Coarser quantization -> smaller payload...
+    EXPECT_LT(coarse_payload->size(), fine_payload->size());
+    // ...and larger error.
+    VoxelCloud fine_decoded = cloud;
+    VoxelCloud coarse_decoded = cloud;
+    ASSERT_TRUE(
+        decodeRahtInto(*fine_payload, fine_decoded).isOk());
+    ASSERT_TRUE(
+        decodeRahtInto(*coarse_payload, coarse_decoded).isOk());
+    EXPECT_LE(maxAbsColorError(cloud, fine_decoded),
+              maxAbsColorError(cloud, coarse_decoded));
+}
+
+TEST(Raht, SmoothContentCompressesBelowRaw)
+{
+    const VoxelCloud cloud = smoothSortedCloud(73, 4000, 8);
+    RahtConfig config;
+    config.qstep = 4.0;
+    auto payload = encodeRaht(cloud, config);
+    ASSERT_TRUE(payload.hasValue());
+    EXPECT_LT(payload->size(), cloud.size() * 3);
+}
+
+TEST(Raht, PointCountMismatchRejected)
+{
+    const VoxelCloud cloud = smoothSortedCloud(74, 300, 6);
+    auto payload = encodeRaht(cloud, RahtConfig{});
+    ASSERT_TRUE(payload.hasValue());
+    VoxelCloud other = smoothSortedCloud(75, 200, 6);
+    EXPECT_FALSE(decodeRahtInto(*payload, other).isOk());
+}
+
+TEST(Raht, GeometryStructureMismatchRejected)
+{
+    const VoxelCloud cloud = smoothSortedCloud(76, 300, 6);
+    auto payload = encodeRaht(cloud, RahtConfig{});
+    ASSERT_TRUE(payload.hasValue());
+    // Same size, different geometry: the replayed merge structure
+    // will not match the coefficient count.
+    VoxelCloud other = smoothSortedCloud(77, 300, 6);
+    const Status status = decodeRahtInto(*payload, other);
+    // Either an explicit structure mismatch or a stream error.
+    EXPECT_FALSE(status.isOk());
+}
+
+TEST(Raht, CorruptPayloadRejected)
+{
+    const VoxelCloud cloud = smoothSortedCloud(78, 300, 6);
+    auto payload = encodeRaht(cloud, RahtConfig{});
+    ASSERT_TRUE(payload.hasValue());
+    auto bad = *payload;
+    bad[0] = 'X';
+    VoxelCloud decoded = cloud;
+    EXPECT_FALSE(decodeRahtInto(bad, decoded).isOk());
+    bad = *payload;
+    bad.resize(bad.size() / 3);
+    EXPECT_FALSE(decodeRahtInto(bad, decoded).isOk());
+}
+
+/** Error bound sweep: reconstruction error tracks qstep. */
+class RahtQstepSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RahtQstepSweep, ErrorScalesWithQstep)
+{
+    const double qstep = GetParam();
+    const VoxelCloud cloud = smoothSortedCloud(79, 600, 6);
+    RahtConfig config;
+    config.qstep = qstep;
+    auto payload = encodeRaht(cloud, config);
+    ASSERT_TRUE(payload.hasValue());
+    VoxelCloud decoded = cloud;
+    ASSERT_TRUE(decodeRahtInto(*payload, decoded).isOk());
+    // RAHT error is not strictly bounded by qstep/2 per point (the
+    // transform redistributes it), but it stays within a small
+    // multiple for smooth content.
+    EXPECT_LE(maxAbsColorError(cloud, decoded),
+              4.0 * qstep + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Qsteps, RahtQstepSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0,
+                                           8.0));
+
+}  // namespace
+}  // namespace edgepcc

@@ -1,0 +1,152 @@
+/** @file Tests for the WorkRecorder instrumentation. */
+
+#include "edgepcc/common/work_counters.h"
+
+#include <gtest/gtest.h>
+
+#include "edgepcc/common/rng.h"
+
+namespace edgepcc {
+namespace {
+
+KernelWork
+makeKernel(const char *name, std::uint64_t ops)
+{
+    KernelWork work;
+    work.name = name;
+    work.ops = ops;
+    work.bytes = ops * 2;
+    return work;
+}
+
+TEST(WorkRecorder, StagesCollectKernels)
+{
+    WorkRecorder recorder;
+    recorder.beginStage("alpha");
+    recorder.addKernel(makeKernel("k1", 10));
+    recorder.addKernel(makeKernel("k2", 20));
+    recorder.endStage();
+
+    const PipelineProfile &profile = recorder.profile();
+    ASSERT_EQ(profile.stages.size(), 1u);
+    EXPECT_EQ(profile.stages[0].name, "alpha");
+    EXPECT_EQ(profile.stages[0].totalOps(), 30u);
+    EXPECT_EQ(profile.stages[0].totalBytes(), 60u);
+    EXPECT_GE(profile.stages[0].host_seconds, 0.0);
+}
+
+TEST(WorkRecorder, BeginClosesPreviousStage)
+{
+    WorkRecorder recorder;
+    recorder.beginStage("first");
+    recorder.addKernel(makeKernel("a", 1));
+    recorder.beginStage("second");
+    recorder.addKernel(makeKernel("b", 2));
+    recorder.endStage();
+
+    const auto &profile = recorder.profile();
+    ASSERT_EQ(profile.stages.size(), 2u);
+    EXPECT_EQ(profile.stages[0].name, "first");
+    EXPECT_EQ(profile.stages[1].name, "second");
+    EXPECT_EQ(profile.stages[1].totalOps(), 2u);
+}
+
+TEST(WorkRecorder, OrphanKernelGetsImplicitStage)
+{
+    WorkRecorder recorder;
+    recorder.addKernel(makeKernel("lonely", 5));
+    const auto &profile = recorder.profile();
+    ASSERT_EQ(profile.stages.size(), 1u);
+    EXPECT_EQ(profile.stages[0].name, "lonely");
+}
+
+TEST(WorkRecorder, TakeProfileClosesOpenStage)
+{
+    WorkRecorder recorder;
+    recorder.beginStage("open");
+    recorder.addKernel(makeKernel("x", 1));
+    const PipelineProfile profile = recorder.takeProfile();
+    ASSERT_EQ(profile.stages.size(), 1u);
+    // Recorder is reusable afterwards.
+    recorder.beginStage("next");
+    recorder.endStage();
+    EXPECT_EQ(recorder.profile().stages.size(), 1u);
+}
+
+TEST(WorkRecorder, EndWithoutBeginIsNoop)
+{
+    WorkRecorder recorder;
+    recorder.endStage();
+    EXPECT_TRUE(recorder.profile().stages.empty());
+}
+
+TEST(WorkRecorder, ScopedStageAndNullSafety)
+{
+    {
+        ScopedStage null_scope(nullptr, "ignored");
+        recordKernel(nullptr, makeKernel("ignored", 1));
+    }
+    WorkRecorder recorder;
+    {
+        ScopedStage scope(&recorder, "scoped");
+        recordKernel(&recorder, makeKernel("k", 3));
+    }
+    ASSERT_EQ(recorder.profile().stages.size(), 1u);
+    EXPECT_EQ(recorder.profile().stages[0].name, "scoped");
+}
+
+TEST(PipelineProfile, PrefixSums)
+{
+    WorkRecorder recorder;
+    recorder.beginStage("geom.a");
+    recorder.endStage();
+    recorder.beginStage("geom.b");
+    recorder.endStage();
+    recorder.beginStage("attr.c");
+    recorder.endStage();
+    const auto profile = recorder.takeProfile();
+    EXPECT_GE(profile.hostSecondsWithPrefix("geom."), 0.0);
+    EXPECT_LE(profile.hostSecondsWithPrefix("geom."),
+              profile.hostSeconds());
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double value = rng.uniform(2.0, 5.0);
+        EXPECT_GE(value, 2.0);
+        EXPECT_LT(value, 5.0);
+    }
+}
+
+TEST(Rng, BoundedBelowBound)
+{
+    Rng rng(10);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.bounded(17), 17u);
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard)
+{
+    Rng rng(11);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace edgepcc
