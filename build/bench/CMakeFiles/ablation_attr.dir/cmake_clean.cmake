@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_attr.dir/ablation_attr.cpp.o"
+  "CMakeFiles/ablation_attr.dir/ablation_attr.cpp.o.d"
+  "ablation_attr"
+  "ablation_attr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_attr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

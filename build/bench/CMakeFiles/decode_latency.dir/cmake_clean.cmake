@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decode_latency.dir/decode_latency.cpp.o"
+  "CMakeFiles/decode_latency.dir/decode_latency.cpp.o.d"
+  "decode_latency"
+  "decode_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decode_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgepcc_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/edgepcc_bench_common.dir/bench_common.cpp.o.d"
+  "libedgepcc_bench_common.a"
+  "libedgepcc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgepcc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

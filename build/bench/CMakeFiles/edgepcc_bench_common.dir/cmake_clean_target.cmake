@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedgepcc_bench_common.a"
+)

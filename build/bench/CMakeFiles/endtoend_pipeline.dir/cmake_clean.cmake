@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endtoend_pipeline.dir/endtoend_pipeline.cpp.o"
+  "CMakeFiles/endtoend_pipeline.dir/endtoend_pipeline.cpp.o.d"
+  "endtoend_pipeline"
+  "endtoend_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endtoend_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

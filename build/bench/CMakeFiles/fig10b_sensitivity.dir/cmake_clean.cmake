@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_sensitivity.dir/fig10b_sensitivity.cpp.o"
+  "CMakeFiles/fig10b_sensitivity.dir/fig10b_sensitivity.cpp.o.d"
+  "fig10b_sensitivity"
+  "fig10b_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

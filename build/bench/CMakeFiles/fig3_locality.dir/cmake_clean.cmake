@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_locality.dir/fig3_locality.cpp.o"
+  "CMakeFiles/fig3_locality.dir/fig3_locality.cpp.o.d"
+  "fig3_locality"
+  "fig3_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_latency.dir/fig8a_latency.cpp.o"
+  "CMakeFiles/fig8a_latency.dir/fig8a_latency.cpp.o.d"
+  "fig8a_latency"
+  "fig8a_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_energy.dir/fig8b_energy.cpp.o"
+  "CMakeFiles/fig8b_energy.dir/fig8b_energy.cpp.o.d"
+  "fig8b_energy"
+  "fig8b_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8c_compression.dir/fig8c_compression.cpp.o"
+  "CMakeFiles/fig8c_compression.dir/fig8c_compression.cpp.o.d"
+  "fig8c_compression"
+  "fig8c_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8c_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_mode.dir/power_mode.cpp.o"
+  "CMakeFiles/power_mode.dir/power_mode.cpp.o.d"
+  "power_mode"
+  "power_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_profiler.dir/edge_profiler.cpp.o"
+  "CMakeFiles/edge_profiler.dir/edge_profiler.cpp.o.d"
+  "edge_profiler"
+  "edge_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_tuner.dir/quality_tuner.cpp.o"
+  "CMakeFiles/quality_tuner.dir/quality_tuner.cpp.o.d"
+  "quality_tuner"
+  "quality_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

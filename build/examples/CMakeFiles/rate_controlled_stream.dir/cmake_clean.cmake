@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_controlled_stream.dir/rate_controlled_stream.cpp.o"
+  "CMakeFiles/rate_controlled_stream.dir/rate_controlled_stream.cpp.o.d"
+  "rate_controlled_stream"
+  "rate_controlled_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_controlled_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telepresence_stream.dir/telepresence_stream.cpp.o"
+  "CMakeFiles/telepresence_stream.dir/telepresence_stream.cpp.o.d"
+  "telepresence_stream"
+  "telepresence_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telepresence_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

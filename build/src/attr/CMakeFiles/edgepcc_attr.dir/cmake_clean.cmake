@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgepcc_attr.dir/predicting_transform.cpp.o"
+  "CMakeFiles/edgepcc_attr.dir/predicting_transform.cpp.o.d"
+  "CMakeFiles/edgepcc_attr.dir/raht.cpp.o"
+  "CMakeFiles/edgepcc_attr.dir/raht.cpp.o.d"
+  "CMakeFiles/edgepcc_attr.dir/segment_codec.cpp.o"
+  "CMakeFiles/edgepcc_attr.dir/segment_codec.cpp.o.d"
+  "libedgepcc_attr.a"
+  "libedgepcc_attr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgepcc_attr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

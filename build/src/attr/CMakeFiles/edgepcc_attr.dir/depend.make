@@ -1,0 +1,2 @@
+# Empty dependencies file for edgepcc_attr.
+# This may be replaced when dependencies are built.

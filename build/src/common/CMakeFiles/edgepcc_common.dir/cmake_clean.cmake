@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgepcc_common.dir/log.cpp.o"
+  "CMakeFiles/edgepcc_common.dir/log.cpp.o.d"
+  "CMakeFiles/edgepcc_common.dir/rng.cpp.o"
+  "CMakeFiles/edgepcc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/edgepcc_common.dir/status.cpp.o"
+  "CMakeFiles/edgepcc_common.dir/status.cpp.o.d"
+  "CMakeFiles/edgepcc_common.dir/work_counters.cpp.o"
+  "CMakeFiles/edgepcc_common.dir/work_counters.cpp.o.d"
+  "libedgepcc_common.a"
+  "libedgepcc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgepcc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgepcc_core.dir/presets.cpp.o"
+  "CMakeFiles/edgepcc_core.dir/presets.cpp.o.d"
+  "CMakeFiles/edgepcc_core.dir/video_codec.cpp.o"
+  "CMakeFiles/edgepcc_core.dir/video_codec.cpp.o.d"
+  "libedgepcc_core.a"
+  "libedgepcc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgepcc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

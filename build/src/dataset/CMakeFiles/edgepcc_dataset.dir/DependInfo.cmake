@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/catalogue.cpp" "src/dataset/CMakeFiles/edgepcc_dataset.dir/catalogue.cpp.o" "gcc" "src/dataset/CMakeFiles/edgepcc_dataset.dir/catalogue.cpp.o.d"
+  "/root/repo/src/dataset/ply_io.cpp" "src/dataset/CMakeFiles/edgepcc_dataset.dir/ply_io.cpp.o" "gcc" "src/dataset/CMakeFiles/edgepcc_dataset.dir/ply_io.cpp.o.d"
+  "/root/repo/src/dataset/synthetic_human.cpp" "src/dataset/CMakeFiles/edgepcc_dataset.dir/synthetic_human.cpp.o" "gcc" "src/dataset/CMakeFiles/edgepcc_dataset.dir/synthetic_human.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/edgepcc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/edgepcc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/morton/CMakeFiles/edgepcc_morton.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/edgepcc_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

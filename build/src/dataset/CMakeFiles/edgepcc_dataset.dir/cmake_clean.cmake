@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgepcc_dataset.dir/catalogue.cpp.o"
+  "CMakeFiles/edgepcc_dataset.dir/catalogue.cpp.o.d"
+  "CMakeFiles/edgepcc_dataset.dir/ply_io.cpp.o"
+  "CMakeFiles/edgepcc_dataset.dir/ply_io.cpp.o.d"
+  "CMakeFiles/edgepcc_dataset.dir/synthetic_human.cpp.o"
+  "CMakeFiles/edgepcc_dataset.dir/synthetic_human.cpp.o.d"
+  "libedgepcc_dataset.a"
+  "libedgepcc_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgepcc_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

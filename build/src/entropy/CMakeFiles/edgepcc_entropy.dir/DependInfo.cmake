@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/entropy/bitstream.cpp" "src/entropy/CMakeFiles/edgepcc_entropy.dir/bitstream.cpp.o" "gcc" "src/entropy/CMakeFiles/edgepcc_entropy.dir/bitstream.cpp.o.d"
+  "/root/repo/src/entropy/range_coder.cpp" "src/entropy/CMakeFiles/edgepcc_entropy.dir/range_coder.cpp.o" "gcc" "src/entropy/CMakeFiles/edgepcc_entropy.dir/range_coder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/edgepcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgepcc_entropy.dir/bitstream.cpp.o"
+  "CMakeFiles/edgepcc_entropy.dir/bitstream.cpp.o.d"
+  "CMakeFiles/edgepcc_entropy.dir/range_coder.cpp.o"
+  "CMakeFiles/edgepcc_entropy.dir/range_coder.cpp.o.d"
+  "libedgepcc_entropy.a"
+  "libedgepcc_entropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgepcc_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/grid_hash.cpp" "src/geometry/CMakeFiles/edgepcc_geometry.dir/grid_hash.cpp.o" "gcc" "src/geometry/CMakeFiles/edgepcc_geometry.dir/grid_hash.cpp.o.d"
+  "/root/repo/src/geometry/point_cloud.cpp" "src/geometry/CMakeFiles/edgepcc_geometry.dir/point_cloud.cpp.o" "gcc" "src/geometry/CMakeFiles/edgepcc_geometry.dir/point_cloud.cpp.o.d"
+  "/root/repo/src/geometry/voxelizer.cpp" "src/geometry/CMakeFiles/edgepcc_geometry.dir/voxelizer.cpp.o" "gcc" "src/geometry/CMakeFiles/edgepcc_geometry.dir/voxelizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/edgepcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgepcc_geometry.dir/grid_hash.cpp.o"
+  "CMakeFiles/edgepcc_geometry.dir/grid_hash.cpp.o.d"
+  "CMakeFiles/edgepcc_geometry.dir/point_cloud.cpp.o"
+  "CMakeFiles/edgepcc_geometry.dir/point_cloud.cpp.o.d"
+  "CMakeFiles/edgepcc_geometry.dir/voxelizer.cpp.o"
+  "CMakeFiles/edgepcc_geometry.dir/voxelizer.cpp.o.d"
+  "libedgepcc_geometry.a"
+  "libedgepcc_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgepcc_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

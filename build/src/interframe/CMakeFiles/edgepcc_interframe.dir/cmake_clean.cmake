@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgepcc_interframe.dir/block_matcher.cpp.o"
+  "CMakeFiles/edgepcc_interframe.dir/block_matcher.cpp.o.d"
+  "CMakeFiles/edgepcc_interframe.dir/macroblock_codec.cpp.o"
+  "CMakeFiles/edgepcc_interframe.dir/macroblock_codec.cpp.o.d"
+  "libedgepcc_interframe.a"
+  "libedgepcc_interframe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgepcc_interframe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for edgepcc_interframe.
+# This may be replaced when dependencies are built.

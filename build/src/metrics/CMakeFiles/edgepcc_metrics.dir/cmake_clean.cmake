@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgepcc_metrics.dir/cdf.cpp.o"
+  "CMakeFiles/edgepcc_metrics.dir/cdf.cpp.o.d"
+  "CMakeFiles/edgepcc_metrics.dir/quality.cpp.o"
+  "CMakeFiles/edgepcc_metrics.dir/quality.cpp.o.d"
+  "libedgepcc_metrics.a"
+  "libedgepcc_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgepcc_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

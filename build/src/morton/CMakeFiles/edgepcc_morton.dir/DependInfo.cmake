@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/morton/morton.cpp" "src/morton/CMakeFiles/edgepcc_morton.dir/morton.cpp.o" "gcc" "src/morton/CMakeFiles/edgepcc_morton.dir/morton.cpp.o.d"
+  "/root/repo/src/morton/morton_order.cpp" "src/morton/CMakeFiles/edgepcc_morton.dir/morton_order.cpp.o" "gcc" "src/morton/CMakeFiles/edgepcc_morton.dir/morton_order.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/edgepcc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/edgepcc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/edgepcc_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

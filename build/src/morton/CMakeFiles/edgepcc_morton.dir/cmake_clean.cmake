@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgepcc_morton.dir/morton.cpp.o"
+  "CMakeFiles/edgepcc_morton.dir/morton.cpp.o.d"
+  "CMakeFiles/edgepcc_morton.dir/morton_order.cpp.o"
+  "CMakeFiles/edgepcc_morton.dir/morton_order.cpp.o.d"
+  "libedgepcc_morton.a"
+  "libedgepcc_morton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgepcc_morton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

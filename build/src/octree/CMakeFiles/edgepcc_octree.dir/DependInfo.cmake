@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/octree/geometry_codec.cpp" "src/octree/CMakeFiles/edgepcc_octree.dir/geometry_codec.cpp.o" "gcc" "src/octree/CMakeFiles/edgepcc_octree.dir/geometry_codec.cpp.o.d"
+  "/root/repo/src/octree/parallel_builder.cpp" "src/octree/CMakeFiles/edgepcc_octree.dir/parallel_builder.cpp.o" "gcc" "src/octree/CMakeFiles/edgepcc_octree.dir/parallel_builder.cpp.o.d"
+  "/root/repo/src/octree/sequential_builder.cpp" "src/octree/CMakeFiles/edgepcc_octree.dir/sequential_builder.cpp.o" "gcc" "src/octree/CMakeFiles/edgepcc_octree.dir/sequential_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/edgepcc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/entropy/CMakeFiles/edgepcc_entropy.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/edgepcc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/morton/CMakeFiles/edgepcc_morton.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/edgepcc_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgepcc_octree.dir/geometry_codec.cpp.o"
+  "CMakeFiles/edgepcc_octree.dir/geometry_codec.cpp.o.d"
+  "CMakeFiles/edgepcc_octree.dir/parallel_builder.cpp.o"
+  "CMakeFiles/edgepcc_octree.dir/parallel_builder.cpp.o.d"
+  "CMakeFiles/edgepcc_octree.dir/sequential_builder.cpp.o"
+  "CMakeFiles/edgepcc_octree.dir/sequential_builder.cpp.o.d"
+  "libedgepcc_octree.a"
+  "libedgepcc_octree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgepcc_octree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgepcc_parallel.dir/radix_sort.cpp.o"
+  "CMakeFiles/edgepcc_parallel.dir/radix_sort.cpp.o.d"
+  "CMakeFiles/edgepcc_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/edgepcc_parallel.dir/thread_pool.cpp.o.d"
+  "libedgepcc_parallel.a"
+  "libedgepcc_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgepcc_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgepcc_platform.dir/calibration.cpp.o"
+  "CMakeFiles/edgepcc_platform.dir/calibration.cpp.o.d"
+  "CMakeFiles/edgepcc_platform.dir/device_model.cpp.o"
+  "CMakeFiles/edgepcc_platform.dir/device_model.cpp.o.d"
+  "libedgepcc_platform.a"
+  "libedgepcc_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgepcc_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

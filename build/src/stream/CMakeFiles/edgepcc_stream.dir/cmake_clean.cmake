@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgepcc_stream.dir/network_model.cpp.o"
+  "CMakeFiles/edgepcc_stream.dir/network_model.cpp.o.d"
+  "CMakeFiles/edgepcc_stream.dir/pipeline.cpp.o"
+  "CMakeFiles/edgepcc_stream.dir/pipeline.cpp.o.d"
+  "CMakeFiles/edgepcc_stream.dir/rate_controller.cpp.o"
+  "CMakeFiles/edgepcc_stream.dir/rate_controller.cpp.o.d"
+  "CMakeFiles/edgepcc_stream.dir/stream_file.cpp.o"
+  "CMakeFiles/edgepcc_stream.dir/stream_file.cpp.o.d"
+  "libedgepcc_stream.a"
+  "libedgepcc_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgepcc_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

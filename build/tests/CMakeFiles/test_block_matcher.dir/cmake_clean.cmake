@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_matcher.dir/test_block_matcher.cpp.o"
+  "CMakeFiles/test_block_matcher.dir/test_block_matcher.cpp.o.d"
+  "test_block_matcher"
+  "test_block_matcher.pdb"
+  "test_block_matcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

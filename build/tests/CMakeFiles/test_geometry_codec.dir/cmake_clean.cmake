@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geometry_codec.dir/test_geometry_codec.cpp.o"
+  "CMakeFiles/test_geometry_codec.dir/test_geometry_codec.cpp.o.d"
+  "test_geometry_codec"
+  "test_geometry_codec.pdb"
+  "test_geometry_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geometry_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

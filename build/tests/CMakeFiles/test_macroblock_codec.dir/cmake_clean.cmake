@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_macroblock_codec.dir/test_macroblock_codec.cpp.o"
+  "CMakeFiles/test_macroblock_codec.dir/test_macroblock_codec.cpp.o.d"
+  "test_macroblock_codec"
+  "test_macroblock_codec.pdb"
+  "test_macroblock_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_macroblock_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

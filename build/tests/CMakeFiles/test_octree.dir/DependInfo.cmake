@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_octree.cpp" "tests/CMakeFiles/test_octree.dir/test_octree.cpp.o" "gcc" "tests/CMakeFiles/test_octree.dir/test_octree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/edgepcc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/edgepcc_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/edgepcc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/edgepcc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/edgepcc_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/interframe/CMakeFiles/edgepcc_interframe.dir/DependInfo.cmake"
+  "/root/repo/build/src/attr/CMakeFiles/edgepcc_attr.dir/DependInfo.cmake"
+  "/root/repo/build/src/octree/CMakeFiles/edgepcc_octree.dir/DependInfo.cmake"
+  "/root/repo/build/src/morton/CMakeFiles/edgepcc_morton.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/edgepcc_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/entropy/CMakeFiles/edgepcc_entropy.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/edgepcc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edgepcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predicting_transform.dir/test_predicting_transform.cpp.o"
+  "CMakeFiles/test_predicting_transform.dir/test_predicting_transform.cpp.o.d"
+  "test_predicting_transform"
+  "test_predicting_transform.pdb"
+  "test_predicting_transform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predicting_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

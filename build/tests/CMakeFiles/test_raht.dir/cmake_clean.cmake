@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raht.dir/test_raht.cpp.o"
+  "CMakeFiles/test_raht.dir/test_raht.cpp.o.d"
+  "test_raht"
+  "test_raht.pdb"
+  "test_raht[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

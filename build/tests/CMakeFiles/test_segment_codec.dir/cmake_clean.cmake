@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_segment_codec.dir/test_segment_codec.cpp.o"
+  "CMakeFiles/test_segment_codec.dir/test_segment_codec.cpp.o.d"
+  "test_segment_codec"
+  "test_segment_codec.pdb"
+  "test_segment_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_segment_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

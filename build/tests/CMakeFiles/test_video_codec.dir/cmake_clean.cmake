@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_video_codec.dir/test_video_codec.cpp.o"
+  "CMakeFiles/test_video_codec.dir/test_video_codec.cpp.o.d"
+  "test_video_codec"
+  "test_video_codec.pdb"
+  "test_video_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_video_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_work_counters.dir/test_work_counters.cpp.o"
+  "CMakeFiles/test_work_counters.dir/test_work_counters.cpp.o.d"
+  "test_work_counters"
+  "test_work_counters.pdb"
+  "test_work_counters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_work_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

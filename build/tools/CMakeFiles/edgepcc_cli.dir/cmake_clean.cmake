@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgepcc_cli.dir/edgepcc_cli.cpp.o"
+  "CMakeFiles/edgepcc_cli.dir/edgepcc_cli.cpp.o.d"
+  "edgepcc_cli"
+  "edgepcc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgepcc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
