@@ -1,0 +1,38 @@
+# Sanitizer configuration for the EdgePCC build.
+#
+# Usage: -DEDGEPCC_SANITIZE="address;undefined" (or "thread", or
+# "memory" with a clang toolchain). The list is forwarded to
+# -fsanitize= on every target through the `edgepcc_sanitizers`
+# interface target, which edgepcc_add_module() and the test/tool/
+# bench helpers all link. Mixing thread with address is rejected by
+# the compilers themselves, so no extra validation is done here.
+#
+# The sanitizer builds also define EDGEPCC_DCHECK_ENABLED so
+# EDGEPCC_DCHECK invariants abort loudly (see
+# include/edgepcc/common/check.h).
+
+set(EDGEPCC_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizer list (address;undefined | thread | memory | leak)")
+
+add_library(edgepcc_sanitizers INTERFACE)
+
+if(EDGEPCC_SANITIZE)
+    if("memory" IN_LIST EDGEPCC_SANITIZE AND
+       NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+        message(FATAL_ERROR
+            "EDGEPCC_SANITIZE=memory requires a clang toolchain "
+            "(MemorySanitizer is not implemented in GCC)")
+    endif()
+
+    string(REPLACE ";" "," _edgepcc_san_flags "${EDGEPCC_SANITIZE}")
+    target_compile_options(edgepcc_sanitizers INTERFACE
+        -fsanitize=${_edgepcc_san_flags}
+        -fno-omit-frame-pointer
+        -fno-sanitize-recover=all
+        -g)
+    target_link_options(edgepcc_sanitizers INTERFACE
+        -fsanitize=${_edgepcc_san_flags})
+    target_compile_definitions(edgepcc_sanitizers INTERFACE
+        EDGEPCC_DCHECK_ENABLED=1)
+    message(STATUS "EdgePCC sanitizers enabled: ${EDGEPCC_SANITIZE}")
+endif()

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Invariant and bitstream-validation macros.
+ *
+ * Two distinct failure classes exist in a codec and they must not be
+ * conflated:
+ *
+ *  - **Untrusted input** (truncated or bit-flipped bitstreams).
+ *    Rejecting it is normal operation: `EDGEPCC_CHECK*` returns a
+ *    `Status` (typically `kCorruptBitstream`) carrying the failing
+ *    file:line so a misbehaving stream is diagnosable in production
+ *    logs. These checks are ALWAYS on, in every build type — a
+ *    decoder must never trade safety for speed.
+ *
+ *  - **Programmer error** (broken internal invariants). These abort
+ *    with a file:line report when `EDGEPCC_DCHECK_ENABLED` is
+ *    defined (sanitizer presets define it; see
+ *    cmake/Sanitizers.cmake) and compile to nothing in release
+ *    builds. `EDGEPCC_DCHECK` is the hardened replacement for bare
+ *    `assert`: it fires under the asan/ubsan/tsan test matrix where
+ *    a crash is loud and attributable, instead of silently
+ *    disappearing under NDEBUG.
+ */
+
+#ifndef EDGEPCC_COMMON_CHECK_H
+#define EDGEPCC_COMMON_CHECK_H
+
+#include <cstddef>
+#include <string>
+
+#include "edgepcc/common/status.h"
+
+namespace edgepcc {
+
+/**
+ * Upper bound on any element count a decoder trusts from a stream
+ * header before allocating (points, channel values, blocks). Real
+ * frames are well under a million points; a corrupt varint can claim
+ * 2^60 and must fail as `kCorruptBitstream`, not as an OOM abort
+ * inside `std::vector::resize`.
+ */
+constexpr std::size_t kMaxDecodeItems = std::size_t{1} << 24;
+
+namespace detail {
+
+/** Builds "file:line: message" for check diagnostics. */
+std::string checkMessage(const char *file, int line,
+                         const char *message);
+
+/** Prints "file:line: DCHECK failed: cond" and aborts. */
+[[noreturn]] void dcheckFail(const char *file, int line,
+                             const char *condition);
+
+}  // namespace detail
+}  // namespace edgepcc
+
+/**
+ * Validates data-dependent input; on failure returns `status_expr`
+ * from the enclosing function (which must return `Status` or
+ * `Expected<T>`). Always enabled.
+ */
+#define EDGEPCC_CHECK(cond, status_expr)                                    \
+    do {                                                                    \
+        if (!(cond)) [[unlikely]]                                           \
+            return (status_expr);                                           \
+    } while (false)
+
+/**
+ * Validates bitstream-derived data; on failure returns
+ * `Status(kCorruptBitstream)` tagged with file:line and `message`.
+ * The workhorse check at decoder entry points. Always enabled.
+ */
+#define EDGEPCC_CHECK_CORRUPT(cond, message)                                \
+    EDGEPCC_CHECK(cond,                                                     \
+                  ::edgepcc::corruptBitstream(                              \
+                      ::edgepcc::detail::checkMessage(                      \
+                          __FILE__, __LINE__, message)))
+
+/**
+ * Validates caller-supplied arguments; on failure returns
+ * `Status(kInvalidArgument)` tagged with file:line. Always enabled.
+ */
+#define EDGEPCC_CHECK_ARG(cond, message)                                    \
+    EDGEPCC_CHECK(cond,                                                     \
+                  ::edgepcc::invalidArgument(                               \
+                      ::edgepcc::detail::checkMessage(                      \
+                          __FILE__, __LINE__, message)))
+
+/**
+ * Internal invariant: aborts with file:line under
+ * `EDGEPCC_DCHECK_ENABLED` (the sanitizer presets), compiles to a
+ * no-op otherwise. The condition is never evaluated in release
+ * builds but stays type-checked.
+ */
+#if defined(EDGEPCC_DCHECK_ENABLED)
+#define EDGEPCC_DCHECK(cond)                                                \
+    ((cond) ? static_cast<void>(0)                                          \
+            : ::edgepcc::detail::dcheckFail(__FILE__, __LINE__, #cond))
+#else
+#define EDGEPCC_DCHECK(cond)                                                \
+    (true ? static_cast<void>(0) : static_cast<void>(cond))
+#endif
+
+#endif  // EDGEPCC_COMMON_CHECK_H

@@ -3,6 +3,11 @@
  * Data-parallel primitives (`parallelFor`, `parallelReduce`) over the
  * thread pool. These mirror the CUDA kernels of the paper's GPU
  * implementation.
+ *
+ * Each call waits on its own completion latch rather than the pool's
+ * global task counter, so (a) concurrent callers never wait on each
+ * other's work and (b) nesting a primitive inside a pool task cannot
+ * deadlock: the waiter helps drain the queue while its latch is open.
  */
 
 #ifndef EDGEPCC_PARALLEL_PARALLEL_FOR_H
@@ -10,18 +15,57 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <latch>
 #include <vector>
 
 #include "edgepcc/parallel/thread_pool.h"
 
 namespace edgepcc {
 
+namespace detail {
+
+/**
+ * Blocks until `latch` opens. Runs queued pool tasks on this thread
+ * while waiting, which keeps nested calls (a chunk body that itself
+ * uses parallelFor) deadlock-free and puts the caller to work
+ * instead of sleeping.
+ */
+inline void
+waitHelping(std::latch &latch, ThreadPool &pool)
+{
+    while (!latch.try_wait()) {
+        if (!pool.tryRunOne()) {
+            // Queue drained: our still-open tasks are running on
+            // workers; block until their count_down calls arrive.
+            latch.wait();
+            return;
+        }
+    }
+}
+
+/**
+ * Chunk geometry shared by the primitives: at least `grain` items
+ * per chunk, at most one chunk per (worker + caller). Returns the
+ * chunk size; a single chunk means "run inline" — submitting one
+ * task to the pool would pay queue overhead for zero parallelism.
+ */
+inline std::size_t
+chunkSize(std::size_t n, std::size_t workers, std::size_t grain)
+{
+    const std::size_t parts = workers + 1;  // workers + caller
+    return std::max<std::size_t>(std::max<std::size_t>(grain, 1),
+                                 (n + parts - 1) / parts);
+}
+
+}  // namespace detail
+
 /**
  * Applies `body(i)` for i in [begin, end) using the pool.
  *
  * The iteration space is split into contiguous chunks of at least
  * `grain` elements so per-task overhead stays negligible. `body` must
- * be safe to invoke concurrently for distinct indices.
+ * be safe to invoke concurrently for distinct indices. Safe to call
+ * from inside another parallel primitive's body.
  */
 template <typename Body>
 void
@@ -32,21 +76,24 @@ parallelFor(std::size_t begin, std::size_t end, const Body &body,
     if (begin >= end)
         return;
     const std::size_t n = end - begin;
-    const std::size_t workers = pool.numThreads() + 1;
-    std::size_t chunk = std::max(grain, (n + workers - 1) / workers);
-    if (workers == 1 || n <= grain) {
+    const std::size_t chunk =
+        detail::chunkSize(n, pool.numThreads(), grain);
+    const std::size_t num_chunks = (n + chunk - 1) / chunk;
+    if (pool.numThreads() == 0 || num_chunks <= 1) {
         for (std::size_t i = begin; i < end; ++i)
             body(i);
         return;
     }
+    std::latch latch(static_cast<std::ptrdiff_t>(num_chunks));
     for (std::size_t lo = begin; lo < end; lo += chunk) {
         const std::size_t hi = std::min(end, lo + chunk);
-        pool.submit([lo, hi, &body] {
+        pool.submit([lo, hi, &body, &latch] {
             for (std::size_t i = lo; i < hi; ++i)
                 body(i);
+            latch.count_down();
         });
     }
-    pool.wait();
+    detail::waitHelping(latch, pool);
 }
 
 /**
@@ -62,17 +109,22 @@ parallelForChunks(std::size_t begin, std::size_t end, const Body &body,
     if (begin >= end)
         return;
     const std::size_t n = end - begin;
-    const std::size_t workers = pool.numThreads() + 1;
-    std::size_t chunk = std::max(grain, (n + workers - 1) / workers);
-    if (workers == 1 || n <= grain) {
+    const std::size_t chunk =
+        detail::chunkSize(n, pool.numThreads(), grain);
+    const std::size_t num_chunks = (n + chunk - 1) / chunk;
+    if (pool.numThreads() == 0 || num_chunks <= 1) {
         body(begin, end);
         return;
     }
+    std::latch latch(static_cast<std::ptrdiff_t>(num_chunks));
     for (std::size_t lo = begin; lo < end; lo += chunk) {
         const std::size_t hi = std::min(end, lo + chunk);
-        pool.submit([lo, hi, &body] { body(lo, hi); });
+        pool.submit([lo, hi, &body, &latch] {
+            body(lo, hi);
+            latch.count_down();
+        });
     }
-    pool.wait();
+    detail::waitHelping(latch, pool);
 }
 
 /**
@@ -89,22 +141,31 @@ parallelReduce(std::size_t begin, std::size_t end, T identity,
     if (begin >= end)
         return identity;
     const std::size_t n = end - begin;
-    const std::size_t workers = pool.numThreads() + 1;
-    std::size_t chunk = std::max(grain, (n + workers - 1) / workers);
+    const std::size_t chunk =
+        detail::chunkSize(n, pool.numThreads(), grain);
     const std::size_t num_chunks = (n + chunk - 1) / chunk;
+    if (pool.numThreads() == 0 || num_chunks <= 1) {
+        T acc = identity;
+        for (std::size_t i = begin; i < end; ++i)
+            acc = combine(acc, mapper(i));
+        return acc;
+    }
     std::vector<T> partials(num_chunks, identity);
+    std::latch latch(static_cast<std::ptrdiff_t>(num_chunks));
     std::size_t index = 0;
     for (std::size_t lo = begin; lo < end; lo += chunk, ++index) {
         const std::size_t hi = std::min(end, lo + chunk);
         T *slot = &partials[index];
-        pool.submit([lo, hi, slot, identity, &mapper, &combine] {
-            T acc = identity;
-            for (std::size_t i = lo; i < hi; ++i)
-                acc = combine(acc, mapper(i));
-            *slot = acc;
-        });
+        pool.submit(
+            [lo, hi, slot, identity, &mapper, &combine, &latch] {
+                T acc = identity;
+                for (std::size_t i = lo; i < hi; ++i)
+                    acc = combine(acc, mapper(i));
+                *slot = acc;
+                latch.count_down();
+            });
     }
-    pool.wait();
+    detail::waitHelping(latch, pool);
     T result = identity;
     for (const T &partial : partials)
         result = combine(result, partial);

@@ -45,8 +45,27 @@ class ThreadPool
     /** Enqueues a task; runs inline when the pool has no workers. */
     void submit(std::function<void()> task);
 
-    /** Blocks until every submitted task has finished. */
+    /**
+     * Blocks until every submitted task has finished. While waiting,
+     * the calling thread helps drain the queue, so `wait()` from a
+     * caller that just submitted work makes progress even when all
+     * workers are busy.
+     *
+     * Must not be called from inside a pool task: the caller's own
+     * task counts as in flight, so the global counter can never
+     * reach zero (use `parallelFor`, which waits on a per-call latch
+     * and is safe to nest).
+     */
     void wait();
+
+    /**
+     * Pops and runs one queued task on the calling thread.
+     * @return false when the queue was empty.
+     *
+     * This is the work-stealing hook the data-parallel primitives
+     * use to wait without blocking a worker (see parallel_for.h).
+     */
+    bool tryRunOne();
 
     /**
      * Process-wide default pool, sized to the host's hardware

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "edgepcc/common/check.h"
 #include "edgepcc/entropy/bitstream.h"
 
 namespace edgepcc {
@@ -177,12 +178,23 @@ decodeSegmentAttr(const std::vector<std::uint8_t> &payload,
     (void)flags;  // layer-2 presence is implicit in the mids
     const std::size_t n =
         static_cast<std::size_t>(reader.readVarint());
-    const std::uint32_t num_segments =
-        static_cast<std::uint32_t>(reader.readVarint());
-    const std::int64_t q =
-        static_cast<std::int64_t>(reader.readVarint());
-    if (reader.overrun() || n == 0 || num_segments == 0 || q == 0)
-        return corruptBitstream("segment payload: bad header");
+    const std::uint64_t num_segments_raw = reader.readVarint();
+    const std::uint64_t q_raw = reader.readVarint();
+    EDGEPCC_CHECK_CORRUPT(!reader.overrun() && n != 0 &&
+                              num_segments_raw != 0 && q_raw != 0,
+                          "segment payload: bad header");
+    // All three counts are attacker-controlled: a flipped varint
+    // continuation bit can claim 2^60 points and the channel
+    // resize below must not be the first place that notices.
+    EDGEPCC_CHECK_CORRUPT(n <= kMaxDecodeItems,
+                          "segment payload: implausible point count");
+    EDGEPCC_CHECK_CORRUPT(num_segments_raw <= n,
+                          "segment payload: more segments than points");
+    EDGEPCC_CHECK_CORRUPT(q_raw <= (std::uint64_t{1} << 31),
+                          "segment payload: implausible quant step");
+    const auto num_segments =
+        static_cast<std::uint32_t>(num_segments_raw);
+    const auto q = static_cast<std::int64_t>(q_raw);
 
     SegmentLayout layout;
     layout.num_segments = num_segments;
@@ -196,9 +208,8 @@ decodeSegmentAttr(const std::vector<std::uint8_t> &payload,
     for (std::uint32_t s = 0; s < num_segments; ++s) {
         const std::size_t lo = layout.begin(s);
         const std::size_t hi = layout.end(s, n);
-        if (lo >= n)
-            return corruptBitstream(
-                "segment payload: segment out of range");
+        EDGEPCC_CHECK_CORRUPT(lo < n,
+                              "segment payload: segment out of range");
         for (int c = 0; c < 3; ++c) {
             const auto mid1 = static_cast<std::int64_t>(
                 reader.readSignedVarint());
@@ -210,13 +221,22 @@ decodeSegmentAttr(const std::vector<std::uint8_t> &payload,
             for (std::size_t i = lo; i < hi; ++i) {
                 const std::int64_t res2 =
                     zigzagDecode(reader.readBits(width));
+                // Reconstruct in unsigned space: corrupt mids can
+                // make the signed arithmetic overflow, which is UB;
+                // two's-complement wrap-around yields the same bits
+                // on valid streams and garbage-but-defined values
+                // on corrupt ones (rejected downstream).
+                const std::uint64_t scaled =
+                    (static_cast<std::uint64_t>(mid2) +
+                     static_cast<std::uint64_t>(res2)) *
+                    static_cast<std::uint64_t>(q);
                 values[i] = static_cast<std::int32_t>(
-                    mid1 + (mid2 + res2) * q);
+                    static_cast<std::uint64_t>(mid1) + scaled);
             }
         }
     }
-    if (reader.overrun())
-        return corruptBitstream("segment payload: truncated");
+    EDGEPCC_CHECK_CORRUPT(!reader.overrun(),
+                          "segment payload: truncated");
 
     recordKernel(recorder,
                  KernelWork{.name = "attrdec.seg_unpack",

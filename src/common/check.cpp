@@ -1,0 +1,33 @@
+#include "edgepcc/common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace edgepcc {
+namespace detail {
+
+std::string
+checkMessage(const char *file, int line, const char *message)
+{
+    // Strip the directory prefix: diagnostics should be stable
+    // across checkouts and short in logs.
+    const char *base = file;
+    for (const char *p = file; *p != '\0'; ++p) {
+        if (*p == '/' || *p == '\\')
+            base = p + 1;
+    }
+    return std::string(base) + ":" + std::to_string(line) + ": " +
+           message;
+}
+
+void
+dcheckFail(const char *file, int line, const char *condition)
+{
+    std::fprintf(stderr, "%s:%d: DCHECK failed: %s\n", file, line,
+                 condition);
+    std::fflush(stderr);
+    std::abort();
+}
+
+}  // namespace detail
+}  // namespace edgepcc

@@ -26,7 +26,8 @@ struct Capsule {
     area() const
     {
         const double radius = r;
-        return 2.0 * kPi * radius * length() +
+        return 2.0 * kPi * radius *
+                   static_cast<double>(length()) +
                4.0 * kPi * radius * radius;
     }
 };
@@ -198,9 +199,9 @@ valueNoise(const Vec3f &p, std::uint64_t seed, double scale)
                    static_cast<double>(0xffffffu) * 2.0 -
                1.0;
     };
-    const double fx = p.x * scale;
-    const double fy = p.y * scale;
-    const double fz = p.z * scale;
+    const double fx = static_cast<double>(p.x) * scale;
+    const double fy = static_cast<double>(p.y) * scale;
+    const double fz = static_cast<double>(p.z) * scale;
     const auto ix = static_cast<std::int64_t>(std::floor(fx));
     const auto iy = static_cast<std::int64_t>(std::floor(fy));
     const auto iz = static_cast<std::int64_t>(std::floor(fz));
@@ -318,7 +319,8 @@ SyntheticHumanVideo::buildSamples()
         if (count == 0)
             continue;
         const double side_area =
-            2.0 * kPi * capsule.r * capsule.length();
+            2.0 * kPi * static_cast<double>(capsule.r) *
+            static_cast<double>(capsule.length());
         const double side_fraction = side_area / area;
 
         Vec3f axis = capsule.p1 - capsule.p0;
@@ -378,7 +380,8 @@ SyntheticHumanVideo::buildSamples()
                            1.0 / 12.0);
             const double shade =
                 0.86 +
-                0.28 * std::max(0.0f, normal.dot(light));
+                0.28 * static_cast<double>(std::max(
+                           0.0f, normal.dot(light)));
             const double wobble =
                 14.0 * noise_coarse + 6.0 * noise_fine;
             sample.color = Color{

@@ -1,6 +1,9 @@
 #include "edgepcc/entropy/range_coder.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "edgepcc/common/check.h"
 
 namespace edgepcc {
 
@@ -288,8 +291,13 @@ Expected<std::vector<std::uint8_t>>
 entropyDecompress(const std::vector<std::uint8_t> &input,
                   std::size_t output_size)
 {
+    // `output_size` comes from an untrusted stream header: cap the
+    // up-front reservation and let push_back grow on demand, so a
+    // corrupt 2^60 claim fails via decoder overrun instead of OOM.
+    EDGEPCC_CHECK_CORRUPT(output_size <= kMaxDecodeItems * 8,
+                          "entropyDecompress: implausible size");
     std::vector<std::uint8_t> out;
-    out.reserve(output_size);
+    out.reserve(std::min(output_size, input.size() * 8 + 64));
     RangeDecoder decoder(input);
     AdaptiveByteModel model;
     for (std::size_t i = 0; i < output_size; ++i) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "edgepcc/common/check.h"
 #include "edgepcc/entropy/bitstream.h"
 #include "edgepcc/entropy/range_coder.h"
 #include "edgepcc/morton/morton.h"
@@ -320,12 +321,12 @@ decodeMacroBlockAttrInto(const std::vector<std::uint8_t> &payload,
     const int mb_bits = static_cast<int>(reader.readVarint());
     const std::size_t num_blocks =
         static_cast<std::size_t>(reader.readVarint());
-    if (reader.overrun() || mb_bits < 1 ||
-        mb_bits >= p_cloud.gridBits())
-        return corruptBitstream("mb payload: bad header");
-    if (n != p_cloud.size())
-        return corruptBitstream(
-            "mb payload: point count mismatch with geometry");
+    EDGEPCC_CHECK_CORRUPT(!reader.overrun() && mb_bits >= 1 &&
+                              mb_bits < p_cloud.gridBits(),
+                          "mb payload: bad header");
+    EDGEPCC_CHECK_CORRUPT(
+        n == p_cloud.size(),
+        "mb payload: point count mismatch with geometry");
 
     const std::vector<MbRun> p_runs = buildRuns(p_cloud, mb_bits);
     const std::vector<MbRun> i_runs =
@@ -344,12 +345,20 @@ decodeMacroBlockAttrInto(const std::vector<std::uint8_t> &payload,
         reuse_flag[pb] =
             static_cast<std::uint8_t>(reader.readBits(1));
         if (reuse_flag[pb]) {
-            translations[pb].dx = static_cast<std::int32_t>(
-                reader.readSignedVarint());
-            translations[pb].dy = static_cast<std::int32_t>(
-                reader.readSignedVarint());
-            translations[pb].dz = static_cast<std::int32_t>(
-                reader.readSignedVarint());
+            const std::int64_t dx = reader.readSignedVarint();
+            const std::int64_t dy = reader.readSignedVarint();
+            const std::int64_t dz = reader.readSignedVarint();
+            // The encoder clamps to +-kMaxTranslation; anything
+            // wider is corruption, and unclamped values would
+            // overflow the squared-distance terms in nearestInRun.
+            EDGEPCC_CHECK_CORRUPT(
+                std::abs(dx) <= kMaxTranslation &&
+                    std::abs(dy) <= kMaxTranslation &&
+                    std::abs(dz) <= kMaxTranslation,
+                "mb payload: translation out of range");
+            translations[pb].dx = static_cast<std::int32_t>(dx);
+            translations[pb].dy = static_cast<std::int32_t>(dy);
+            translations[pb].dz = static_cast<std::int32_t>(dz);
         }
     }
     const std::size_t raw_size =
@@ -357,9 +366,14 @@ decodeMacroBlockAttrInto(const std::vector<std::uint8_t> &payload,
     const std::size_t packed_size =
         static_cast<std::size_t>(reader.readVarint());
     reader.alignToByte();
-    if (reader.overrun() ||
-        reader.byteOffset() + packed_size > payload.size())
-        return corruptBitstream("mb payload: truncated");
+    EDGEPCC_CHECK_CORRUPT(
+        !reader.overrun() &&
+            reader.byteOffset() + packed_size <= payload.size(),
+        "mb payload: truncated");
+    // Raw attributes are 3 bytes per point for non-reused blocks:
+    // never more than 3n in a well-formed stream.
+    EDGEPCC_CHECK_CORRUPT(raw_size <= 3 * n,
+                          "mb payload: implausible raw size");
     std::vector<std::uint8_t> packed(
         payload.begin() +
             static_cast<std::ptrdiff_t>(reader.byteOffset()),

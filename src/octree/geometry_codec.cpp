@@ -1,7 +1,10 @@
 #include "edgepcc/octree/geometry_codec.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+
+#include "edgepcc/common/check.h"
 
 #include "edgepcc/entropy/bitstream.h"
 #include "edgepcc/entropy/range_coder.h"
@@ -402,31 +405,46 @@ parsePayload(const std::vector<std::uint8_t> &payload)
     header.depth = static_cast<int>(reader.readVarint());
     header.num_voxels =
         static_cast<std::size_t>(reader.readVarint());
-    if (header.depth < 1 || header.depth > kMaxMortonBitsPerAxis)
-        return corruptBitstream("geometry payload: bad depth");
+    EDGEPCC_CHECK_CORRUPT(header.depth >= 1 &&
+                              header.depth <= kMaxMortonBitsPerAxis,
+                          "geometry payload: bad depth");
+    EDGEPCC_CHECK_CORRUPT(header.num_voxels <= kMaxDecodeItems,
+                          "geometry payload: implausible voxel count");
     if (header.flags & kFlagTightBbox) {
         header.box.original_depth =
             static_cast<int>(reader.readVarint());
-        if (header.box.original_depth < header.depth ||
-            header.box.original_depth > kMaxMortonBitsPerAxis) {
-            return corruptBitstream(
-                "geometry payload: bad original depth");
-        }
+        EDGEPCC_CHECK_CORRUPT(
+            header.box.original_depth >= header.depth &&
+                header.box.original_depth <= kMaxMortonBitsPerAxis,
+            "geometry payload: bad original depth");
         for (int a = 0; a < 3; ++a) {
             header.box.min[a] =
                 static_cast<std::uint32_t>(reader.readVarint());
+            // The shift-back in decodeGeometry adds box.min to
+            // 21-bit Morton components; an unchecked 2^32-scale
+            // minimum would wrap std::uint32_t and dodge the grid
+            // bound below.
+            EDGEPCC_CHECK_CORRUPT(
+                header.box.min[a] <
+                    (1u << header.box.original_depth),
+                "geometry payload: bbox origin outside grid");
         }
     }
     const auto occupancy_size =
         static_cast<std::size_t>(reader.readVarint());
     header.occupancy_size = occupancy_size;
+    // Every occupancy byte is one branch node; a stream can never
+    // legitimately carry more nodes than leaves it can produce.
+    EDGEPCC_CHECK_CORRUPT(occupancy_size <= kMaxDecodeItems * 2,
+                          "geometry payload: implausible node count");
     if (header.flags & kFlagEntropy) {
         const auto packed_size =
             static_cast<std::size_t>(reader.readVarint());
         reader.alignToByte();
-        if (reader.byteOffset() + packed_size > payload.size())
-            return corruptBitstream(
-                "geometry payload: truncated entropy block");
+        EDGEPCC_CHECK_CORRUPT(
+            !reader.overrun() &&
+                reader.byteOffset() + packed_size <= payload.size(),
+            "geometry payload: truncated entropy block");
         std::vector<std::uint8_t> packed(
             payload.begin() +
                 static_cast<std::ptrdiff_t>(reader.byteOffset()),
@@ -492,6 +510,9 @@ expandBreadthFirst(const ParsedHeader &header)
             }
         }
         frontier = std::move(next);
+        EDGEPCC_CHECK_CORRUPT(
+            frontier.size() <= kMaxDecodeItems,
+            "geometry payload: tree expansion exceeds leaf cap");
     }
     if (!source.exhausted())
         return corruptBitstream(
@@ -520,6 +541,9 @@ expandDepthFirst(const ParsedHeader &header)
         const StackEntry entry = stack.back();
         stack.pop_back();
         if (entry.level == header.depth) {
+            EDGEPCC_CHECK_CORRUPT(
+                leaves.size() < kMaxDecodeItems,
+                "geometry payload: tree expansion exceeds leaf cap");
             leaves.push_back(entry.code);
             continue;
         }
@@ -601,7 +625,10 @@ decodeGeometry(const std::vector<std::uint8_t> &payload,
     cloud.resize(leaves->size());
     const auto &codes = *leaves;
     const std::uint32_t grid_limit = cloud.gridSize();
-    bool out_of_grid = false;
+    // Written concurrently by parallelFor chunks; relaxed is enough
+    // (the flag only ever goes false -> true and is read after the
+    // implicit join).
+    std::atomic<bool> out_of_grid{false};
     parallelFor(0, codes.size(), [&](std::size_t i) {
         const MortonXyz xyz = mortonDecode(codes[i]);
         const std::uint32_t ox =
@@ -612,14 +639,14 @@ decodeGeometry(const std::vector<std::uint8_t> &payload,
             xyz.z + (tight ? header->box.min[2] : 0);
         if (ox >= grid_limit || oy >= grid_limit ||
             oz >= grid_limit) {
-            out_of_grid = true;
+            out_of_grid.store(true, std::memory_order_relaxed);
             return;
         }
         cloud.mutableX()[i] = static_cast<std::uint16_t>(ox);
         cloud.mutableY()[i] = static_cast<std::uint16_t>(oy);
         cloud.mutableZ()[i] = static_cast<std::uint16_t>(oz);
     });
-    if (out_of_grid)
+    if (out_of_grid.load(std::memory_order_relaxed))
         return corruptBitstream(
             "geometry payload: decoded voxel outside grid");
     recordKernel(recorder,

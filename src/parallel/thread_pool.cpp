@@ -41,7 +41,46 @@ ThreadPool::wait()
     if (workers_.empty())
         return;
     std::unique_lock<std::mutex> lock(mutex_);
-    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    for (;;) {
+        if (!queue_.empty()) {
+            // Help drain instead of sleeping: the waiter often
+            // submitted this work and owns the captures it uses.
+            std::function<void()> task =
+                std::move(queue_.front());
+            queue_.pop_front();
+            lock.unlock();
+            task();
+            lock.lock();
+            if (--in_flight_ == 0)
+                all_done_.notify_all();
+            continue;
+        }
+        if (in_flight_ == 0)
+            return;
+        all_done_.wait(lock, [this] {
+            return in_flight_ == 0 || !queue_.empty();
+        });
+    }
+}
+
+bool
+ThreadPool::tryRunOne()
+{
+    std::function<void()> task;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty())
+            return false;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+    }
+    task();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--in_flight_ == 0)
+            all_done_.notify_all();
+    }
+    return true;
 }
 
 void

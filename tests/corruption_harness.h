@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Shared corruption-sweep helpers for decoder robustness tests.
+ *
+ * A decoder under test is wrapped as a DecodeFn that (a) runs the
+ * decode on an arbitrary byte buffer and (b) validates any
+ * successfully decoded output (sizes, coordinate bounds) before
+ * returning Ok. The sweeps then assert the hardening contract: a
+ * corrupt stream may decode to garbage values or fail with
+ * Status::kCorruptBitstream, but it must never crash, trip a
+ * sanitizer, or yield out-of-bounds output.
+ */
+
+#ifndef EDGEPCC_TESTS_CORRUPTION_HARNESS_H
+#define EDGEPCC_TESTS_CORRUPTION_HARNESS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "edgepcc/common/rng.h"
+#include "edgepcc/common/status.h"
+
+namespace edgepcc::testing {
+
+/** Decodes `bytes` and validates any Ok output before returning. */
+using DecodeFn =
+    std::function<Status(const std::vector<std::uint8_t> &)>;
+
+/** Result of a corruption sweep. */
+struct SweepStats {
+    std::size_t attempts = 0;
+    std::size_t decoded_ok = 0;   ///< mutations the decoder accepted
+    std::size_t rejected = 0;     ///< clean Status failures
+};
+
+/**
+ * Decodes every strict prefix of `payload` (including the empty
+ * buffer). Each truncation point must produce either a clean Status
+ * failure or valid output — the process-level contract (no crash, no
+ * sanitizer report) is checked implicitly by surviving the sweep.
+ */
+inline SweepStats
+truncationSweep(const std::vector<std::uint8_t> &payload,
+                const DecodeFn &decode)
+{
+    SweepStats stats;
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+        const std::vector<std::uint8_t> prefix(
+            payload.begin(),
+            payload.begin() + static_cast<std::ptrdiff_t>(len));
+        ++stats.attempts;
+        if (decode(prefix).isOk())
+            ++stats.decoded_ok;
+        else
+            ++stats.rejected;
+    }
+    return stats;
+}
+
+/**
+ * Applies `num_flips` independent single-bit flips at seeded random
+ * positions, decoding after each. Every flip starts from the pristine
+ * payload, so each trial corrupts exactly one bit.
+ */
+inline SweepStats
+bitFlipSweep(const std::vector<std::uint8_t> &payload,
+             const DecodeFn &decode, std::uint64_t seed,
+             std::size_t num_flips = 256)
+{
+    SweepStats stats;
+    Rng rng(seed);
+    const std::size_t num_bits = payload.size() * 8;
+    if (num_bits == 0)
+        return stats;
+    for (std::size_t flip = 0; flip < num_flips; ++flip) {
+        std::vector<std::uint8_t> mutated = payload;
+        const std::size_t bit =
+            static_cast<std::size_t>(rng.bounded(num_bits));
+        mutated[bit / 8] ^=
+            static_cast<std::uint8_t>(1u << (bit % 8));
+        ++stats.attempts;
+        if (decode(mutated).isOk())
+            ++stats.decoded_ok;
+        else
+            ++stats.rejected;
+    }
+    return stats;
+}
+
+/**
+ * Heavier mutation: overwrites a seeded random run of bytes with
+ * random garbage (stresses length fields and varint continuations in
+ * ways single-bit flips cannot).
+ */
+inline SweepStats
+garbageRunSweep(const std::vector<std::uint8_t> &payload,
+                const DecodeFn &decode, std::uint64_t seed,
+                std::size_t num_trials = 64)
+{
+    SweepStats stats;
+    Rng rng(seed);
+    if (payload.empty())
+        return stats;
+    for (std::size_t trial = 0; trial < num_trials; ++trial) {
+        std::vector<std::uint8_t> mutated = payload;
+        const std::size_t start = static_cast<std::size_t>(
+            rng.bounded(mutated.size()));
+        const std::size_t max_run = mutated.size() - start;
+        const std::size_t run = 1 + static_cast<std::size_t>(
+            rng.bounded(std::uint64_t{max_run < 16 ? max_run : 16}));
+        for (std::size_t i = 0; i < run; ++i)
+            mutated[start + i] =
+                static_cast<std::uint8_t>(rng());
+        ++stats.attempts;
+        if (decode(mutated).isOk())
+            ++stats.decoded_ok;
+        else
+            ++stats.rejected;
+    }
+    return stats;
+}
+
+/** Runs all three sweeps and accumulates the stats. */
+inline SweepStats
+fullSweep(const std::vector<std::uint8_t> &payload,
+          const DecodeFn &decode, std::uint64_t seed,
+          std::size_t num_flips = 256)
+{
+    SweepStats total = truncationSweep(payload, decode);
+    const SweepStats flips =
+        bitFlipSweep(payload, decode, seed, num_flips);
+    const SweepStats runs =
+        garbageRunSweep(payload, decode, seed ^ 0x9e3779b9u);
+    total.attempts += flips.attempts + runs.attempts;
+    total.decoded_ok += flips.decoded_ok + runs.decoded_ok;
+    total.rejected += flips.rejected + runs.rejected;
+    return total;
+}
+
+}  // namespace edgepcc::testing
+
+#endif  // EDGEPCC_TESTS_CORRUPTION_HARNESS_H

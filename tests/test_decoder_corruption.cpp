@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Corruption harness over every decoder entry point: round-trips
+ * each codec, then sweeps truncations at every byte boundary plus
+ * seeded bit flips and garbage runs, asserting that corrupt input
+ * yields a clean Status (or validated output) rather than a crash,
+ * sanitizer report, or out-of-bounds result. Run under the asan and
+ * tsan presets to give the "no UB" half of the contract teeth.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "corruption_harness.h"
+#include "edgepcc/attr/segment_codec.h"
+#include "edgepcc/common/rng.h"
+#include "edgepcc/entropy/bitstream.h"
+#include "edgepcc/entropy/range_coder.h"
+#include "edgepcc/interframe/macroblock_codec.h"
+#include "edgepcc/morton/morton.h"
+#include "edgepcc/octree/geometry_codec.h"
+
+namespace edgepcc {
+namespace {
+
+using testing::DecodeFn;
+using testing::SweepStats;
+using testing::fullSweep;
+
+/** Morton-sorted synthetic surface cloud (small: the truncation
+ *  sweep decodes the payload once per byte). */
+VoxelCloud
+surfaceCloud(std::uint64_t seed, std::size_t n, int bits,
+             int shift_x = 0)
+{
+    Rng rng(seed);
+    std::set<std::uint64_t> codes;
+    const std::uint32_t grid = 1u << bits;
+    while (codes.size() < n) {
+        const auto x = static_cast<std::uint32_t>(
+            (rng.bounded(grid / 2) + shift_x) % grid);
+        const auto y =
+            static_cast<std::uint32_t>(rng.bounded(grid / 2));
+        const std::uint32_t z = (x * 2 + y) % grid;
+        codes.insert(mortonEncode(x, y, z));
+    }
+    VoxelCloud cloud(bits);
+    for (const std::uint64_t code : codes) {
+        const MortonXyz xyz = mortonDecode(code);
+        cloud.add(static_cast<std::uint16_t>(xyz.x),
+                  static_cast<std::uint16_t>(xyz.y),
+                  static_cast<std::uint16_t>(xyz.z),
+                  static_cast<std::uint8_t>(xyz.x * 3),
+                  static_cast<std::uint8_t>(xyz.y * 5),
+                  static_cast<std::uint8_t>(xyz.z * 7));
+    }
+    return cloud;
+}
+
+// -----------------------------------------------------------------
+// BitReader
+// -----------------------------------------------------------------
+
+TEST(CorruptBitstream, BitReaderSurvivesSweeps)
+{
+    BitWriter writer;
+    Rng rng(42);
+    for (int i = 0; i < 64; ++i) {
+        writer.writeVarint(rng());
+        writer.writeSignedVarint(static_cast<std::int64_t>(rng()));
+        writer.writeBits(rng() & 0x1f, 5);
+    }
+    writer.alignToByte();
+    const std::vector<std::uint8_t> payload = writer.bytes();
+
+    const DecodeFn decode =
+        [](const std::vector<std::uint8_t> &bytes) {
+            BitReader reader(bytes);
+            // Read more fields than were written so truncation is
+            // always exercised; the reader must saturate via its
+            // overrun flag, never read out of bounds.
+            for (int i = 0; i < 80; ++i) {
+                (void)reader.readVarint();
+                (void)reader.readSignedVarint();
+                (void)reader.readBits(5);
+            }
+            return reader.status();
+        };
+
+    const SweepStats stats = fullSweep(payload, decode, 1001);
+    EXPECT_GT(stats.attempts, payload.size());
+    EXPECT_GT(stats.rejected, 0u);
+}
+
+// -----------------------------------------------------------------
+// Adaptive range coder
+// -----------------------------------------------------------------
+
+TEST(CorruptBitstream, EntropyDecompressSurvivesSweeps)
+{
+    Rng rng(7);
+    std::vector<std::uint8_t> original(4096);
+    for (auto &byte : original)
+        byte = static_cast<std::uint8_t>(rng.bounded(24) * 11);
+    const std::vector<std::uint8_t> payload =
+        entropyCompress(original);
+    const std::size_t expected_size = original.size();
+
+    const DecodeFn decode =
+        [expected_size](const std::vector<std::uint8_t> &bytes)
+        -> Status {
+        auto decoded = entropyDecompress(bytes, expected_size);
+        if (!decoded.hasValue())
+            return decoded.status();
+        EXPECT_EQ(decoded->size(), expected_size);
+        return Status::ok();
+    };
+
+    // Sanity: the pristine payload round-trips.
+    auto pristine = entropyDecompress(payload, expected_size);
+    ASSERT_TRUE(pristine.hasValue());
+    EXPECT_EQ(*pristine, original);
+
+    const SweepStats stats = fullSweep(payload, decode, 1002);
+    EXPECT_GT(stats.rejected, 0u);
+}
+
+TEST(CorruptBitstream, EntropyDecompressRejectsHugeClaimedSize)
+{
+    const std::vector<std::uint8_t> tiny = {0x01, 0x02, 0x03};
+    auto decoded =
+        entropyDecompress(tiny, std::size_t{1} << 60);
+    ASSERT_FALSE(decoded.hasValue());
+    EXPECT_EQ(decoded.status().code(),
+              StatusCode::kCorruptBitstream);
+}
+
+// -----------------------------------------------------------------
+// Geometry codec (all builder / entropy variants)
+// -----------------------------------------------------------------
+
+DecodeFn
+geometryValidator()
+{
+    return [](const std::vector<std::uint8_t> &bytes) -> Status {
+        auto decoded = decodeGeometry(bytes);
+        if (!decoded.hasValue())
+            return decoded.status();
+        const VoxelCloud &cloud = *decoded;
+        const std::uint32_t grid = cloud.gridSize();
+        for (std::size_t i = 0; i < cloud.size(); ++i) {
+            EXPECT_LT(cloud.x()[i], grid);
+            EXPECT_LT(cloud.y()[i], grid);
+            EXPECT_LT(cloud.z()[i], grid);
+        }
+        return Status::ok();
+    };
+}
+
+struct GeometryVariant {
+    const char *name;
+    GeometryConfig config;
+};
+
+std::vector<GeometryVariant>
+geometryVariants()
+{
+    std::vector<GeometryVariant> variants;
+    GeometryConfig sequential;
+    sequential.builder = GeometryConfig::Builder::kSequential;
+    sequential.tight_bbox = false;
+    variants.push_back({"sequential", sequential});
+
+    GeometryConfig parallel;
+    parallel.builder = GeometryConfig::Builder::kParallelMorton;
+    variants.push_back({"parallel", parallel});
+
+    GeometryConfig entropy = parallel;
+    entropy.entropy_coding = true;
+    variants.push_back({"entropy", entropy});
+
+    GeometryConfig contextual = parallel;
+    contextual.contextual_entropy = true;
+    variants.push_back({"contextual", contextual});
+    return variants;
+}
+
+TEST(CorruptBitstream, GeometryDecoderSurvivesSweeps)
+{
+    const VoxelCloud cloud = surfaceCloud(21, 1500, 7);
+    const DecodeFn decode = geometryValidator();
+    std::uint64_t seed = 2000;
+    for (const GeometryVariant &variant : geometryVariants()) {
+        SCOPED_TRACE(variant.name);
+        auto encoded = encodeGeometry(cloud, variant.config);
+        ASSERT_TRUE(encoded.hasValue());
+
+        // Sanity: pristine payload decodes.
+        ASSERT_TRUE(decode(encoded->payload).isOk());
+
+        const SweepStats stats =
+            fullSweep(encoded->payload, decode, ++seed);
+        EXPECT_GT(stats.rejected, 0u);
+    }
+}
+
+TEST(CorruptBitstream, GeometryDecoderRejectsEmptyAndGarbage)
+{
+    const DecodeFn decode = geometryValidator();
+    EXPECT_FALSE(decode({}).isOk());
+    Rng rng(3);
+    std::vector<std::uint8_t> garbage(512);
+    for (auto &byte : garbage)
+        byte = static_cast<std::uint8_t>(rng());
+    EXPECT_FALSE(decode(garbage).isOk());
+}
+
+// -----------------------------------------------------------------
+// Segment attribute codec
+// -----------------------------------------------------------------
+
+TEST(CorruptBitstream, SegmentDecoderSurvivesSweeps)
+{
+    Rng rng(5);
+    const std::size_t n = 2000;
+    AttrChannels channels;
+    for (auto &channel : channels) {
+        channel.resize(n);
+        for (auto &value : channel)
+            value = static_cast<std::int32_t>(rng.bounded(256));
+    }
+    SegmentCodecConfig config;
+    auto encoded = encodeSegmentAttr(channels, config);
+    ASSERT_TRUE(encoded.hasValue());
+
+    const DecodeFn decode =
+        [n](const std::vector<std::uint8_t> &bytes) -> Status {
+        auto decoded = decodeSegmentAttr(bytes);
+        if (!decoded.hasValue())
+            return decoded.status();
+        for (const auto &channel : *decoded)
+            EXPECT_LE(channel.size(), std::size_t{1} << 24);
+        (void)n;
+        return Status::ok();
+    };
+
+    ASSERT_TRUE(decode(*encoded).isOk());
+    const SweepStats stats = fullSweep(*encoded, decode, 3001);
+    EXPECT_GT(stats.rejected, 0u);
+}
+
+// -----------------------------------------------------------------
+// Macro-block inter-frame codec
+// -----------------------------------------------------------------
+
+TEST(CorruptBitstream, MacroBlockDecoderSurvivesSweeps)
+{
+    const VoxelCloud i_frame = surfaceCloud(31, 1200, 7, 0);
+    const VoxelCloud p_frame = surfaceCloud(32, 1200, 7, 5);
+    MacroBlockConfig config;
+    auto encoded = encodeMacroBlockAttr(p_frame, i_frame, config);
+    ASSERT_TRUE(encoded.hasValue());
+
+    const DecodeFn decode =
+        [&i_frame,
+         &p_frame](const std::vector<std::uint8_t> &bytes) {
+            // Fresh output cloud per trial: a partial decode must
+            // not leave out-of-range colors behind.
+            VoxelCloud out = p_frame;
+            for (std::size_t i = 0; i < out.size(); ++i)
+                out.setColor(i, Color{});
+            return decodeMacroBlockAttrInto(bytes, i_frame, out);
+        };
+
+    ASSERT_TRUE(decode(encoded->payload).isOk());
+    const SweepStats stats =
+        fullSweep(encoded->payload, decode, 4001);
+    EXPECT_GT(stats.rejected, 0u);
+}
+
+TEST(CorruptBitstream, RawEntropyAttrSurvivesSweeps)
+{
+    const VoxelCloud cloud = surfaceCloud(41, 1500, 7);
+    const std::vector<std::uint8_t> payload =
+        encodeRawEntropyAttr(cloud);
+
+    const DecodeFn decode =
+        [&cloud](const std::vector<std::uint8_t> &bytes) {
+            VoxelCloud out = cloud;
+            return decodeRawEntropyAttrInto(bytes, out);
+        };
+
+    ASSERT_TRUE(decode(payload).isOk());
+    const SweepStats stats = fullSweep(payload, decode, 5001);
+    EXPECT_GT(stats.rejected, 0u);
+}
+
+}  // namespace
+}  // namespace edgepcc

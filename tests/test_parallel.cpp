@@ -61,6 +61,63 @@ TEST(ParallelFor, EmptyRange)
     EXPECT_FALSE(touched);
 }
 
+TEST(ParallelFor, NonZeroBeginCoversExactRange)
+{
+    // Regression: chunking must respect `begin`, not restart at 0.
+    ThreadPool pool(2);
+    constexpr std::size_t kBegin = 1000;
+    constexpr std::size_t kEnd = 9000;
+    std::vector<std::atomic<int>> hits(kEnd + 100);
+    parallelFor(
+        kBegin, kEnd, [&](std::size_t i) { ++hits[i]; }, pool,
+        64);
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(),
+                  (i >= kBegin && i < kEnd) ? 1 : 0)
+            << i;
+}
+
+TEST(ParallelFor, GrainLargerThanRangeRunsInline)
+{
+    // Regression: grain > n must degenerate to one inline chunk,
+    // not produce zero or empty chunks.
+    ThreadPool pool(2);
+    std::vector<std::atomic<int>> hits(10);
+    parallelFor(
+        3, 7, [&](std::size_t i) { ++hits[i]; }, pool, 1024);
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(), (i >= 3 && i < 7) ? 1 : 0);
+}
+
+TEST(ParallelForChunks, NonZeroBeginAndLargeGrain)
+{
+    ThreadPool pool(2);
+    std::atomic<std::uint64_t> sum{0};
+    parallelForChunks(
+        100, 200,
+        [&](std::size_t lo, std::size_t hi) {
+            std::uint64_t local = 0;
+            for (std::size_t i = lo; i < hi; ++i)
+                local += i;
+            sum.fetch_add(local);
+        },
+        pool, 5000);
+    std::uint64_t expected = 0;
+    for (std::size_t i = 100; i < 200; ++i)
+        expected += i;
+    EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ParallelReduce, NonZeroBeginAndGrainLargerThanRange)
+{
+    ThreadPool pool(2);
+    const std::uint64_t got = parallelReduce<std::uint64_t>(
+        10, 20, 0, [](std::size_t i) { return i; },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; },
+        pool, 4096);
+    EXPECT_EQ(got, 145u);  // 10 + 11 + ... + 19
+}
+
 TEST(ParallelForChunks, ChunksPartitionTheRange)
 {
     std::vector<int> data(10000, 0);
@@ -133,8 +190,9 @@ TEST(RadixSort, IsStable)
         pairs.push_back({i % 7, i});
     radixSortPairs(pairs, 8);
     for (std::size_t i = 1; i < pairs.size(); ++i) {
-        if (pairs[i - 1].key == pairs[i].key)
+        if (pairs[i - 1].key == pairs[i].key) {
             EXPECT_LT(pairs[i - 1].index, pairs[i].index);
+        }
     }
 }
 

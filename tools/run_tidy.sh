@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over every translation unit using the `tidy` CMake
+# preset's compile_commands.json.
+#
+# Usage:
+#   tools/run_tidy.sh                 # analyze src/ tools/ tests/ bench/
+#   tools/run_tidy.sh src/attr       # restrict to a subtree
+#   tools/run_tidy.sh --if-available # exit 0 (skip) when clang-tidy
+#                                    # is not installed instead of 127
+#
+# Exit codes: 0 clean/skipped, 1 findings, 127 clang-tidy missing.
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-tidy"
+
+soft_skip=0
+paths=()
+for arg in "$@"; do
+    case "$arg" in
+        --if-available) soft_skip=1 ;;
+        *) paths+=("$arg") ;;
+    esac
+done
+if [ "${#paths[@]}" -eq 0 ]; then
+    paths=(src tools tests bench)
+fi
+
+tidy_bin=""
+for candidate in clang-tidy clang-tidy-18 clang-tidy-17 \
+                 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+        tidy_bin="$candidate"
+        break
+    fi
+done
+if [ -z "$tidy_bin" ]; then
+    if [ "$soft_skip" -eq 1 ]; then
+        echo "run_tidy: clang-tidy not installed; skipping." >&2
+        exit 0
+    fi
+    echo "run_tidy: clang-tidy not found on PATH." >&2
+    exit 127
+fi
+
+# A compile database is required; configure the tidy preset without
+# CMAKE_CXX_CLANG_TIDY (we drive clang-tidy ourselves for better
+# parallelism and output control).
+if [ ! -f "${build_dir}/compile_commands.json" ]; then
+    cmake -S "$repo_root" -B "$build_dir" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        -DEDGEPCC_BUILD_BENCHES=ON \
+        -DEDGEPCC_BUILD_EXAMPLES=OFF >/dev/null
+fi
+
+mapfile -t sources < <(
+    for path in "${paths[@]}"; do
+        find "${repo_root}/${path}" -name '*.cpp' 2>/dev/null
+    done | sort -u
+)
+if [ "${#sources[@]}" -eq 0 ]; then
+    echo "run_tidy: no sources under: ${paths[*]}" >&2
+    exit 1
+fi
+
+echo "run_tidy: ${tidy_bin} over ${#sources[@]} files..."
+jobs="$(nproc 2>/dev/null || echo 2)"
+report="${repo_root}/tidy-report.txt"
+: > "$report"
+
+printf '%s\n' "${sources[@]}" |
+    xargs -P "$jobs" -I {} "$tidy_bin" -p "$build_dir" \
+        --quiet {} 2>/dev/null |
+    tee -a "$report"
+
+if grep -q "warning:\|error:" "$report"; then
+    echo "run_tidy: findings written to ${report}" >&2
+    exit 1
+fi
+echo "run_tidy: clean."
