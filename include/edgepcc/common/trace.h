@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Lightweight scoped-span tracing and cross-frame stage statistics.
+ *
+ * Two layers of observability exist in EdgePCC:
+ *  - WorkRecorder/StageProfile (work_counters.h) records *what a
+ *    stage did* (kernels, ops, bytes) for the edge device model;
+ *  - the Tracer here records *when spans ran* on the host, across
+ *    threads, for timeline inspection and overhead-free production
+ *    builds: with tracing disabled a span costs one relaxed atomic
+ *    load.
+ *
+ * Span streams export to the chrome://tracing "traceEvents" JSON
+ * format (load in chrome://tracing or https://ui.perfetto.dev), and
+ * StageStatsAggregator folds per-stage samples collected over many
+ * frames into p50/p95/max percentiles for BENCH_results.json (see
+ * tools/bench_runner and docs/OBSERVABILITY.md for the schemas).
+ */
+
+#ifndef EDGEPCC_COMMON_TRACE_H
+#define EDGEPCC_COMMON_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "edgepcc/common/work_counters.h"
+
+namespace edgepcc {
+
+/**
+ * One completed span. `name` must outlive the tracer; every call
+ * site passes a string literal, which makes recording allocation
+ * free.
+ */
+struct TraceEvent {
+    const char *name = "";
+    double start_s = 0.0;  ///< seconds on the process trace clock
+    double dur_s = 0.0;
+    std::uint32_t tid = 0;  ///< dense per-process thread id
+};
+
+/**
+ * Process-wide span collector.
+ *
+ * Disabled by default. All methods are thread-safe; recording takes
+ * one short mutex-protected append (spans are stage-grained — tens
+ * per frame — so contention is negligible, and the mutex keeps the
+ * collector trivially TSan-clean).
+ */
+class Tracer
+{
+  public:
+    static Tracer &global();
+
+    void
+    setEnabled(bool enabled)
+    {
+        enabled_.store(enabled, std::memory_order_relaxed);
+    }
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Seconds on the tracer's monotonic clock. */
+    static double nowSeconds();
+
+    /** Appends one completed span (callers use ScopedTrace). */
+    void record(const char *name, double start_s, double dur_s);
+
+    /** Copies out all recorded events, in recording order. */
+    std::vector<TraceEvent> events() const;
+
+    /** Removes every recorded event. */
+    void clear();
+
+    /** Events recorded so far. */
+    std::size_t eventCount() const;
+
+    /** Dense id of the calling thread (0 = first thread seen). */
+    static std::uint32_t currentThreadId();
+
+  private:
+    Tracer() = default;
+
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+    std::atomic<bool> enabled_{false};
+};
+
+/**
+ * RAII span: records [construction, destruction) into the global
+ * tracer when tracing is enabled. `name` must be a string literal
+ * (or otherwise outlive the tracer).
+ */
+class ScopedTrace
+{
+  public:
+    explicit ScopedTrace(const char *name)
+    {
+        if (Tracer::global().enabled()) {
+            name_ = name;
+            start_s_ = Tracer::nowSeconds();
+        }
+    }
+    ~ScopedTrace() { stop(); }
+
+    /** Ends the span early (idempotent; destruction is a no-op
+     *  afterwards). */
+    void
+    stop()
+    {
+        if (name_ != nullptr) {
+            Tracer::global().record(
+                name_, start_s_, Tracer::nowSeconds() - start_s_);
+            name_ = nullptr;
+        }
+    }
+
+    ScopedTrace(const ScopedTrace &) = delete;
+    ScopedTrace &operator=(const ScopedTrace &) = delete;
+
+  private:
+    const char *name_ = nullptr;  ///< null = tracing was disabled
+    double start_s_ = 0.0;
+};
+
+/**
+ * Combined hook for the hot paths: one scope both opens a
+ * WorkRecorder stage (device model) and a trace span (host
+ * timeline). Either side may be absent (null recorder / tracing
+ * disabled) at no cost to the other.
+ */
+class TracedStage
+{
+  public:
+    TracedStage(WorkRecorder *recorder, const char *name)
+        : stage_(recorder, name), trace_(name)
+    {
+    }
+
+  private:
+    ScopedStage stage_;
+    ScopedTrace trace_;
+};
+
+/** Writes events as a chrome://tracing JSON document. */
+void writeChromeTrace(const std::vector<TraceEvent> &events,
+                      std::ostream &out);
+
+/** Percentile summary of a sample set. */
+struct PercentileStats {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double max = 0.0;
+    double total = 0.0;
+};
+
+/** Summarizes `samples` (order irrelevant; empty -> zeros). */
+PercentileStats computePercentiles(std::vector<double> samples);
+
+/**
+ * Folds per-stage metrics across frames into percentile summaries.
+ *
+ * Feed it one addProfile() (or addStage()) call per encoded/decoded
+ * frame; modelled Jetson seconds are supplied by the caller because
+ * the device model lives above this module (src/platform).
+ */
+class StageStatsAggregator
+{
+  public:
+    struct StageSummary {
+        std::string name;
+        std::size_t frames = 0;          ///< samples seen
+        PercentileStats host_s;          ///< measured host seconds
+        PercentileStats model_s;         ///< modelled Jetson seconds
+        std::uint64_t total_ops = 0;
+        std::uint64_t total_bytes = 0;
+    };
+
+    /** Adds one stage sample. model_s < 0 means "not modelled". */
+    void addStage(const std::string &name, double host_s,
+                  double model_s, std::uint64_t ops,
+                  std::uint64_t bytes);
+
+    /** Adds every stage of one recorded frame profile. */
+    void addProfile(const PipelineProfile &profile);
+
+    /** Summaries in first-seen stage order. */
+    std::vector<StageSummary> summaries() const;
+
+    bool empty() const { return stages_.empty(); }
+
+  private:
+    struct Accum {
+        std::vector<double> host_samples;
+        std::vector<double> model_samples;
+        std::uint64_t ops = 0;
+        std::uint64_t bytes = 0;
+    };
+
+    std::map<std::string, Accum> stages_;
+    std::vector<std::string> order_;  ///< first-seen insertion order
+};
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_COMMON_TRACE_H

@@ -73,6 +73,14 @@ class ThreadPool
      */
     static ThreadPool &global();
 
+    /**
+     * Redirects global() to `pool` (nullptr restores the default).
+     * For tests and benches that need a fixed worker count (e.g. the
+     * 1-vs-N-thread determinism suite); swap only while no codec is
+     * running — concurrent global() users would race the redirect.
+     */
+    static void setGlobalOverride(ThreadPool *pool);
+
   private:
     void workerLoop();
 
@@ -83,6 +91,27 @@ class ThreadPool
     std::condition_variable all_done_;
     std::size_t in_flight_ = 0;
     bool shutting_down_ = false;
+};
+
+/** RAII global-pool redirect: builds a pool of `num_threads` workers
+ *  and makes it the global() pool for the enclosing scope. */
+class ScopedGlobalPool
+{
+  public:
+    explicit ScopedGlobalPool(std::size_t num_threads)
+        : pool_(num_threads)
+    {
+        ThreadPool::setGlobalOverride(&pool_);
+    }
+    ~ScopedGlobalPool() { ThreadPool::setGlobalOverride(nullptr); }
+
+    ScopedGlobalPool(const ScopedGlobalPool &) = delete;
+    ScopedGlobalPool &operator=(const ScopedGlobalPool &) = delete;
+
+    ThreadPool &pool() { return pool_; }
+
+  private:
+    ThreadPool pool_;
 };
 
 }  // namespace edgepcc

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "edgepcc/common/check.h"
+#include "edgepcc/common/trace.h"
 #include "edgepcc/entropy/bitstream.h"
 
 namespace edgepcc {
@@ -68,7 +69,7 @@ encodeSegmentAttr(const AttrChannels &channels,
         return invalidArgument(
             "encodeSegmentAttr: quant_step must be >= 1");
 
-    ScopedStage stage(recorder, "attr.segment");
+    TracedStage stage(recorder, "attr.segment");
 
     const SegmentLayout layout = makeSegmentLayout(n, config);
     const auto q = static_cast<std::int64_t>(config.quant_step);
@@ -166,7 +167,7 @@ Expected<AttrChannels>
 decodeSegmentAttr(const std::vector<std::uint8_t> &payload,
                   WorkRecorder *recorder)
 {
-    ScopedStage stage(recorder, "attrdec.segment");
+    TracedStage stage(recorder, "attrdec.segment");
 
     BitReader reader(payload);
     if (reader.readBits(8) != 'S' || reader.readBits(8) != 'A' ||

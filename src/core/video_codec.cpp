@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "edgepcc/common/trace.h"
 #include "edgepcc/entropy/bitstream.h"
 
 namespace edgepcc {
@@ -188,6 +189,7 @@ VideoEncoder::encode(const VoxelCloud &cloud)
             "(disable tight_bbox or use the sequential builder)");
     }
 
+    ScopedTrace frame_trace("encode.frame");
     WorkRecorder recorder;
     EncodedFrame out;
 
@@ -197,8 +199,10 @@ VideoEncoder::encode(const VoxelCloud &cloud)
              static_cast<std::uint32_t>(config_.gop_size) !=
          0);
 
-    auto geometry = encodeGeometry(cloud, config_.geometry,
-                                   &recorder);
+    Expected<GeometryEncoded> geometry = [&] {
+        ScopedTrace trace("encode.geometry");
+        return encodeGeometry(cloud, config_.geometry, &recorder);
+    }();
     if (!geometry)
         return geometry.status();
 
@@ -206,6 +210,8 @@ VideoEncoder::encode(const VoxelCloud &cloud)
     AttrKind attr_kind = AttrKind::kSegment;
     const VoxelCloud &sorted = geometry->sorted_cloud;
 
+    ScopedTrace attr_trace(want_p ? "encode.attr.inter"
+                                  : "encode.attr.intra");
     if (want_p) {
         if (config_.inter_mode == InterMode::kBlockMatch) {
             auto inter = encodeInterAttr(
@@ -260,12 +266,16 @@ VideoEncoder::encode(const VoxelCloud &cloud)
           }
         }
     }
+    attr_trace.stop();
 
     const Frame::Type type = want_p ? Frame::Type::kPredicted
                                     : Frame::Type::kIntra;
-    out.bitstream =
-        assembleContainer(type, attr_kind, cloud.gridBits(),
-                          geometry->payload, attr_payload);
+    {
+        ScopedTrace trace("encode.container");
+        out.bitstream =
+            assembleContainer(type, attr_kind, cloud.gridBits(),
+                              geometry->payload, attr_payload);
+    }
 
     out.stats.type = type;
     out.stats.num_input_points = cloud.size();
@@ -278,6 +288,7 @@ VideoEncoder::encode(const VoxelCloud &cloud)
 
     // Keep the reconstructed I frame as the prediction reference.
     if (!want_p && config_.inter_mode != InterMode::kNone) {
+        ScopedTrace trace("encode.reference");
         reference_ = sorted;
         const Status status = decodeIntraAttrInto(
             attr_kind, attr_payload, reference_, nullptr);
@@ -299,6 +310,7 @@ VideoDecoder::reset()
 Expected<DecodedFrame>
 VideoDecoder::decode(const std::vector<std::uint8_t> &bitstream)
 {
+    ScopedTrace frame_trace("decode.frame");
     auto parsed = parseContainer(bitstream);
     if (!parsed)
         return parsed.status();
@@ -307,11 +319,15 @@ VideoDecoder::decode(const std::vector<std::uint8_t> &bitstream)
     DecodedFrame out;
     out.type = parsed->type;
 
-    auto cloud = decodeGeometry(parsed->geometry, &recorder);
+    Expected<VoxelCloud> cloud = [&] {
+        ScopedTrace trace("decode.geometry");
+        return decodeGeometry(parsed->geometry, &recorder);
+    }();
     if (!cloud)
         return cloud.status();
     out.cloud = cloud.takeValue();
 
+    ScopedTrace attr_trace("decode.attr");
     switch (parsed->attr_kind) {
       case AttrKind::kInterBlockMatch: {
           if (!has_reference_)
@@ -344,6 +360,7 @@ VideoDecoder::decode(const std::vector<std::uint8_t> &bitstream)
           break;
       }
     }
+    attr_trace.stop();
 
     out.profile = recorder.takeProfile();
     return out;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "edgepcc/common/trace.h"
 #include "edgepcc/entropy/bitstream.h"
 
 namespace edgepcc {
@@ -99,7 +100,7 @@ encodeInterAttr(const VoxelCloud &p_sorted,
     std::uint64_t reused_points = 0;
 
     {
-        ScopedStage stage(recorder, "inter.match");
+        TracedStage stage(recorder, "inter.match");
         for (std::size_t pb = 0; pb < p_blocks; ++pb) {
             const std::size_t p_begin = p_layout.begin(
                 static_cast<std::uint32_t>(pb));
@@ -183,7 +184,7 @@ encodeInterAttr(const VoxelCloud &p_sorted,
     // Delta extraction for non-reused blocks.
     AttrChannels deltas;
     {
-        ScopedStage stage(recorder, "inter.delta");
+        TracedStage stage(recorder, "inter.delta");
         for (auto &channel : deltas)
             channel.reserve(result.stats.delta_points);
         for (std::size_t pb = 0; pb < p_blocks; ++pb) {
@@ -251,7 +252,7 @@ encodeInterAttr(const VoxelCloud &p_sorted,
     }
 
     // Assemble the stream.
-    ScopedStage stage(recorder, "inter.assemble");
+    TracedStage stage(recorder, "inter.assemble");
     BitWriter writer;
     writer.writeBits(static_cast<std::uint8_t>(kMagic[0]), 8);
     writer.writeBits(static_cast<std::uint8_t>(kMagic[1]), 8);
@@ -335,7 +336,7 @@ decodeInterAttrInto(const std::vector<std::uint8_t> &payload,
         deltas = decoded.takeValue();
     }
 
-    ScopedStage stage(recorder, "interdec.reconstruct");
+    TracedStage stage(recorder, "interdec.reconstruct");
     std::size_t delta_cursor = 0;
     for (std::size_t pb = 0; pb < p_blocks; ++pb) {
         const std::size_t p_begin = pb * k;

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "edgepcc/common/trace.h"
 #include "edgepcc/morton/morton.h"
 #include "edgepcc/parallel/parallel_for.h"
 
@@ -49,6 +50,7 @@ buildParallelOctree(const std::vector<std::uint64_t> &sorted_codes,
 
     std::uint64_t ops = 0;
 
+    ScopedTrace levels_trace("octree.build_levels");
     // Per-level code arrays, leaves (level == depth) first.
     std::vector<std::vector<std::uint64_t>> levels(
         static_cast<std::size_t>(depth) + 1);
@@ -99,7 +101,9 @@ buildParallelOctree(const std::vector<std::uint64_t> &sorted_codes,
                             .items = total,
                             .ops = ops,
                             .bytes = total * 8 * 3});
+    levels_trace.stop();
 
+    ScopedTrace parents_trace("octree.link_parents");
     // Parent linking: node i at level l has parent code[i] >> 3 at
     // level l-1. Within a level the parent's local index equals the
     // number of parent-run boundaries seen so far (a scan).
@@ -146,6 +150,7 @@ buildParallelOctree(const std::vector<std::uint64_t> &sorted_codes,
 std::vector<std::uint8_t>
 occupancyFromFlatOctree(const FlatOctree &tree, WorkRecorder *recorder)
 {
+    ScopedTrace trace("octree.occupancy_merge");
     const std::size_t branch_count = tree.numBranchNodes();
     std::vector<std::uint8_t> occupancy(branch_count, 0);
     // Paper Algorithm 1: every non-root node contributes one bit to

@@ -1,5 +1,7 @@
 #include "edgepcc/parallel/thread_pool.h"
 
+#include <atomic>
+
 namespace edgepcc {
 
 ThreadPool::ThreadPool(std::size_t num_threads)
@@ -111,14 +113,27 @@ ThreadPool::workerLoop()
     }
 }
 
+namespace {
+std::atomic<ThreadPool *> global_override{nullptr};
+}  // namespace
+
 ThreadPool &
 ThreadPool::global()
 {
+    if (ThreadPool *override_pool =
+            global_override.load(std::memory_order_acquire))
+        return *override_pool;
     static ThreadPool pool([] {
         const unsigned hw = std::thread::hardware_concurrency();
         return hw > 1 ? static_cast<std::size_t>(hw - 1) : 0u;
     }());
     return pool;
+}
+
+void
+ThreadPool::setGlobalOverride(ThreadPool *pool)
+{
+    global_override.store(pool, std::memory_order_release);
 }
 
 }  // namespace edgepcc

@@ -1,5 +1,7 @@
 #include "edgepcc/stream/pipeline.h"
 
+#include "edgepcc/common/trace.h"
+
 namespace edgepcc {
 
 double
@@ -51,7 +53,9 @@ evaluatePipeline(const std::vector<VoxelCloud> &frames,
     PipelineReport report;
     report.frames.reserve(frames.size());
 
+    ScopedTrace run_trace("pipeline.evaluate");
     for (const VoxelCloud &frame : frames) {
+        ScopedTrace frame_trace("pipeline.frame");
         auto encoded = encoder.encode(frame);
         if (!encoded)
             return encoded.status();

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Encode determinism: the bitstream must not depend on how many
+ * worker threads execute the data-parallel kernels, nor on run-to-
+ * run scheduling. This is what makes the golden-bitstream suite
+ * meaningful and the device model reproducible — if bytes drifted
+ * with thread count, every CI machine would need its own goldens.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "edgepcc/core/codec_config.h"
+#include "edgepcc/core/video_codec.h"
+#include "edgepcc/dataset/synthetic_human.h"
+#include "edgepcc/parallel/thread_pool.h"
+
+namespace edgepcc {
+namespace {
+
+std::vector<VoxelCloud>
+testFrames(int count)
+{
+    VideoSpec spec;
+    spec.name = "determinism";
+    spec.seed = 77;
+    spec.target_points = 3000;
+    spec.num_frames = count;
+    const SyntheticHumanVideo video(spec);
+    std::vector<VoxelCloud> frames;
+    for (int i = 0; i < count; ++i)
+        frames.push_back(video.frame(i));
+    return frames;
+}
+
+/** Encodes all frames with a fixed-size global pool. */
+std::vector<std::vector<std::uint8_t>>
+encodeWithThreads(const CodecConfig &config,
+                  const std::vector<VoxelCloud> &frames,
+                  std::size_t num_threads)
+{
+    ScopedGlobalPool pool(num_threads);
+    VideoEncoder encoder(config);
+    std::vector<std::vector<std::uint8_t>> bitstreams;
+    for (const VoxelCloud &frame : frames) {
+        auto encoded = encoder.encode(frame);
+        EXPECT_TRUE(encoded.hasValue());
+        if (!encoded)
+            return {};
+        bitstreams.push_back(std::move(encoded->bitstream));
+    }
+    return bitstreams;
+}
+
+class DeterminismTest
+    : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    static CodecConfig
+    config()
+    {
+        const std::string which = GetParam();
+        if (which == "intra")
+            return makeIntraOnlyConfig();
+        if (which == "inter-v1")
+            return makeIntraInterV1Config();
+        return makeCwipcLikeConfig();
+    }
+};
+
+TEST_P(DeterminismTest, BitstreamIndependentOfThreadCount)
+{
+    const auto frames = testFrames(3);
+    // 0 = inline execution (the fully serial reference), 7 = an odd
+    // worker count that misaligns with typical chunk divisions.
+    const auto serial = encodeWithThreads(config(), frames, 0);
+    const auto threaded = encodeWithThreads(config(), frames, 7);
+    ASSERT_EQ(serial.size(), frames.size());
+    ASSERT_EQ(threaded.size(), frames.size());
+    for (std::size_t f = 0; f < frames.size(); ++f)
+        EXPECT_EQ(serial[f], threaded[f]) << "frame " << f;
+}
+
+TEST_P(DeterminismTest, BitstreamStableAcrossRuns)
+{
+    const auto frames = testFrames(3);
+    const auto first = encodeWithThreads(config(), frames, 4);
+    const auto second = encodeWithThreads(config(), frames, 4);
+    ASSERT_EQ(first.size(), frames.size());
+    for (std::size_t f = 0; f < frames.size(); ++f)
+        EXPECT_EQ(first[f], second[f]) << "frame " << f;
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, DeterminismTest,
+                         ::testing::Values("intra", "inter-v1",
+                                           "cwipc"),
+                         [](const auto &suite_info) {
+                             std::string name = suite_info.param;
+                             for (char &c : name)
+                                 if (c == '-')
+                                     c = '_';
+                             return name;
+                         });
+
+TEST(GlobalPoolOverride, RestoresDefaultOnScopeExit)
+{
+    ThreadPool &original = ThreadPool::global();
+    {
+        ScopedGlobalPool scoped(2);
+        EXPECT_EQ(&ThreadPool::global(), &scoped.pool());
+        EXPECT_EQ(ThreadPool::global().numThreads(), 2u);
+    }
+    EXPECT_EQ(&ThreadPool::global(), &original);
+}
+
+}  // namespace
+}  // namespace edgepcc

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Golden-bitstream conformance: re-encodes the workload pinned in
+ * tools/golden_spec.h and requires byte-identical output to the
+ * .epcv files checked in under tests/golden. Any diff means the
+ * bitstream format changed — intentionally (regenerate with
+ * tools/regen_golden.sh and review the new goldens) or not (a
+ * regression this test just caught).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "edgepcc/core/video_codec.h"
+#include "edgepcc/metrics/quality.h"
+#include "edgepcc/stream/stream_file.h"
+
+#include "golden_spec.h"
+
+#ifndef EDGEPCC_GOLDEN_DIR
+#error "build must define EDGEPCC_GOLDEN_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace edgepcc {
+namespace {
+
+std::vector<VoxelCloud>
+goldenFrames()
+{
+    const SyntheticHumanVideo video(golden::goldenVideoSpec());
+    std::vector<VoxelCloud> frames;
+    for (int i = 0; i < golden::kGoldenFrames; ++i)
+        frames.push_back(video.frame(i));
+    return frames;
+}
+
+TEST(GoldenBitstream, EncoderReproducesGoldenBytes)
+{
+    const std::vector<VoxelCloud> frames = goldenFrames();
+    for (const golden::GoldenCase &item : golden::goldenCases()) {
+        SCOPED_TRACE(item.config.name);
+        const std::string path =
+            std::string(EDGEPCC_GOLDEN_DIR) + "/" + item.file;
+        auto golden_frames = readStreamFile(path);
+        ASSERT_TRUE(golden_frames.hasValue())
+            << path << ": " << golden_frames.status().message()
+            << " (regenerate with tools/regen_golden.sh)";
+        ASSERT_EQ(golden_frames->size(), frames.size());
+
+        VideoEncoder encoder(item.config);
+        for (std::size_t f = 0; f < frames.size(); ++f) {
+            auto encoded = encoder.encode(frames[f]);
+            ASSERT_TRUE(encoded.hasValue()) << "frame " << f;
+            EXPECT_EQ(encoded->bitstream, (*golden_frames)[f])
+                << item.file << " frame " << f
+                << ": bitstream bytes changed. If the format change "
+                   "is intentional, run tools/regen_golden.sh and "
+                   "commit the new goldens.";
+        }
+    }
+}
+
+TEST(GoldenBitstream, GoldenStreamsDecodeToSaneQuality)
+{
+    // The byte comparison above would pass even if encoder and
+    // decoder drifted together into nonsense; this anchors the
+    // goldens to actual reconstruction quality.
+    const std::vector<VoxelCloud> frames = goldenFrames();
+    for (const golden::GoldenCase &item : golden::goldenCases()) {
+        SCOPED_TRACE(item.config.name);
+        const std::string path =
+            std::string(EDGEPCC_GOLDEN_DIR) + "/" + item.file;
+        auto golden_frames = readStreamFile(path);
+        ASSERT_TRUE(golden_frames.hasValue());
+
+        VideoDecoder decoder;
+        for (std::size_t f = 0; f < golden_frames->size(); ++f) {
+            auto decoded = decoder.decode((*golden_frames)[f]);
+            ASSERT_TRUE(decoded.hasValue())
+                << item.file << " frame " << f << ": "
+                << decoded.status().message();
+            const AttrQuality attr =
+                attributePsnr(frames[f], decoded->cloud);
+            EXPECT_GT(attr.psnr, 25.0)
+                << item.file << " frame " << f;
+            const GeometryQuality geom =
+                geometryPsnrD1(frames[f], decoded->cloud);
+            EXPECT_GT(geom.psnr, 30.0)
+                << item.file << " frame " << f;
+        }
+    }
+}
+
+TEST(GoldenBitstream, GoldenContainerRoundTripsThroughPack)
+{
+    // The .epcv container itself must be stable: unpack(pack(x))
+    // == x for the checked-in files.
+    for (const golden::GoldenCase &item : golden::goldenCases()) {
+        const std::string path =
+            std::string(EDGEPCC_GOLDEN_DIR) + "/" + item.file;
+        auto golden_frames = readStreamFile(path);
+        ASSERT_TRUE(golden_frames.hasValue());
+        const std::vector<std::uint8_t> packed =
+            packStream(*golden_frames);
+        auto unpacked = unpackStream(packed);
+        ASSERT_TRUE(unpacked.hasValue());
+        EXPECT_EQ(*unpacked, *golden_frames) << item.file;
+    }
+}
+
+}  // namespace
+}  // namespace edgepcc

@@ -96,6 +96,46 @@ TEST(Predicting, SinglePointRoundtrip)
     EXPECT_NEAR(decoded.b()[0], 50, 1);
 }
 
+TEST(Predicting, AllDuplicatePointsRoundtrip)
+{
+    // Unlike RAHT, the predicting transform has no structural
+    // dependence on unique codes: a degenerate cloud collapsed onto
+    // one voxel predicts each point from identical neighbours and
+    // must reconstruct exactly at qstep 1.
+    VoxelCloud cloud(6);
+    for (int i = 0; i < 16; ++i)
+        cloud.add(12, 34, 56, 200, 100, 50);
+    PredictingConfig config;
+    config.qstep = 1.0;
+    auto payload = encodePredicting(cloud, config);
+    ASSERT_TRUE(payload.hasValue());
+    VoxelCloud decoded = cloud;
+    for (std::size_t i = 0; i < decoded.size(); ++i)
+        decoded.setColor(i, Color{});
+    ASSERT_TRUE(decodePredictingInto(*payload, decoded).isOk());
+    EXPECT_LE(maxAbsColorError(cloud, decoded), 1.0);
+}
+
+TEST(Predicting, MaxDepthGridRoundtrip)
+{
+    // grid_bits 16: the deepest grid uint16 coordinates allow, with
+    // points at the extreme corners of the coordinate range.
+    const int bits = 16;
+    VoxelCloud cloud = smoothSortedCloud(210, 64, bits);
+    VoxelCloud corners(bits);
+    corners.add(0, 0, 0, 10, 20, 30);
+    corners.add(65535, 65535, 65535, 240, 230, 220);
+    for (VoxelCloud *c : {&cloud, &corners}) {
+        PredictingConfig config;
+        config.qstep = 1.0;
+        auto payload = encodePredicting(*c, config);
+        ASSERT_TRUE(payload.hasValue()) << c->size() << " points";
+        VoxelCloud decoded = *c;
+        ASSERT_TRUE(decodePredictingInto(*payload, decoded).isOk());
+        EXPECT_LE(maxAbsColorError(*c, decoded), 1.0);
+    }
+}
+
 TEST(Predicting, FineQstepReconstructsTightly)
 {
     const VoxelCloud cloud = smoothSortedCloud(200, 1200, 7);

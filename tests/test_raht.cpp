@@ -77,6 +77,44 @@ TEST(Raht, RejectsEmptyAndUnsorted)
     EXPECT_FALSE(encodeRaht(unsorted, RahtConfig{}).hasValue());
 }
 
+TEST(Raht, RejectsDuplicatePoints)
+{
+    // RAHT's merge replay needs strictly increasing Morton codes;
+    // a cloud collapsed onto one voxel must be rejected cleanly,
+    // not mis-encoded.
+    VoxelCloud duplicates(6);
+    for (int i = 0; i < 8; ++i)
+        duplicates.add(12, 34, 56, 200, 100, 50);
+    EXPECT_FALSE(encodeRaht(duplicates, RahtConfig{}).hasValue());
+
+    VoxelCloud pair(6);
+    pair.add(0, 0, 0, 1, 2, 3);
+    pair.add(0, 0, 0, 1, 2, 3);
+    EXPECT_FALSE(encodeRaht(pair, RahtConfig{}).hasValue());
+}
+
+TEST(Raht, MaxDepthGridRoundtrip)
+{
+    // grid_bits 16 is the deepest octree VoxelCloud's uint16
+    // coordinates allow: 48 butterfly levels, coordinates at the
+    // extremes of the value range.
+    const int bits = 16;
+    VoxelCloud cloud = smoothSortedCloud(80, 64, bits);
+    // Pin the exact corners of the grid as well.
+    VoxelCloud corners(bits);
+    corners.add(0, 0, 0, 10, 20, 30);
+    corners.add(65535, 65535, 65535, 240, 230, 220);
+    for (VoxelCloud *c : {&cloud, &corners}) {
+        RahtConfig config;
+        config.qstep = 1.0;
+        auto payload = encodeRaht(*c, config);
+        ASSERT_TRUE(payload.hasValue()) << c->size() << " points";
+        VoxelCloud decoded = *c;
+        ASSERT_TRUE(decodeRahtInto(*payload, decoded).isOk());
+        EXPECT_LE(maxAbsColorError(*c, decoded), 2.0);
+    }
+}
+
 TEST(Raht, RejectsNonPositiveQstep)
 {
     VoxelCloud cloud(4);

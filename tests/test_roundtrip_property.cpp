@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Property-style round-trip tests: seeded random clouds pushed
+ * through the full VideoEncoder/VideoDecoder under a grid of
+ * configurations, asserting the codec's actual contracts —
+ * lossless geometry (when configured losslessly), exact attributes
+ * at quant_step 1, and quantization-bounded attribute error
+ * otherwise. Complements the golden-bitstream suite: goldens pin
+ * exact bytes on one workload, these pin semantics on many.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "edgepcc/core/codec_config.h"
+#include "edgepcc/core/video_codec.h"
+#include "edgepcc/geometry/point_cloud.h"
+
+namespace edgepcc {
+namespace {
+
+using VoxelKey = std::tuple<std::uint16_t, std::uint16_t, std::uint16_t>;
+
+/** Color as a pure function of position, so merging duplicate
+ *  voxels (the geometry stage keeps the first point's color) can
+ *  never change the attribute associated with a coordinate. */
+Color
+colorAt(std::uint16_t x, std::uint16_t y, std::uint16_t z)
+{
+    return Color{static_cast<std::uint8_t>((x * 7 + 13) & 0xFF),
+                 static_cast<std::uint8_t>((y * 11 + 41) & 0xFF),
+                 static_cast<std::uint8_t>((x ^ y ^ z) & 0xFF)};
+}
+
+/**
+ * Seeded random cloud on a 2^grid_bits grid. Coordinates are drawn
+ * from a coarse lattice of `span` distinct values per axis, which
+ * makes duplicate positions likely (exercising the dedupe path)
+ * while keeping the cloud spatially coherent.
+ */
+VoxelCloud
+randomCloud(std::uint32_t seed, std::size_t n, int grid_bits,
+            std::uint32_t span)
+{
+    std::mt19937 rng(seed);
+    const std::uint32_t grid = 1u << grid_bits;
+    std::uniform_int_distribution<std::uint32_t> lattice(0, span - 1);
+    VoxelCloud cloud(grid_bits);
+    cloud.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto x = static_cast<std::uint16_t>(
+            lattice(rng) * (grid - 1) / (span - 1));
+        const auto y = static_cast<std::uint16_t>(
+            lattice(rng) * (grid - 1) / (span - 1));
+        const auto z = static_cast<std::uint16_t>(
+            lattice(rng) * (grid - 1) / (span - 1));
+        const Color c = colorAt(x, y, z);
+        cloud.add(x, y, z, c.r, c.g, c.b);
+    }
+    return cloud;
+}
+
+/** Shifts every color channel by `drift` (saturating), simulating
+ *  the small temporal attribute change between video frames. */
+VoxelCloud
+driftColors(const VoxelCloud &cloud, int drift)
+{
+    VoxelCloud out = cloud;
+    auto shift = [drift](std::uint8_t v) {
+        const int shifted = std::clamp(v + drift, 0, 255);
+        return static_cast<std::uint8_t>(shifted);
+    };
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out.mutableR()[i] = shift(out.r()[i]);
+        out.mutableG()[i] = shift(out.g()[i]);
+        out.mutableB()[i] = shift(out.b()[i]);
+    }
+    return out;
+}
+
+std::map<VoxelKey, Color>
+voxelMap(const VoxelCloud &cloud)
+{
+    std::map<VoxelKey, Color> map;
+    for (std::size_t i = 0; i < cloud.size(); ++i)
+        map.emplace(VoxelKey{cloud.x()[i], cloud.y()[i], cloud.z()[i]},
+                    cloud.color(i));
+    return map;
+}
+
+/**
+ * Asserts `decoded` covers exactly the voxel set of `original`
+ * (geometry lossless up to duplicate merging) with per-channel
+ * attribute error at most `max_error`.
+ */
+void
+expectRoundTrip(const VoxelCloud &original, const VoxelCloud &decoded,
+                int max_error, const char *what)
+{
+    const auto want = voxelMap(original);
+    const auto got = voxelMap(decoded);
+    ASSERT_EQ(got.size(), want.size()) << what;
+    int worst = 0;
+    for (const auto &[key, color] : want) {
+        const auto it = got.find(key);
+        ASSERT_NE(it, got.end())
+            << what << ": voxel (" << std::get<0>(key) << ","
+            << std::get<1>(key) << "," << std::get<2>(key)
+            << ") missing from decoded cloud";
+        const Color d = it->second;
+        worst = std::max({worst, std::abs(int(d.r) - int(color.r)),
+                          std::abs(int(d.g) - int(color.g)),
+                          std::abs(int(d.b) - int(color.b))});
+    }
+    EXPECT_LE(worst, max_error) << what;
+}
+
+/** Lossless-geometry variant of the paper's intra design: parallel
+ *  Morton octree without the (lossy) tight-bbox requantization. */
+CodecConfig
+intraConfig(std::uint32_t quant_step, bool two_layer)
+{
+    CodecConfig config = makeIntraOnlyConfig();
+    config.geometry.tight_bbox = false;
+    config.segment.quant_step = quant_step;
+    config.segment.two_layer = two_layer;
+    return config;
+}
+
+CodecConfig
+interConfig(double reuse_threshold, std::uint32_t quant_step)
+{
+    CodecConfig config = makeIntraInterV1Config();
+    config.geometry.tight_bbox = false;
+    config.block_match.reuse_threshold = reuse_threshold;
+    config.segment.quant_step = quant_step;
+    config.block_match.delta_codec = config.segment;
+    return config;
+}
+
+/** Layer-1 residuals are divided by quant_step with round-to-
+ *  nearest, so reconstruction error is at most ceil(q / 2). */
+int
+quantBound(std::uint32_t quant_step)
+{
+    return static_cast<int>((quant_step + 1) / 2);
+}
+
+TEST(RoundTripProperty, IntraAcrossSeedsAndQuantSteps)
+{
+    for (const std::uint32_t quant_step : {1u, 4u}) {
+        for (const bool two_layer : {false, true}) {
+            for (const std::uint32_t seed : {1u, 2u, 3u}) {
+                const VoxelCloud cloud =
+                    randomCloud(seed, 4000, 10, 64);
+                VideoEncoder encoder(
+                    intraConfig(quant_step, two_layer));
+                VideoDecoder decoder;
+                auto encoded = encoder.encode(cloud);
+                ASSERT_TRUE(encoded.hasValue());
+                auto decoded = decoder.decode(encoded->bitstream);
+                ASSERT_TRUE(decoded.hasValue());
+                const std::string what =
+                    "seed " + std::to_string(seed) + " q" +
+                    std::to_string(quant_step) +
+                    (two_layer ? " 2-layer" : " 1-layer");
+                expectRoundTrip(cloud, decoded->cloud,
+                                quantBound(quant_step),
+                                what.c_str());
+            }
+        }
+    }
+}
+
+TEST(RoundTripProperty, IntraExactAtUnitQuantStep)
+{
+    // quant_step 1 makes layer 1 lossless: the decoded colors must
+    // match bit-exactly, not just within a bound.
+    const VoxelCloud cloud = randomCloud(7, 5000, 10, 48);
+    VideoEncoder encoder(intraConfig(1, true));
+    VideoDecoder decoder;
+    auto encoded = encoder.encode(cloud);
+    ASSERT_TRUE(encoded.hasValue());
+    auto decoded = decoder.decode(encoded->bitstream);
+    ASSERT_TRUE(decoded.hasValue());
+    expectRoundTrip(cloud, decoded->cloud, 0, "exact intra");
+}
+
+TEST(RoundTripProperty, InterBoundedErrorAcrossThresholds)
+{
+    // Paper thresholds: 15.0/point = V1 (300 per ~20-pt block),
+    // 60.0/point = V2 (1200). Frames share geometry and drift only
+    // in color, so every decoded voxel has a unique true color.
+    // Reused blocks return the reference reconstruction (off by
+    // quant bound + drift); delta blocks re-quantize (off by quant
+    // bound), so quantBound + drift bounds both paths.
+    constexpr int kDrift = 3;
+    for (const double threshold : {15.0, 60.0}) {
+        for (const std::uint32_t quant_step : {1u, 4u}) {
+            const VoxelCloud intra_frame =
+                randomCloud(11, 4000, 10, 64);
+            const VoxelCloud inter_frame =
+                driftColors(intra_frame, kDrift);
+            VideoEncoder encoder(
+                interConfig(threshold, quant_step));
+            VideoDecoder decoder;
+
+            auto encoded_i = encoder.encode(intra_frame);
+            ASSERT_TRUE(encoded_i.hasValue());
+            ASSERT_EQ(encoded_i->stats.type, Frame::Type::kIntra);
+            auto decoded_i = decoder.decode(encoded_i->bitstream);
+            ASSERT_TRUE(decoded_i.hasValue());
+            expectRoundTrip(intra_frame, decoded_i->cloud,
+                            quantBound(quant_step), "I frame");
+
+            auto encoded_p = encoder.encode(inter_frame);
+            ASSERT_TRUE(encoded_p.hasValue());
+            ASSERT_EQ(encoded_p->stats.type,
+                      Frame::Type::kPredicted);
+            auto decoded_p = decoder.decode(encoded_p->bitstream);
+            ASSERT_TRUE(decoded_p.hasValue());
+            const std::string what =
+                "P frame, threshold " + std::to_string(threshold) +
+                ", q" + std::to_string(quant_step);
+            expectRoundTrip(inter_frame, decoded_p->cloud,
+                            quantBound(quant_step) + kDrift,
+                            what.c_str());
+        }
+    }
+}
+
+TEST(RoundTripProperty, InterIdenticalFramesStayWithinQuantBound)
+{
+    // A static scene: the P frame equals the I frame, so the
+    // reference reconstruction is already within the quant bound of
+    // the truth and reuse cannot add error on top.
+    const VoxelCloud frame = randomCloud(23, 4000, 10, 64);
+    VideoEncoder encoder(interConfig(15.0, 4));
+    VideoDecoder decoder;
+    for (int f = 0; f < 2; ++f) {
+        auto encoded = encoder.encode(frame);
+        ASSERT_TRUE(encoded.hasValue());
+        auto decoded = decoder.decode(encoded->bitstream);
+        ASSERT_TRUE(decoded.hasValue());
+        expectRoundTrip(frame, decoded->cloud, quantBound(4),
+                        f == 0 ? "I frame" : "static P frame");
+    }
+}
+
+TEST(RoundTripProperty, SmallCloudsSurviveEveryConfig)
+{
+    // Degenerate sizes stress segment layout math (segments larger
+    // than the cloud, single-point segments).
+    for (const std::size_t n : {1u, 2u, 17u}) {
+        const VoxelCloud cloud = randomCloud(31, n, 10, 8);
+        for (const auto &config :
+             {intraConfig(1, true), intraConfig(4, false)}) {
+            VideoEncoder encoder(config);
+            VideoDecoder decoder;
+            auto encoded = encoder.encode(cloud);
+            ASSERT_TRUE(encoded.hasValue()) << "n=" << n;
+            auto decoded = decoder.decode(encoded->bitstream);
+            ASSERT_TRUE(decoded.hasValue()) << "n=" << n;
+            expectRoundTrip(cloud, decoded->cloud,
+                            quantBound(config.segment.quant_step),
+                            "small cloud");
+        }
+    }
+}
+
+}  // namespace
+}  // namespace edgepcc

@@ -1,0 +1,213 @@
+/** @file Tests for the tracing/metrics observability layer. */
+
+#include "edgepcc/common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+namespace edgepcc {
+namespace {
+
+/** Restores the global tracer to a clean, disabled state. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Tracer::global().clear();
+        Tracer::global().setEnabled(false);
+    }
+    void
+    TearDown() override
+    {
+        Tracer::global().setEnabled(false);
+        Tracer::global().clear();
+    }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing)
+{
+    {
+        ScopedTrace span("test.disabled");
+    }
+    EXPECT_EQ(Tracer::global().eventCount(), 0u);
+}
+
+TEST_F(TraceTest, EnabledSpansRecordNameAndDuration)
+{
+    Tracer::global().setEnabled(true);
+    {
+        ScopedTrace span("test.enabled");
+    }
+    const auto events = Tracer::global().events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_STREQ(events[0].name, "test.enabled");
+    EXPECT_GE(events[0].dur_s, 0.0);
+    EXPECT_GE(events[0].start_s, 0.0);
+}
+
+TEST_F(TraceTest, StopEndsSpanEarlyAndIsIdempotent)
+{
+    Tracer::global().setEnabled(true);
+    {
+        ScopedTrace span("test.stop");
+        span.stop();
+        span.stop();  // second stop and destructor must not re-record
+    }
+    EXPECT_EQ(Tracer::global().eventCount(), 1u);
+}
+
+TEST_F(TraceTest, SpansTakeEffectMidstream)
+{
+    {
+        ScopedTrace off("test.off");
+        Tracer::global().setEnabled(true);
+    }
+    // Span opened while disabled: not recorded even though tracing
+    // was enabled before it closed.
+    EXPECT_EQ(Tracer::global().eventCount(), 0u);
+    {
+        ScopedTrace on("test.on");
+    }
+    EXPECT_EQ(Tracer::global().eventCount(), 1u);
+}
+
+TEST_F(TraceTest, TracedStageFeedsBothSinks)
+{
+    Tracer::global().setEnabled(true);
+    WorkRecorder recorder;
+    {
+        TracedStage stage(&recorder, "test.stage");
+        recordKernel(&recorder, KernelWork{.name = "test.kernel",
+                                           .items = 10,
+                                           .ops = 20,
+                                           .bytes = 30});
+    }
+    const auto &profile = recorder.profile();
+    ASSERT_EQ(profile.stages.size(), 1u);
+    EXPECT_EQ(profile.stages[0].name, "test.stage");
+    EXPECT_EQ(profile.stages[0].totalOps(), 20u);
+    const auto events = Tracer::global().events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_STREQ(events[0].name, "test.stage");
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctIds)
+{
+    Tracer::global().setEnabled(true);
+    {
+        ScopedTrace span("test.main");
+    }
+    std::thread worker([] { ScopedTrace span("test.worker"); });
+    worker.join();
+    const auto events = Tracer::global().events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST_F(TraceTest, ChromeExportIsWellFormed)
+{
+    Tracer::global().setEnabled(true);
+    {
+        ScopedTrace span("test.\"quoted\"\\span");
+    }
+    std::ostringstream out;
+    writeChromeTrace(Tracer::global().events(), out);
+    const std::string json = out.str();
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    // Balanced braces/brackets (cheap well-formedness check).
+    int depth = 0;
+    for (const char c : json) {
+        if (c == '{' || c == '[')
+            ++depth;
+        if (c == '}' || c == ']')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(Percentiles, EmptyGivesZeros)
+{
+    const PercentileStats stats = computePercentiles({});
+    EXPECT_EQ(stats.count, 0u);
+    EXPECT_EQ(stats.p50, 0.0);
+    EXPECT_EQ(stats.max, 0.0);
+}
+
+TEST(Percentiles, SingleSample)
+{
+    const PercentileStats stats = computePercentiles({3.5});
+    EXPECT_EQ(stats.count, 1u);
+    EXPECT_DOUBLE_EQ(stats.mean, 3.5);
+    EXPECT_DOUBLE_EQ(stats.p50, 3.5);
+    EXPECT_DOUBLE_EQ(stats.p95, 3.5);
+    EXPECT_DOUBLE_EQ(stats.max, 3.5);
+}
+
+TEST(Percentiles, NearestRankOnHundredSamples)
+{
+    std::vector<double> samples;
+    for (int i = 100; i >= 1; --i)  // unsorted on purpose
+        samples.push_back(i);
+    const PercentileStats stats =
+        computePercentiles(std::move(samples));
+    EXPECT_DOUBLE_EQ(stats.p50, 50.0);
+    EXPECT_DOUBLE_EQ(stats.p95, 95.0);
+    EXPECT_DOUBLE_EQ(stats.max, 100.0);
+    EXPECT_DOUBLE_EQ(stats.mean, 50.5);
+    EXPECT_DOUBLE_EQ(stats.total, 5050.0);
+}
+
+TEST(StageStats, AggregatesAcrossFramesInFirstSeenOrder)
+{
+    StageStatsAggregator aggregator;
+    aggregator.addStage("encode", 0.010, 0.020, 100, 1000);
+    aggregator.addStage("decode", 0.005, 0.008, 50, 500);
+    aggregator.addStage("encode", 0.030, 0.040, 100, 1000);
+
+    const auto summaries = aggregator.summaries();
+    ASSERT_EQ(summaries.size(), 2u);
+    EXPECT_EQ(summaries[0].name, "encode");
+    EXPECT_EQ(summaries[0].frames, 2u);
+    EXPECT_DOUBLE_EQ(summaries[0].host_s.max, 0.030);
+    EXPECT_DOUBLE_EQ(summaries[0].model_s.max, 0.040);
+    EXPECT_EQ(summaries[0].total_ops, 200u);
+    EXPECT_EQ(summaries[0].total_bytes, 2000u);
+    EXPECT_EQ(summaries[1].name, "decode");
+    EXPECT_EQ(summaries[1].frames, 1u);
+}
+
+TEST(StageStats, NegativeModelMeansUnmodelled)
+{
+    StageStatsAggregator aggregator;
+    aggregator.addStage("stage", 0.010, -1.0, 0, 0);
+    const auto summaries = aggregator.summaries();
+    ASSERT_EQ(summaries.size(), 1u);
+    EXPECT_EQ(summaries[0].model_s.count, 0u);
+    EXPECT_EQ(summaries[0].host_s.count, 1u);
+}
+
+TEST(StageStats, AddProfileTakesRecorderOutput)
+{
+    WorkRecorder recorder;
+    recorder.beginStage("stage.a");
+    recordKernel(&recorder,
+                 KernelWork{.name = "k", .ops = 7, .bytes = 9});
+    recorder.endStage();
+    StageStatsAggregator aggregator;
+    aggregator.addProfile(recorder.profile());
+    const auto summaries = aggregator.summaries();
+    ASSERT_EQ(summaries.size(), 1u);
+    EXPECT_EQ(summaries[0].name, "stage.a");
+    EXPECT_EQ(summaries[0].total_ops, 7u);
+    EXPECT_EQ(summaries[0].total_bytes, 9u);
+}
+
+}  // namespace
+}  // namespace edgepcc

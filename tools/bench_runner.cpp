@@ -1,0 +1,489 @@
+/**
+ * @file
+ * Perf-regression bench driver.
+ *
+ * Runs a fixed synthetic-human workload through one codec
+ * configuration and emits a machine-readable BENCH_results.json:
+ * per-stage latency percentiles (measured host + modelled Jetson),
+ * end-to-end fps, compressed bytes/point, and PSNR. Every perf PR
+ * records its trajectory by diffing two such files with
+ * tools/compare_bench.py (see docs/OBSERVABILITY.md for the
+ * schema).
+ *
+ * Usage:
+ *   bench_runner [--config v1|v2|intra|tmc13|cwipc] [--frames N]
+ *                [--points N] [--seed N] [--threads N]
+ *                [--out FILE] [--trace FILE] [--measure-overhead]
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edgepcc/common/timer.h"
+#include "edgepcc/common/trace.h"
+#include "edgepcc/core/codec_config.h"
+#include "edgepcc/core/video_codec.h"
+#include "edgepcc/dataset/synthetic_human.h"
+#include "edgepcc/metrics/quality.h"
+#include "edgepcc/parallel/thread_pool.h"
+#include "edgepcc/platform/device_model.h"
+
+namespace {
+
+using namespace edgepcc;
+
+/** One encode+decode pass over the workload. */
+struct RunMetrics {
+    StageStatsAggregator stages;
+    std::vector<double> enc_host_s;
+    std::vector<double> dec_host_s;
+    std::vector<double> enc_model_s;
+    std::vector<double> dec_model_s;
+    std::uint64_t compressed_bytes = 0;
+    std::uint64_t raw_bytes = 0;
+    std::uint64_t points = 0;
+    double attr_psnr_db = 0.0;  ///< mean over frames
+    double geom_psnr_db = 0.0;
+
+    double
+    meanEncodeHostSeconds() const
+    {
+        double sum = 0.0;
+        for (const double s : enc_host_s)
+            sum += s;
+        return enc_host_s.empty()
+                   ? 0.0
+                   : sum / static_cast<double>(enc_host_s.size());
+    }
+
+    double
+    totalEncodeHostSeconds() const
+    {
+        double sum = 0.0;
+        for (const double s : enc_host_s)
+            sum += s;
+        return sum;
+    }
+};
+
+/** Caps lossless-infinite PSNR for JSON (inf is not valid JSON). */
+double
+jsonPsnr(double psnr)
+{
+    return psnr > 999.0 ? 999.0 : psnr;
+}
+
+Expected<RunMetrics>
+runWorkload(const std::vector<VoxelCloud> &frames,
+            const CodecConfig &config, const EdgeDeviceModel &model,
+            bool collect_stages)
+{
+    VideoEncoder encoder(config);
+    VideoDecoder decoder;
+    RunMetrics metrics;
+
+    for (const VoxelCloud &frame : frames) {
+        WallTimer enc_timer;
+        auto encoded = encoder.encode(frame);
+        const double enc_host = enc_timer.seconds();
+        if (!encoded)
+            return encoded.status();
+
+        WallTimer dec_timer;
+        auto decoded = decoder.decode(encoded->bitstream);
+        const double dec_host = dec_timer.seconds();
+        if (!decoded)
+            return decoded.status();
+
+        const PipelineTiming enc_timing =
+            model.evaluate(encoded->profile);
+        const PipelineTiming dec_timing =
+            model.evaluate(decoded->profile);
+
+        metrics.enc_host_s.push_back(enc_host);
+        metrics.dec_host_s.push_back(dec_host);
+        metrics.enc_model_s.push_back(enc_timing.modelSeconds());
+        metrics.dec_model_s.push_back(dec_timing.modelSeconds());
+        metrics.compressed_bytes += encoded->bitstream.size();
+        metrics.raw_bytes += frame.rawBytes();
+        metrics.points += frame.size();
+
+        if (collect_stages) {
+            for (std::size_t i = 0;
+                 i < encoded->profile.stages.size(); ++i) {
+                const StageProfile &stage =
+                    encoded->profile.stages[i];
+                metrics.stages.addStage(
+                    stage.name, stage.host_seconds,
+                    enc_timing.stages[i].model_seconds,
+                    stage.totalOps(), stage.totalBytes());
+            }
+            for (std::size_t i = 0;
+                 i < decoded->profile.stages.size(); ++i) {
+                const StageProfile &stage =
+                    decoded->profile.stages[i];
+                metrics.stages.addStage(
+                    stage.name, stage.host_seconds,
+                    dec_timing.stages[i].model_seconds,
+                    stage.totalOps(), stage.totalBytes());
+            }
+            metrics.attr_psnr_db +=
+                attributePsnr(frame, decoded->cloud).psnr;
+            metrics.geom_psnr_db +=
+                geometryPsnrD1(frame, decoded->cloud).psnr;
+        }
+    }
+    if (collect_stages && !frames.empty()) {
+        metrics.attr_psnr_db /=
+            static_cast<double>(frames.size());
+        metrics.geom_psnr_db /=
+            static_cast<double>(frames.size());
+    }
+    return metrics;
+}
+
+void
+writeStats(std::FILE *out, const char *key,
+           const PercentileStats &stats, const char *trailer)
+{
+    std::fprintf(out,
+                 "    \"%s\": {\"mean\": %.9g, \"p50\": %.9g, "
+                 "\"p95\": %.9g, \"max\": %.9g}%s\n",
+                 key, stats.mean, stats.p50, stats.p95, stats.max,
+                 trailer);
+}
+
+int
+writeResults(const std::string &path, const CodecConfig &config,
+             const VideoSpec &spec, int frames, std::size_t threads,
+             const RunMetrics &metrics, double overhead_fraction,
+             std::size_t trace_events)
+{
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "bench_runner: cannot write %s\n",
+                     path.c_str());
+        return 1;
+    }
+
+    const double enc_host_total = [&] {
+        double sum = 0.0;
+        for (const double s : metrics.enc_host_s)
+            sum += s;
+        return sum;
+    }();
+    const double host_fps =
+        enc_host_total > 0.0
+            ? static_cast<double>(frames) / enc_host_total
+            : 0.0;
+    // Modelled pipelined fps is bounded by the slowest of encode
+    // and decode on the modelled device.
+    const PercentileStats enc_model =
+        computePercentiles(metrics.enc_model_s);
+    const PercentileStats dec_model =
+        computePercentiles(metrics.dec_model_s);
+    const double model_bottleneck =
+        enc_model.mean > dec_model.mean ? enc_model.mean
+                                        : dec_model.mean;
+    const double model_fps =
+        model_bottleneck > 0.0 ? 1.0 / model_bottleneck : 0.0;
+
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"schema\": \"edgepcc-bench-v1\",\n");
+    std::fprintf(out, "  \"workload\": {\n");
+    std::fprintf(out, "    \"config\": \"%s\",\n",
+                 config.name.c_str());
+    std::fprintf(out, "    \"frames\": %d,\n", frames);
+    std::fprintf(out, "    \"target_points\": %zu,\n",
+                 spec.target_points);
+    std::fprintf(out, "    \"seed\": %" PRIu64 ",\n", spec.seed);
+    std::fprintf(out, "    \"grid_bits\": %d,\n", spec.grid_bits);
+    std::fprintf(out, "    \"threads\": %zu\n", threads);
+    std::fprintf(out, "  },\n");
+    std::fprintf(out, "  \"end_to_end\": {\n");
+    writeStats(out, "encode_host_s",
+               computePercentiles(metrics.enc_host_s), ",");
+    writeStats(out, "decode_host_s",
+               computePercentiles(metrics.dec_host_s), ",");
+    writeStats(out, "encode_model_s", enc_model, ",");
+    writeStats(out, "decode_model_s", dec_model, ",");
+    std::fprintf(out, "    \"host_fps\": %.9g,\n", host_fps);
+    std::fprintf(out, "    \"model_fps\": %.9g,\n", model_fps);
+    std::fprintf(out, "    \"points\": %" PRIu64 ",\n",
+                 metrics.points);
+    std::fprintf(out, "    \"raw_bytes\": %" PRIu64 ",\n",
+                 metrics.raw_bytes);
+    std::fprintf(out, "    \"compressed_bytes\": %" PRIu64 ",\n",
+                 metrics.compressed_bytes);
+    std::fprintf(out, "    \"bytes_per_point\": %.9g,\n",
+                 metrics.points > 0
+                     ? static_cast<double>(
+                           metrics.compressed_bytes) /
+                           static_cast<double>(metrics.points)
+                     : 0.0);
+    std::fprintf(out, "    \"compression_ratio\": %.9g,\n",
+                 metrics.compressed_bytes > 0
+                     ? static_cast<double>(metrics.raw_bytes) /
+                           static_cast<double>(
+                               metrics.compressed_bytes)
+                     : 0.0);
+    std::fprintf(out, "    \"attr_psnr_db\": %.9g,\n",
+                 jsonPsnr(metrics.attr_psnr_db));
+    std::fprintf(out, "    \"geom_psnr_db\": %.9g\n",
+                 jsonPsnr(metrics.geom_psnr_db));
+    std::fprintf(out, "  },\n");
+
+    std::fprintf(out, "  \"stages\": [\n");
+    const auto summaries = metrics.stages.summaries();
+    for (std::size_t i = 0; i < summaries.size(); ++i) {
+        const auto &stage = summaries[i];
+        std::fprintf(out, "    {\"name\": \"%s\", \"frames\": %zu,",
+                     stage.name.c_str(), stage.frames);
+        std::fprintf(out,
+                     " \"host_s\": {\"mean\": %.9g, \"p50\": %.9g,"
+                     " \"p95\": %.9g, \"max\": %.9g},",
+                     stage.host_s.mean, stage.host_s.p50,
+                     stage.host_s.p95, stage.host_s.max);
+        std::fprintf(out,
+                     " \"model_s\": {\"mean\": %.9g, \"p50\": %.9g,"
+                     " \"p95\": %.9g, \"max\": %.9g},",
+                     stage.model_s.mean, stage.model_s.p50,
+                     stage.model_s.p95, stage.model_s.max);
+        std::fprintf(out,
+                     " \"ops\": %" PRIu64 ", \"bytes\": %" PRIu64
+                     "}%s\n",
+                     stage.total_ops, stage.total_bytes,
+                     i + 1 < summaries.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  \"trace\": {\n");
+    std::fprintf(out, "    \"events\": %zu,\n", trace_events);
+    if (overhead_fraction >= 0.0)
+        std::fprintf(out, "    \"overhead_fraction\": %.9g\n",
+                     overhead_fraction);
+    else
+        std::fprintf(out, "    \"overhead_fraction\": null\n");
+    std::fprintf(out, "  }\n");
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    return 0;
+}
+
+CodecConfig
+configByName(const std::string &name, bool *ok)
+{
+    *ok = true;
+    if (name == "tmc13")
+        return makeTmc13LikeConfig();
+    if (name == "cwipc")
+        return makeCwipcLikeConfig();
+    if (name == "intra")
+        return makeIntraOnlyConfig();
+    if (name == "v1")
+        return makeIntraInterV1Config();
+    if (name == "v2")
+        return makeIntraInterV2Config();
+    *ok = false;
+    return CodecConfig{};
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: bench_runner [--config tmc13|cwipc|intra|v1|v2]\n"
+        "                    [--frames N] [--points N] [--seed N]\n"
+        "                    [--threads N] [--out FILE]\n"
+        "                    [--trace FILE] [--measure-overhead]\n");
+    return 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string config_name = "v1";
+    std::string out_path = "BENCH_results.json";
+    std::string trace_path;
+    int frames = 8;
+    std::size_t points = 20000;
+    std::uint64_t seed = 1;
+    long threads = -1;
+    bool measure_overhead = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--config") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            config_name = v;
+        } else if (arg == "--frames") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            frames = std::atoi(v);
+        } else if (arg == "--points") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            points = static_cast<std::size_t>(std::atoll(v));
+        } else if (arg == "--seed") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            seed = static_cast<std::uint64_t>(std::atoll(v));
+        } else if (arg == "--threads") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            threads = std::atol(v);
+        } else if (arg == "--out") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            out_path = v;
+        } else if (arg == "--trace") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            trace_path = v;
+        } else if (arg == "--measure-overhead") {
+            measure_overhead = true;
+        } else {
+            return usage();
+        }
+    }
+    if (frames < 1 || points < 1) {
+        std::fprintf(stderr,
+                     "bench_runner: --frames and --points must be "
+                     "positive\n");
+        return 2;
+    }
+
+    bool config_ok = false;
+    const CodecConfig config = configByName(config_name, &config_ok);
+    if (!config_ok) {
+        std::fprintf(stderr, "bench_runner: unknown config '%s'\n",
+                     config_name.c_str());
+        return usage();
+    }
+
+    std::unique_ptr<ScopedGlobalPool> pool_override;
+    if (threads >= 0) {
+        // --threads N means "N workers"; 0 = fully sequential.
+        pool_override = std::make_unique<ScopedGlobalPool>(
+            static_cast<std::size_t>(threads));
+    }
+    const std::size_t worker_count =
+        ThreadPool::global().numThreads();
+
+    VideoSpec spec;
+    spec.name = "bench-human";
+    spec.seed = seed;
+    spec.target_points = points;
+    spec.num_frames = frames;
+
+    const SyntheticHumanVideo video(spec);
+    std::vector<VoxelCloud> cloud_frames;
+    cloud_frames.reserve(static_cast<std::size_t>(frames));
+    for (int i = 0; i < frames; ++i)
+        cloud_frames.push_back(video.frame(i));
+
+    const EdgeDeviceModel model;
+
+    // Warmup pass (thread-pool spin-up, page faults) — not counted.
+    {
+        auto warm = runWorkload({cloud_frames.front()}, config,
+                                model, false);
+        if (!warm) {
+            std::fprintf(stderr, "bench_runner: %s\n",
+                         warm.status().message().c_str());
+            return 1;
+        }
+    }
+
+    Tracer::global().clear();
+    Tracer::global().setEnabled(!trace_path.empty());
+    auto metrics =
+        runWorkload(cloud_frames, config, model, true);
+    Tracer::global().setEnabled(false);
+    if (!metrics) {
+        std::fprintf(stderr, "bench_runner: %s\n",
+                     metrics.status().message().c_str());
+        return 1;
+    }
+    const std::size_t trace_events = Tracer::global().eventCount();
+    if (!trace_path.empty()) {
+        std::ofstream trace_out(trace_path);
+        writeChromeTrace(Tracer::global().events(), trace_out);
+        if (!trace_out) {
+            std::fprintf(stderr,
+                         "bench_runner: cannot write %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+    }
+
+    // Tracing overhead: the identical workload with spans off vs
+    // on, alternated so slow host drift (frequency scaling, cache
+    // state) hits both modes equally, and compared on the best
+    // pass of each mode — the minimum is the noise-robust estimate
+    // of true cost. Acceptance bar for the span layer: < 2% of
+    // encode time.
+    double overhead_fraction = -1.0;
+    if (measure_overhead) {
+        constexpr int kOverheadPasses = 3;
+        double off_best = 0.0, on_best = 0.0;
+        bool failed = false;
+        for (int pass = 0;
+             pass < kOverheadPasses && !failed; ++pass) {
+            for (const bool traced : {false, true}) {
+                Tracer::global().clear();
+                Tracer::global().setEnabled(traced);
+                auto run =
+                    runWorkload(cloud_frames, config, model, false);
+                Tracer::global().setEnabled(false);
+                if (!run) {
+                    failed = true;
+                    break;
+                }
+                const double total = run->totalEncodeHostSeconds();
+                double &best = traced ? on_best : off_best;
+                if (pass == 0 || total < best)
+                    best = total;
+            }
+        }
+        if (!failed && off_best > 0.0) {
+            const double per_frame =
+                1.0 / static_cast<double>(cloud_frames.size());
+            overhead_fraction = on_best / off_best - 1.0;
+            std::fprintf(
+                stderr,
+                "tracing overhead: %.2f%% of encode time "
+                "(best-of-%d: off %.3f ms, on %.3f ms per frame)\n",
+                overhead_fraction * 100.0, kOverheadPasses,
+                off_best * per_frame * 1e3,
+                on_best * per_frame * 1e3);
+        }
+    }
+
+    const int rc = writeResults(out_path, config, spec, frames,
+                                worker_count, *metrics,
+                                overhead_fraction, trace_events);
+    if (rc == 0)
+        std::fprintf(stderr, "wrote %s (%d frames, config %s)\n",
+                     out_path.c_str(), frames,
+                     config.name.c_str());
+    return rc;
+}

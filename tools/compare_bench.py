@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Diff two bench_runner result files and flag perf regressions.
+
+Usage:
+    compare_bench.py OLD.json NEW.json [--latency-tol 0.10]
+                     [--ratio-tol 0.02] [--host]
+    compare_bench.py --self-test
+
+Exit codes: 0 = no regression, 1 = regression detected,
+2 = usage or schema error.
+
+Latency comparisons default to the *modelled* Jetson seconds
+(deterministic: derived from recorded ops/bytes, immune to CI host
+noise). Pass --host to additionally gate on measured host p50s when
+comparing runs from the same machine. Compression ratio and PSNR are
+always compared. See docs/OBSERVABILITY.md for the JSON schema.
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+SCHEMA = "edgepcc-bench-v1"
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as err:
+        sys.exit(f"compare_bench: cannot read {path}: {err}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(
+            f"compare_bench: {path}: unsupported schema "
+            f"{doc.get('schema')!r} (want {SCHEMA!r})"
+        )
+    return doc
+
+
+def rel_change(old, new):
+    if old == 0:
+        return 0.0
+    return (new - old) / old
+
+
+def compare(old, new, latency_tol, ratio_tol, check_host):
+    """Returns (regressions, report_lines)."""
+    regressions = []
+    lines = []
+
+    def check_latency(label, old_val, new_val):
+        change = rel_change(old_val, new_val)
+        mark = ""
+        if old_val > 0 and change > latency_tol:
+            mark = "  << REGRESSION"
+            regressions.append(
+                f"{label}: {old_val:.6g}s -> {new_val:.6g}s "
+                f"(+{change * 100:.1f}%, tol "
+                f"{latency_tol * 100:.0f}%)"
+            )
+        lines.append(
+            f"  {label:<34} {old_val:>12.6g} {new_val:>12.6g} "
+            f"{change * 100:>+8.1f}%{mark}"
+        )
+
+    oe, ne = old["end_to_end"], new["end_to_end"]
+    lines.append(
+        f"  {'metric':<34} {'old':>12} {'new':>12} {'change':>9}"
+    )
+    check_latency(
+        "encode_model_s.p50",
+        oe["encode_model_s"]["p50"],
+        ne["encode_model_s"]["p50"],
+    )
+    check_latency(
+        "decode_model_s.p50",
+        oe["decode_model_s"]["p50"],
+        ne["decode_model_s"]["p50"],
+    )
+    if check_host:
+        check_latency(
+            "encode_host_s.p50",
+            oe["encode_host_s"]["p50"],
+            ne["encode_host_s"]["p50"],
+        )
+        check_latency(
+            "decode_host_s.p50",
+            oe["decode_host_s"]["p50"],
+            ne["decode_host_s"]["p50"],
+        )
+
+    old_stages = {s["name"]: s for s in old.get("stages", [])}
+    for stage in new.get("stages", []):
+        ref = old_stages.get(stage["name"])
+        if ref is None:
+            lines.append(f"  stage {stage['name']}: new (no baseline)")
+            continue
+        check_latency(
+            f"stage {stage['name']} model p50",
+            ref["model_s"]["p50"],
+            stage["model_s"]["p50"],
+        )
+
+    ratio_change = rel_change(
+        oe["compression_ratio"], ne["compression_ratio"]
+    )
+    mark = ""
+    if ratio_change < -ratio_tol:
+        mark = "  << REGRESSION"
+        regressions.append(
+            f"compression_ratio: {oe['compression_ratio']:.4g} -> "
+            f"{ne['compression_ratio']:.4g} "
+            f"({ratio_change * 100:+.1f}%, tol "
+            f"-{ratio_tol * 100:.0f}%)"
+        )
+    lines.append(
+        f"  {'compression_ratio':<34} "
+        f"{oe['compression_ratio']:>12.6g} "
+        f"{ne['compression_ratio']:>12.6g} "
+        f"{ratio_change * 100:>+8.1f}%{mark}"
+    )
+
+    for key in ("attr_psnr_db", "geom_psnr_db"):
+        drop = oe[key] - ne[key]
+        note = "  (quality drop >0.5 dB)" if drop > 0.5 else ""
+        lines.append(
+            f"  {key:<34} {oe[key]:>12.6g} {ne[key]:>12.6g} "
+            f"{-drop:>+8.1f}dB{note}"
+        )
+
+    return regressions, lines
+
+
+def self_test():
+    """Verifies the detector on a synthetic 20% slowdown."""
+    base = {
+        "schema": SCHEMA,
+        "end_to_end": {
+            "encode_model_s": {"p50": 0.050},
+            "decode_model_s": {"p50": 0.030},
+            "encode_host_s": {"p50": 0.020},
+            "decode_host_s": {"p50": 0.010},
+            "compression_ratio": 8.0,
+            "attr_psnr_db": 48.5,
+            "geom_psnr_db": 70.0,
+        },
+        "stages": [
+            {"name": "geom.morton", "model_s": {"p50": 0.004}},
+            {"name": "attr.segment", "model_s": {"p50": 0.006}},
+        ],
+    }
+    identical, _ = compare(base, base, 0.10, 0.02, True)
+    assert not identical, "identical runs must not regress"
+
+    slow = copy.deepcopy(base)
+    slow["end_to_end"]["encode_model_s"]["p50"] *= 1.20
+    found, _ = compare(base, slow, 0.10, 0.02, False)
+    assert found, "20% encode slowdown must be flagged"
+
+    stage_slow = copy.deepcopy(base)
+    stage_slow["stages"][1]["model_s"]["p50"] *= 1.20
+    found, _ = compare(base, stage_slow, 0.10, 0.02, False)
+    assert found, "20% stage slowdown must be flagged"
+
+    shrunk = copy.deepcopy(base)
+    shrunk["end_to_end"]["compression_ratio"] *= 0.95
+    found, _ = compare(base, shrunk, 0.10, 0.02, False)
+    assert found, "5% compression-ratio loss must be flagged"
+
+    within_tol = copy.deepcopy(base)
+    within_tol["end_to_end"]["encode_model_s"]["p50"] *= 1.05
+    found, _ = compare(base, within_tol, 0.10, 0.02, False)
+    assert not found, "5% slowdown is within the 10% tolerance"
+
+    print("compare_bench self-test: PASS")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("old", nargs="?")
+    parser.add_argument("new", nargs="?")
+    parser.add_argument("--latency-tol", type=float, default=0.10)
+    parser.add_argument("--ratio-tol", type=float, default=0.02)
+    parser.add_argument(
+        "--host",
+        action="store_true",
+        help="also gate on measured host p50s (same-machine runs)",
+    )
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.old or not args.new:
+        parser.print_usage(sys.stderr)
+        sys.exit(2)
+
+    old, new = load(args.old), load(args.new)
+    regressions, lines = compare(
+        old, new, args.latency_tol, args.ratio_tol, args.host
+    )
+    print(f"compare_bench: {args.old} -> {args.new}")
+    print("\n".join(lines))
+    if regressions:
+        print(f"\n{len(regressions)} regression(s):")
+        for regression in regressions:
+            print(f"  - {regression}")
+        sys.exit(1)
+    print("\nno regressions")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Regenerates the golden-bitstream conformance files. Run via
+ * tools/regen_golden.sh; see tools/golden_spec.h for what a golden
+ * file pins down.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "edgepcc/core/video_codec.h"
+#include "edgepcc/stream/stream_file.h"
+
+#include "golden_spec.h"
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: golden_gen <output_dir>\n");
+        return 2;
+    }
+    const std::string out_dir = argv[1];
+
+    using namespace edgepcc;
+    const VideoSpec spec = golden::goldenVideoSpec();
+    const SyntheticHumanVideo video(spec);
+    std::vector<VoxelCloud> frames;
+    for (int i = 0; i < golden::kGoldenFrames; ++i)
+        frames.push_back(video.frame(i));
+
+    for (const golden::GoldenCase &item : golden::goldenCases()) {
+        VideoEncoder encoder(item.config);
+        std::vector<std::vector<std::uint8_t>> bitstreams;
+        for (const VoxelCloud &frame : frames) {
+            auto encoded = encoder.encode(frame);
+            if (!encoded) {
+                std::fprintf(stderr, "golden_gen: %s: %s\n",
+                             item.config.name.c_str(),
+                             encoded.status().message().c_str());
+                return 1;
+            }
+            bitstreams.push_back(std::move(encoded->bitstream));
+        }
+        const std::string path = out_dir + "/" + item.file;
+        const Status status = writeStreamFile(path, bitstreams);
+        if (!status.isOk()) {
+            std::fprintf(stderr, "golden_gen: %s: %s\n",
+                         path.c_str(), status.message().c_str());
+            return 1;
+        }
+        std::uint64_t total = 0;
+        for (const auto &bitstream : bitstreams)
+            total += bitstream.size();
+        std::fprintf(stderr, "wrote %s (%d frames, %llu bytes)\n",
+                     path.c_str(), golden::kGoldenFrames,
+                     static_cast<unsigned long long>(total));
+    }
+    return 0;
+}

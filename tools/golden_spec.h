@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The golden-bitstream conformance workload, shared by
+ * tools/golden_gen (writes the .epcv files under tests/golden) and
+ * tests/test_golden_bitstream.cpp (asserts the encoder still
+ * produces those exact bytes).
+ *
+ * Changing anything here — or any code on the encode path — in a way
+ * that shifts the bitstream requires regenerating the goldens with
+ * tools/regen_golden.sh, which turns an intentional format change
+ * into an explicit, reviewable diff.
+ *
+ * The cases stay on integer-only code paths (segment codec, block
+ * matcher, raw entropy, range coder) so the bytes are reproducible
+ * across optimization levels and sanitizer builds; RAHT's
+ * double-precision butterflies are covered by the round-trip
+ * property suite instead.
+ */
+
+#ifndef EDGEPCC_TOOLS_GOLDEN_SPEC_H
+#define EDGEPCC_TOOLS_GOLDEN_SPEC_H
+
+#include <string>
+#include <vector>
+
+#include "edgepcc/core/codec_config.h"
+#include "edgepcc/dataset/synthetic_human.h"
+
+namespace edgepcc::golden {
+
+/** Frames per golden stream: one IPP group. */
+constexpr int kGoldenFrames = 3;
+
+/** The deterministic source video every golden case encodes. */
+inline VideoSpec
+goldenVideoSpec()
+{
+    VideoSpec spec;
+    spec.name = "golden-human";
+    spec.seed = 42;
+    spec.target_points = 1500;
+    spec.num_frames = kGoldenFrames;
+    return spec;
+}
+
+/** One golden case: a codec config and its .epcv file name. */
+struct GoldenCase {
+    std::string file;  ///< e.g. "golden_intra_only.epcv"
+    CodecConfig config;
+};
+
+inline std::vector<GoldenCase>
+goldenCases()
+{
+    return {
+        {"golden_intra_only.epcv", makeIntraOnlyConfig()},
+        {"golden_intra_inter_v1.epcv", makeIntraInterV1Config()},
+        {"golden_cwipc.epcv", makeCwipcLikeConfig()},
+    };
+}
+
+}  // namespace edgepcc::golden
+
+#endif  // EDGEPCC_TOOLS_GOLDEN_SPEC_H

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerates tests/golden/*.epcv after an intentional bitstream
+# format change, so the change lands as an explicit, reviewable diff
+# alongside the code that caused it.
+#
+# Goldens are produced by the default (RelWithDebInfo) build on the
+# project's pinned toolchain; a differing libm/compiler may shift the
+# synthetic workload and require regenerating in that environment.
+#
+# Usage: tools/regen_golden.sh [build_dir]
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if [ ! -d "$build_dir" ]; then
+    cmake --preset default -S "$repo_root"
+fi
+cmake --build "$build_dir" --target golden_gen -j "$(nproc)"
+
+mkdir -p "$repo_root/tests/golden"
+"$build_dir/tools/golden_gen" "$repo_root/tests/golden"
+
+echo "golden files regenerated; review the diff with: git diff --stat tests/golden"
