@@ -1,0 +1,37 @@
+/**
+ * @file
+ * CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78),
+ * the checksum guarding every transport chunk of the resilient
+ * streaming layer (edgepcc/stream/chunk_stream.h). Chosen over plain
+ * CRC32 for its better burst-error detection; implemented as a
+ * 4-bit-sliced table so the table stays cache-resident on edge-class
+ * cores.
+ */
+
+#ifndef EDGEPCC_COMMON_CRC32C_H
+#define EDGEPCC_COMMON_CRC32C_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace edgepcc {
+
+/**
+ * CRC32C of `size` bytes starting at `data`, with `seed` as the
+ * incremental state (pass the previous return value to continue a
+ * running checksum across buffers; 0 starts a fresh one).
+ */
+std::uint32_t crc32c(const std::uint8_t *data, std::size_t size,
+                     std::uint32_t seed = 0);
+
+inline std::uint32_t
+crc32c(const std::vector<std::uint8_t> &bytes,
+       std::uint32_t seed = 0)
+{
+    return crc32c(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_COMMON_CRC32C_H

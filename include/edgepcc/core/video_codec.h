@@ -78,6 +78,20 @@ class VideoEncoder
     /** Restarts the GOP (next frame is an I frame). */
     void reset();
 
+    /**
+     * Forces the next frame to be an I frame and restarts the GOP
+     * phase there. Loss-recovery hook: re-anchors the stream after
+     * the receiver reports an unrecoverable reference loss.
+     */
+    void forceKeyframe();
+
+    /**
+     * Changes the GOP length from the next GOP boundary on (values
+     * < 1 are clamped to 1). Used by adaptive keyframe insertion to
+     * shorten GOPs under sustained channel loss.
+     */
+    void setGopSize(int gop_size);
+
   private:
     CodecConfig config_;
     std::uint32_t frame_counter_ = 0;
@@ -93,6 +107,26 @@ class VideoDecoder
 
     Expected<DecodedFrame> decode(
         const std::vector<std::uint8_t> &bitstream);
+
+    /**
+     * Degraded decode for loss resilience: always reconstructs the
+     * frame's (self-contained) geometry; intra attribute payloads
+     * decode normally, while inter payloads — whose I-frame
+     * reference may be lost or stale — are *concealed* by borrowing
+     * colors from `conceal_source` (typically the last good decoded
+     * frame; pass nullptr for neutral gray). Never touches the
+     * decoder's reference state on the concealed path, so a later
+     * intact I frame resynchronizes cleanly. `attr_concealed` (may
+     * be null) reports whether concealment was applied.
+     */
+    Expected<DecodedFrame> decodePromoted(
+        const std::vector<std::uint8_t> &bitstream,
+        const VoxelCloud *conceal_source,
+        bool *attr_concealed = nullptr);
+
+    /** True once an intra frame has been decoded (P frames are
+     *  decodable against it). */
+    bool hasReference() const { return has_reference_; }
 
     void reset();
 

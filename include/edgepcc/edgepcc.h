@@ -18,8 +18,11 @@
 #include "edgepcc/geometry/point_cloud.h"
 #include "edgepcc/metrics/quality.h"
 #include "edgepcc/platform/device_model.h"
+#include "edgepcc/stream/chunk_stream.h"
+#include "edgepcc/stream/lossy_channel.h"
 #include "edgepcc/stream/pipeline.h"
 #include "edgepcc/stream/rate_controller.h"
 #include "edgepcc/stream/stream_file.h"
+#include "edgepcc/stream/stream_session.h"
 
 #endif  // EDGEPCC_EDGEPCC_H

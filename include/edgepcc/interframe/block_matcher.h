@@ -92,6 +92,19 @@ Status decodeInterAttrInto(const std::vector<std::uint8_t> &payload,
                            VoxelCloud &p_cloud,
                            WorkRecorder *recorder = nullptr);
 
+/**
+ * Loss concealment: paints `cloud`'s attributes from the nearest
+ * Morton-order voxel of `reference` (both clouds Morton-sorted, the
+ * geometry-stage output order). Used by the resilient stream session
+ * when a P frame's inter payload references an I frame that never
+ * arrived — the decoded geometry is kept and the colors borrowed
+ * from the last good frame, the same spatial-locality bet the reuse
+ * pointers make. Falls back to neutral gray when `reference` is
+ * empty.
+ */
+void concealAttrFromReference(const VoxelCloud &reference,
+                              VoxelCloud &cloud);
+
 }  // namespace edgepcc
 
 #endif  // EDGEPCC_INTERFRAME_BLOCK_MATCHER_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Packetized transport framing for .epcv streams.
+ *
+ * The plain .epcv container (stream_file.h) is a clean-file format:
+ * one corrupt length prefix and everything after it is unreachable.
+ * For transmission over a lossy channel every encoded frame is
+ * instead wrapped in a self-delimiting *chunk*:
+ *
+ *   marker 'E''P''C''K' | sequence u32 | frame_id u32 | gop_id u32 |
+ *   frame_type u8 | flags u8 | payload_size u32 | crc32c u32 |
+ *   payload bytes
+ *
+ * All integers little-endian. The CRC32C covers the header fields
+ * after the marker plus the payload, so any truncation, bit flip or
+ * splice inside a chunk is detected. The fixed marker makes the
+ * stream self-synchronizing: scanWire() skips damaged regions byte
+ * by byte until the next marker that validates, so one bad chunk
+ * costs exactly that chunk, never the rest of the stream.
+ */
+
+#ifndef EDGEPCC_STREAM_CHUNK_STREAM_H
+#define EDGEPCC_STREAM_CHUNK_STREAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "edgepcc/common/status.h"
+#include "edgepcc/geometry/point_cloud.h"
+
+namespace edgepcc {
+
+/** Chunk resync marker ("EPCK"). */
+inline constexpr std::uint8_t kChunkMarker[4] = {'E', 'P', 'C',
+                                                 'K'};
+
+/** Serialized header size including marker and CRC. */
+inline constexpr std::size_t kChunkHeaderBytes = 26;
+
+/** Backstop against absurd payload sizes from damaged headers. */
+inline constexpr std::uint32_t kMaxChunkPayload = 1u << 28;
+
+/** Chunk flag bits. */
+enum ChunkFlags : std::uint8_t {
+    kChunkFlagRetransmit = 1u << 0,  ///< NACK-driven resend
+};
+
+/** Transport metadata carried by every chunk. */
+struct ChunkHeader {
+    std::uint32_t sequence = 0;  ///< wire send order (dedup/reorder)
+    std::uint32_t frame_id = 0;  ///< capture-order frame index
+    std::uint32_t gop_id = 0;    ///< id of the GOP's anchor I frame
+    Frame::Type frame_type = Frame::Type::kIntra;
+    std::uint8_t flags = 0;
+};
+
+/** One chunk recovered from the wire. */
+struct ParsedChunk {
+    ChunkHeader header;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Scan accounting, surfaced for diagnostics and tests. */
+struct WireScanStats {
+    std::size_t bytes_scanned = 0;
+    std::size_t bytes_skipped = 0;  ///< damaged/garbage bytes passed
+    std::size_t chunks_ok = 0;
+    std::size_t chunks_bad_crc = 0;
+    std::size_t chunks_truncated = 0;  ///< header past buffer end
+};
+
+/** Serializes one chunk (header + CRC32C + payload copy). */
+std::vector<std::uint8_t> serializeChunk(
+    const ChunkHeader &header,
+    const std::vector<std::uint8_t> &payload);
+
+/**
+ * Scans `wire` for valid chunks, resynchronizing on the marker after
+ * any damage. Never fails: damaged regions are skipped and counted
+ * in `stats` (optional). Chunks are returned in wire order,
+ * duplicates included — dedup is the receiver's job.
+ */
+std::vector<ParsedChunk> scanWire(
+    const std::vector<std::uint8_t> &wire,
+    WireScanStats *stats = nullptr);
+
+/** Concatenates serialized chunks into one wire buffer. */
+std::vector<std::uint8_t> concatWire(
+    const std::vector<std::vector<std::uint8_t>> &chunks);
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_STREAM_CHUNK_STREAM_H

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic fault-injection channel for transport chunks.
+ *
+ * Models the damage a real edge uplink inflicts on a chunked stream:
+ * whole-chunk drops, tail truncation, payload bit flips, duplicate
+ * delivery, and bounded reordering. All faults are driven by one
+ * seeded RNG, so a (spec, chunk sequence) pair always produces the
+ * same wire bytes — chaos tests and loss sweeps are reproducible
+ * bit-for-bit across runs and platforms.
+ */
+
+#ifndef EDGEPCC_STREAM_LOSSY_CHANNEL_H
+#define EDGEPCC_STREAM_LOSSY_CHANNEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "edgepcc/common/rng.h"
+#include "edgepcc/stream/network_model.h"
+
+namespace edgepcc {
+
+/** Fault rates for one simulated channel. All rates are per-chunk
+ *  probabilities in [0, 1]. */
+struct ChannelSpec {
+    double drop_rate = 0.0;       ///< chunk vanishes entirely
+    double truncate_rate = 0.0;   ///< chunk loses a random tail
+    double bit_flip_rate = 0.0;   ///< one random bit flips
+    double duplicate_rate = 0.0;  ///< chunk delivered twice
+    double reorder_rate = 0.0;    ///< chunk delayed past successors
+    /** Max positions a reordered chunk can slip back. */
+    int reorder_window = 3;
+    std::uint64_t seed = 1;
+
+    /** Perfect channel (the default). */
+    static ChannelSpec clean();
+    /** Uniform loss: drop/truncate/flip each at `loss_rate`/3. */
+    static ChannelSpec lossy(double loss_rate,
+                             std::uint64_t seed = 1);
+    /** Derives fault rates from a NetworkSpec's loss/jitter. */
+    static ChannelSpec fromNetwork(const NetworkSpec &network,
+                                   std::uint64_t seed = 1);
+
+    bool
+    isClean() const
+    {
+        return drop_rate == 0.0 && truncate_rate == 0.0 &&
+               bit_flip_rate == 0.0 && duplicate_rate == 0.0 &&
+               reorder_rate == 0.0;
+    }
+};
+
+/** Per-channel fault accounting. */
+struct ChannelStats {
+    std::size_t chunks_in = 0;
+    std::size_t chunks_out = 0;  ///< copies actually delivered
+    std::size_t dropped = 0;
+    std::size_t truncated = 0;
+    std::size_t bit_flipped = 0;
+    std::size_t duplicated = 0;
+    std::size_t reordered = 0;
+};
+
+/**
+ * Applies ChannelSpec faults to serialized chunks. Stateful: the
+ * RNG stream advances per transmitted chunk, and reordered chunks
+ * are held back across calls until flushed.
+ */
+class LossyChannel
+{
+  public:
+    explicit LossyChannel(ChannelSpec spec);
+
+    /**
+     * Transmits one chunk; returns the 0..2 (possibly damaged)
+     * copies that arrive now. A reordered chunk is withheld and
+     * released by a later transmit()/flush().
+     */
+    std::vector<std::vector<std::uint8_t>> transmit(
+        const std::vector<std::uint8_t> &chunk);
+
+    /** Releases any chunks still held for reordering. */
+    std::vector<std::vector<std::uint8_t>> flush();
+
+    /**
+     * Convenience: transmits every chunk, flushes, and returns the
+     * concatenated wire bytes as they would hit the receiver.
+     */
+    std::vector<std::uint8_t> transmitAll(
+        const std::vector<std::vector<std::uint8_t>> &chunks);
+
+    const ChannelStats &stats() const { return stats_; }
+    const ChannelSpec &spec() const { return spec_; }
+
+  private:
+    /** Applies in-place damage (truncate/flip); true if delivered. */
+    bool damage(std::vector<std::uint8_t> &chunk);
+
+    ChannelSpec spec_;
+    Rng rng_;
+    ChannelStats stats_;
+    /** Chunks held back for reordering: (release_after, bytes). */
+    std::vector<std::pair<int, std::vector<std::uint8_t>>> held_;
+};
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_STREAM_LOSSY_CHANNEL_H

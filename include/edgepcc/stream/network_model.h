@@ -23,6 +23,13 @@ struct NetworkSpec {
     /** Protocol efficiency (payload / wire bytes). */
     double efficiency = 0.95;
 
+    /** Fraction of packets lost per transmission attempt [0, 1).
+     *  Lost packets are retransmitted, inflating delivery time. */
+    double packet_loss_rate = 0.0;
+    /** Mean delay-variation added on top of the propagation delay
+     *  (one-way), in milliseconds. */
+    double jitter_ms = 0.0;
+
     /** Typical home Wi-Fi (802.11ac, mid-range). */
     static NetworkSpec wifi();
     /** Cellular LTE uplink. */
@@ -30,7 +37,12 @@ struct NetworkSpec {
     /** 5G mid-band uplink. */
     static NetworkSpec fiveG();
 
-    /** Seconds to deliver `bytes` (half-RTT + serialization). */
+    /**
+     * Seconds to deliver `bytes` (half-RTT + jitter +
+     * serialization). Under loss, every byte is sent an expected
+     * 1/(1 - loss) times (ARQ retransmission), so the serialization
+     * term is inflated accordingly.
+     */
     double transferSeconds(std::uint64_t bytes) const;
 };
 

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Loss-resilient streaming session over the chunked transport.
+ *
+ * Two layers:
+ *
+ *  - StreamReceiver: decoder-side resilience. Ingests (possibly
+ *    damaged) wire bytes, reassembles chunks by frame id, and runs a
+ *    degradation ladder instead of aborting the stream:
+ *      ok        - chunk intact, decoded normally
+ *      resynced  - an intact I frame re-anchored the stream after
+ *                  preceding damage
+ *      concealed - frame degraded but presentable: a missing frame
+ *                  frozen from the last good frame, or a P frame
+ *                  whose I reference was lost decoded
+ *                  geometry-promoted with borrowed attributes
+ *      skipped   - nothing presentable (loss before any good frame)
+ *
+ *  - StreamSession: the closed loop. Encodes frames, ships chunks
+ *    through a fault-injection LossyChannel, answers receiver NACKs
+ *    with bounded exponential-backoff retransmissions, and feeds
+ *    delivery outcomes to AdaptiveGopController so sustained loss
+ *    shortens the GOP and an unrecovered loss forces a keyframe.
+ *
+ * Everything is deterministic given (codec config, session config,
+ * input frames): the channel is seeded and no wall-clock time is
+ * consulted (backoff latency is modelled, not slept).
+ */
+
+#ifndef EDGEPCC_STREAM_STREAM_SESSION_H
+#define EDGEPCC_STREAM_STREAM_SESSION_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "edgepcc/common/status.h"
+#include "edgepcc/core/video_codec.h"
+#include "edgepcc/stream/chunk_stream.h"
+#include "edgepcc/stream/lossy_channel.h"
+#include "edgepcc/stream/rate_controller.h"
+
+namespace edgepcc {
+
+/** Per-frame result of the degradation ladder. */
+enum class FrameOutcome : std::uint8_t {
+    kOk = 0,
+    kResynced = 1,
+    kConcealed = 2,
+    kSkipped = 3,
+};
+
+const char *frameOutcomeName(FrameOutcome outcome);
+
+/** One decoded (or degraded) frame out of the session. */
+struct SessionFrame {
+    std::uint32_t frame_id = 0;
+    Frame::Type type = Frame::Type::kIntra;
+    FrameOutcome outcome = FrameOutcome::kSkipped;
+    /** Chunk arrived intact (after retransmissions). */
+    bool delivered = false;
+    int retransmits = 0;
+    /** Decoded or concealed output; empty when skipped. */
+    VoxelCloud cloud{10};
+};
+
+/** Aggregate transport + ladder accounting. */
+struct SessionStats {
+    std::size_t chunks_sent = 0;  ///< incl. retransmissions
+    std::size_t frames_delivered = 0;
+    std::size_t frames_lost = 0;  ///< undelivered after retries
+    std::size_t nacks = 0;
+    std::size_t retransmits = 0;
+    std::size_t keyframes_forced = 0;
+    std::size_t frames_ok = 0;
+    std::size_t frames_resynced = 0;
+    std::size_t frames_concealed = 0;
+    std::size_t frames_skipped = 0;
+    /** Modelled retransmission backoff, seconds. */
+    double backoff_s = 0.0;
+
+    std::size_t
+    totalFrames() const
+    {
+        return frames_ok + frames_resynced + frames_concealed +
+               frames_skipped;
+    }
+
+    /** Fraction of frames that were presentable (not skipped). */
+    double okOrConcealedFraction() const;
+};
+
+/** Full session output. */
+struct SessionReport {
+    std::vector<SessionFrame> frames;
+    SessionStats stats;
+    WireScanStats wire;
+};
+
+/** Decoder-side reassembly + degradation ladder. */
+class StreamReceiver
+{
+  public:
+    StreamReceiver() = default;
+
+    /** Scans damaged wire bytes; chunks found are buffered (first
+     *  intact copy of each frame id wins). */
+    WireScanStats ingest(const std::vector<std::uint8_t> &wire);
+
+    /** True once an intact chunk for `frame_id` is buffered. */
+    bool hasFrame(std::uint32_t frame_id) const;
+
+    /** NACK list: frame ids in [0, expected_frames) with no intact
+     *  chunk buffered. */
+    std::vector<std::uint32_t> missingFrames(
+        std::uint32_t expected_frames) const;
+
+    /**
+     * Decodes frames [0, expected_frames) in order, applying the
+     * degradation ladder. Never fails on channel damage: every
+     * frame gets a FrameOutcome. Call once after ingest; the
+     * decoder state is consumed.
+     */
+    std::vector<SessionFrame> decodeAll(
+        std::uint32_t expected_frames);
+
+    /** Cumulative scan stats over every ingest() call. */
+    const WireScanStats &wireStats() const { return wire_; }
+
+  private:
+    std::map<std::uint32_t, ParsedChunk> by_frame_;
+    VideoDecoder decoder_;
+    WireScanStats wire_;
+};
+
+/** Session knobs. */
+struct SessionConfig {
+    ChannelSpec channel{};
+    /** NACK-driven retransmission attempts per frame. */
+    int max_retransmits = 2;
+    /** First retransmission backoff; doubles per attempt. Modelled
+     *  latency only — nothing sleeps. */
+    double backoff_ms = 8.0;
+    /** Adaptive keyframe insertion under sustained loss. */
+    bool adaptive_gop = true;
+    AdaptiveGopConfig gop{};
+    /** Force an I frame right after an unrecovered loss, so damage
+     *  cannot propagate past the next frame. */
+    bool keyframe_on_loss = true;
+};
+
+/**
+ * End-to-end resilient session: encode -> lossy channel (with
+ * NACK/retransmit) -> receive -> degradation-ladder decode.
+ */
+class StreamSession
+{
+  public:
+    StreamSession(CodecConfig codec, SessionConfig session);
+
+    /** Runs the whole stream; one SessionFrame per input frame. */
+    Expected<SessionReport> run(
+        const std::vector<VoxelCloud> &frames);
+
+  private:
+    CodecConfig codec_;
+    SessionConfig session_;
+};
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_STREAM_STREAM_SESSION_H

@@ -1,0 +1,40 @@
+#include "edgepcc/common/crc32c.h"
+
+#include <array>
+
+namespace edgepcc {
+
+namespace {
+
+/** Reflected CRC32C polynomial. */
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+/** Byte-at-a-time lookup table, built once at static init. */
+std::array<std::uint32_t, 256>
+buildTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t byte = 0; byte < 256; ++byte) {
+        std::uint32_t crc = byte;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+        table[byte] = crc;
+    }
+    return table;
+}
+
+}  // namespace
+
+std::uint32_t
+crc32c(const std::uint8_t *data, std::size_t size,
+       std::uint32_t seed)
+{
+    static const std::array<std::uint32_t, 256> table =
+        buildTable();
+    std::uint32_t crc = ~seed;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xffu];
+    return ~crc;
+}
+
+}  // namespace edgepcc

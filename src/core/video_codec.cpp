@@ -172,6 +172,21 @@ VideoEncoder::reset()
     has_reference_ = false;
 }
 
+void
+VideoEncoder::forceKeyframe()
+{
+    // Restart the GOP phase; dropping the reference guarantees the
+    // next frame cannot be predicted even mid-GOP.
+    frame_counter_ = 0;
+    has_reference_ = false;
+}
+
+void
+VideoEncoder::setGopSize(int gop_size)
+{
+    config_.gop_size = gop_size < 1 ? 1 : gop_size;
+}
+
 Expected<EncodedFrame>
 VideoEncoder::encode(const VoxelCloud &cloud)
 {
@@ -362,6 +377,52 @@ VideoDecoder::decode(const std::vector<std::uint8_t> &bitstream)
     }
     attr_trace.stop();
 
+    out.profile = recorder.takeProfile();
+    return out;
+}
+
+Expected<DecodedFrame>
+VideoDecoder::decodePromoted(
+    const std::vector<std::uint8_t> &bitstream,
+    const VoxelCloud *conceal_source, bool *attr_concealed)
+{
+    ScopedTrace frame_trace("decode.frame.promoted");
+    if (attr_concealed != nullptr)
+        *attr_concealed = false;
+    auto parsed = parseContainer(bitstream);
+    if (!parsed)
+        return parsed.status();
+
+    const bool inter_attr =
+        parsed->attr_kind == AttrKind::kInterBlockMatch ||
+        parsed->attr_kind == AttrKind::kInterMacroBlock;
+    if (!inter_attr) {
+        // Intra payloads need no promotion; the normal path also
+        // refreshes the prediction reference.
+        return decode(bitstream);
+    }
+
+    WorkRecorder recorder;
+    DecodedFrame out;
+    out.type = parsed->type;
+
+    Expected<VoxelCloud> cloud = [&] {
+        ScopedTrace trace("decode.geometry");
+        return decodeGeometry(parsed->geometry, &recorder);
+    }();
+    if (!cloud)
+        return cloud.status();
+    out.cloud = cloud.takeValue();
+
+    {
+        ScopedTrace trace("decode.attr.conceal");
+        static const VoxelCloud kEmpty{10};
+        concealAttrFromReference(
+            conceal_source != nullptr ? *conceal_source : kEmpty,
+            out.cloud);
+    }
+    if (attr_concealed != nullptr)
+        *attr_concealed = true;
     out.profile = recorder.takeProfile();
     return out;
 }

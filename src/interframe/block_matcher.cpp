@@ -5,6 +5,7 @@
 
 #include "edgepcc/common/trace.h"
 #include "edgepcc/entropy/bitstream.h"
+#include "edgepcc/morton/morton.h"
 
 namespace edgepcc {
 
@@ -382,6 +383,43 @@ decodeInterAttrInto(const std::vector<std::uint8_t> &payload,
                             .ops = np * 8,
                             .bytes = np * 12});
     return Status::ok();
+}
+
+void
+concealAttrFromReference(const VoxelCloud &reference,
+                         VoxelCloud &cloud)
+{
+    const std::size_t n = cloud.size();
+    if (reference.empty()) {
+        for (std::size_t i = 0; i < n; ++i)
+            cloud.setColor(i, Color{128, 128, 128});
+        return;
+    }
+    // Both clouds are Morton-sorted, so the nearest voxel *in sorted
+    // order* is spatially close with high probability — the same
+    // locality the block matcher's candidate window exploits. Binary
+    // search per point keeps this O(n log m) with no scratch state.
+    std::vector<std::uint64_t> ref_codes(reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i)
+        ref_codes[i] = mortonEncode(reference.x()[i],
+                                    reference.y()[i],
+                                    reference.z()[i]);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t code = mortonEncode(
+            cloud.x()[i], cloud.y()[i], cloud.z()[i]);
+        const auto it = std::lower_bound(ref_codes.begin(),
+                                         ref_codes.end(), code);
+        std::size_t best =
+            it == ref_codes.end()
+                ? ref_codes.size() - 1
+                : static_cast<std::size_t>(it -
+                                           ref_codes.begin());
+        if (best > 0 && (it == ref_codes.end() ||
+                         code - ref_codes[best - 1] <
+                             ref_codes[best] - code))
+            --best;
+        cloud.setColor(i, reference.color(best));
+    }
 }
 
 }  // namespace edgepcc

@@ -1,0 +1,134 @@
+#include "edgepcc/stream/chunk_stream.h"
+
+#include <cstring>
+
+#include "edgepcc/common/crc32c.h"
+
+namespace edgepcc {
+
+namespace {
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t value)
+{
+    out.push_back(static_cast<std::uint8_t>(value & 0xffu));
+    out.push_back(static_cast<std::uint8_t>((value >> 8) & 0xffu));
+    out.push_back(static_cast<std::uint8_t>((value >> 16) & 0xffu));
+    out.push_back(static_cast<std::uint8_t>((value >> 24) & 0xffu));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *data)
+{
+    return static_cast<std::uint32_t>(data[0]) |
+           static_cast<std::uint32_t>(data[1]) << 8 |
+           static_cast<std::uint32_t>(data[2]) << 16 |
+           static_cast<std::uint32_t>(data[3]) << 24;
+}
+
+/** Offset of the CRC field within the serialized header. */
+constexpr std::size_t kCrcOffset = kChunkHeaderBytes - 4;
+
+}  // namespace
+
+std::vector<std::uint8_t>
+serializeChunk(const ChunkHeader &header,
+               const std::vector<std::uint8_t> &payload)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(kChunkHeaderBytes + payload.size());
+    for (const std::uint8_t byte : kChunkMarker)
+        out.push_back(byte);
+    putU32(out, header.sequence);
+    putU32(out, header.frame_id);
+    putU32(out, header.gop_id);
+    out.push_back(header.frame_type == Frame::Type::kPredicted
+                      ? 1u
+                      : 0u);
+    out.push_back(header.flags);
+    putU32(out, static_cast<std::uint32_t>(payload.size()));
+
+    // CRC over the header fields after the marker, then the payload.
+    std::uint32_t crc =
+        crc32c(out.data() + 4, out.size() - 4);
+    crc = crc32c(payload.data(), payload.size(), crc);
+    putU32(out, crc);
+
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+std::vector<ParsedChunk>
+scanWire(const std::vector<std::uint8_t> &wire,
+         WireScanStats *stats)
+{
+    std::vector<ParsedChunk> chunks;
+    WireScanStats local;
+    WireScanStats &s = stats != nullptr ? *stats : local;
+    s = WireScanStats{};
+    s.bytes_scanned = wire.size();
+
+    std::size_t pos = 0;
+    while (pos + kChunkHeaderBytes <= wire.size()) {
+        if (std::memcmp(wire.data() + pos, kChunkMarker, 4) != 0) {
+            ++pos;
+            ++s.bytes_skipped;
+            continue;
+        }
+        const std::uint8_t *base = wire.data() + pos;
+        const std::uint32_t payload_size = getU32(base + 18);
+        if (payload_size > kMaxChunkPayload ||
+            pos + kChunkHeaderBytes + payload_size > wire.size()) {
+            // Header claims more bytes than exist: either a damaged
+            // size field or a truncated tail chunk. Either way, skip
+            // one byte and keep hunting for the next marker.
+            ++s.chunks_truncated;
+            ++pos;
+            ++s.bytes_skipped;
+            continue;
+        }
+        const std::uint32_t stored_crc = getU32(base + kCrcOffset);
+        std::uint32_t crc = crc32c(base + 4, kCrcOffset - 4);
+        crc = crc32c(base + kChunkHeaderBytes, payload_size, crc);
+        if (crc != stored_crc) {
+            ++s.chunks_bad_crc;
+            ++pos;
+            ++s.bytes_skipped;
+            continue;
+        }
+
+        ParsedChunk chunk;
+        chunk.header.sequence = getU32(base + 4);
+        chunk.header.frame_id = getU32(base + 8);
+        chunk.header.gop_id = getU32(base + 12);
+        chunk.header.frame_type = base[16] == 1
+                                      ? Frame::Type::kPredicted
+                                      : Frame::Type::kIntra;
+        chunk.header.flags = base[17];
+        chunk.payload.assign(
+            base + kChunkHeaderBytes,
+            base + kChunkHeaderBytes + payload_size);
+        chunks.push_back(std::move(chunk));
+        ++s.chunks_ok;
+        pos += kChunkHeaderBytes + payload_size;
+    }
+    // Trailing bytes too short to hold a header were never consumed.
+    if (pos < wire.size())
+        s.bytes_skipped += wire.size() - pos;
+    return chunks;
+}
+
+std::vector<std::uint8_t>
+concatWire(const std::vector<std::vector<std::uint8_t>> &chunks)
+{
+    std::size_t total = 0;
+    for (const auto &chunk : chunks)
+        total += chunk.size();
+    std::vector<std::uint8_t> wire;
+    wire.reserve(total);
+    for (const auto &chunk : chunks)
+        wire.insert(wire.end(), chunk.begin(), chunk.end());
+    return wire;
+}
+
+}  // namespace edgepcc

@@ -1,0 +1,148 @@
+#include "edgepcc/stream/lossy_channel.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "edgepcc/stream/chunk_stream.h"
+
+namespace edgepcc {
+
+ChannelSpec
+ChannelSpec::clean()
+{
+    return ChannelSpec{};
+}
+
+ChannelSpec
+ChannelSpec::lossy(double loss_rate, std::uint64_t seed)
+{
+    ChannelSpec spec;
+    const double each = std::clamp(loss_rate, 0.0, 1.0) / 3.0;
+    spec.drop_rate = each;
+    spec.truncate_rate = each;
+    spec.bit_flip_rate = each;
+    spec.seed = seed;
+    return spec;
+}
+
+ChannelSpec
+ChannelSpec::fromNetwork(const NetworkSpec &network,
+                         std::uint64_t seed)
+{
+    ChannelSpec spec;
+    // A lost packet usually takes the whole chunk with it; bit-level
+    // damage that survives link CRCs is an order rarer. Jitter shows
+    // up as reordering once it exceeds a packet serialization time.
+    spec.drop_rate = network.packet_loss_rate * 0.8;
+    spec.truncate_rate = network.packet_loss_rate * 0.1;
+    spec.bit_flip_rate = network.packet_loss_rate * 0.1;
+    spec.reorder_rate =
+        network.jitter_ms > 0.0
+            ? std::min(0.25, network.jitter_ms / 100.0)
+            : 0.0;
+    spec.seed = seed;
+    return spec;
+}
+
+LossyChannel::LossyChannel(ChannelSpec spec)
+    : spec_(spec), rng_(spec.seed)
+{
+}
+
+bool
+LossyChannel::damage(std::vector<std::uint8_t> &chunk)
+{
+    if (rng_.uniform() < spec_.drop_rate) {
+        ++stats_.dropped;
+        return false;
+    }
+    if (!chunk.empty() &&
+        rng_.uniform() < spec_.truncate_rate) {
+        const std::size_t keep = static_cast<std::size_t>(
+            rng_.bounded(chunk.size()));
+        chunk.resize(keep);
+        ++stats_.truncated;
+    }
+    if (!chunk.empty() &&
+        rng_.uniform() < spec_.bit_flip_rate) {
+        const std::size_t bit = static_cast<std::size_t>(
+            rng_.bounded(chunk.size() * 8));
+        chunk[bit / 8] ^=
+            static_cast<std::uint8_t>(1u << (bit % 8));
+        ++stats_.bit_flipped;
+    }
+    return true;
+}
+
+std::vector<std::vector<std::uint8_t>>
+LossyChannel::transmit(const std::vector<std::uint8_t> &chunk)
+{
+    ++stats_.chunks_in;
+    std::vector<std::vector<std::uint8_t>> arrived;
+
+    // Release held chunks whose delay expired.
+    for (auto it = held_.begin(); it != held_.end();) {
+        if (--it->first <= 0) {
+            arrived.push_back(std::move(it->second));
+            it = held_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    std::vector<std::uint8_t> copy = chunk;
+    if (damage(copy)) {
+        const bool duplicate =
+            rng_.uniform() < spec_.duplicate_rate;
+        if (rng_.uniform() < spec_.reorder_rate &&
+            spec_.reorder_window > 0) {
+            const int delay =
+                1 + static_cast<int>(rng_.bounded(
+                        static_cast<std::uint64_t>(
+                            spec_.reorder_window)));
+            held_.emplace_back(delay, std::move(copy));
+            ++stats_.reordered;
+            if (duplicate) {
+                // The duplicate still arrives in order.
+                arrived.push_back(chunk);
+                ++stats_.duplicated;
+            }
+        } else {
+            if (duplicate) {
+                arrived.push_back(copy);
+                ++stats_.duplicated;
+            }
+            arrived.push_back(std::move(copy));
+        }
+    }
+    stats_.chunks_out += arrived.size();
+    return arrived;
+}
+
+std::vector<std::vector<std::uint8_t>>
+LossyChannel::flush()
+{
+    std::vector<std::vector<std::uint8_t>> arrived;
+    arrived.reserve(held_.size());
+    for (auto &held : held_)
+        arrived.push_back(std::move(held.second));
+    held_.clear();
+    stats_.chunks_out += arrived.size();
+    return arrived;
+}
+
+std::vector<std::uint8_t>
+LossyChannel::transmitAll(
+    const std::vector<std::vector<std::uint8_t>> &chunks)
+{
+    std::vector<std::vector<std::uint8_t>> delivered;
+    for (const auto &chunk : chunks) {
+        for (auto &out : transmit(chunk))
+            delivered.push_back(std::move(out));
+    }
+    for (auto &out : flush())
+        delivered.push_back(std::move(out));
+    return concatWire(delivered);
+}
+
+}  // namespace edgepcc

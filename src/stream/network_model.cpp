@@ -1,5 +1,7 @@
 #include "edgepcc/stream/network_model.h"
 
+#include <algorithm>
+
 namespace edgepcc {
 
 NetworkSpec
@@ -9,6 +11,8 @@ NetworkSpec::wifi()
     spec.name = "Wi-Fi (802.11ac)";
     spec.bandwidth_mbps = 200.0;
     spec.rtt_ms = 6.0;
+    spec.packet_loss_rate = 0.005;
+    spec.jitter_ms = 2.0;
     return spec;
 }
 
@@ -19,6 +23,8 @@ NetworkSpec::lte()
     spec.name = "LTE uplink";
     spec.bandwidth_mbps = 25.0;
     spec.rtt_ms = 40.0;
+    spec.packet_loss_rate = 0.02;
+    spec.jitter_ms = 15.0;
     return spec;
 }
 
@@ -29,15 +35,22 @@ NetworkSpec::fiveG()
     spec.name = "5G mid-band uplink";
     spec.bandwidth_mbps = 120.0;
     spec.rtt_ms = 15.0;
+    spec.packet_loss_rate = 0.01;
+    spec.jitter_ms = 5.0;
     return spec;
 }
 
 double
 NetworkSpec::transferSeconds(std::uint64_t bytes) const
 {
-    const double wire_bits =
-        static_cast<double>(bytes) * 8.0 / efficiency;
-    return rtt_ms / 2.0 / 1e3 +
+    // Expected transmissions per packet under independent loss is
+    // the geometric mean 1/(1-p); clamp p so a misconfigured spec
+    // degrades gracefully instead of dividing by ~zero.
+    const double loss =
+        std::clamp(packet_loss_rate, 0.0, 0.95);
+    const double wire_bits = static_cast<double>(bytes) * 8.0 /
+                             efficiency / (1.0 - loss);
+    return (rtt_ms / 2.0 + jitter_ms) / 1e3 +
            wire_bits / (bandwidth_mbps * 1e6);
 }
 

@@ -1,0 +1,296 @@
+#include "edgepcc/stream/stream_session.h"
+
+#include <utility>
+
+#include "edgepcc/common/trace.h"
+#include "edgepcc/interframe/block_matcher.h"
+
+namespace edgepcc {
+
+const char *
+frameOutcomeName(FrameOutcome outcome)
+{
+    switch (outcome) {
+      case FrameOutcome::kOk:
+        return "ok";
+      case FrameOutcome::kResynced:
+        return "resynced";
+      case FrameOutcome::kConcealed:
+        return "concealed";
+      case FrameOutcome::kSkipped:
+        return "skipped";
+    }
+    return "unknown";
+}
+
+double
+SessionStats::okOrConcealedFraction() const
+{
+    const std::size_t total = totalFrames();
+    return total == 0
+               ? 0.0
+               : static_cast<double>(total - frames_skipped) /
+                     static_cast<double>(total);
+}
+
+// -----------------------------------------------------------------
+// StreamReceiver
+// -----------------------------------------------------------------
+
+WireScanStats
+StreamReceiver::ingest(const std::vector<std::uint8_t> &wire)
+{
+    WireScanStats stats;
+    std::vector<ParsedChunk> chunks = scanWire(wire, &stats);
+    for (ParsedChunk &chunk : chunks) {
+        // First intact copy wins; duplicates and retransmissions of
+        // an already-buffered frame are dropped here.
+        by_frame_.emplace(chunk.header.frame_id,
+                          std::move(chunk));
+    }
+    wire_.bytes_scanned += stats.bytes_scanned;
+    wire_.bytes_skipped += stats.bytes_skipped;
+    wire_.chunks_ok += stats.chunks_ok;
+    wire_.chunks_bad_crc += stats.chunks_bad_crc;
+    wire_.chunks_truncated += stats.chunks_truncated;
+    return stats;
+}
+
+bool
+StreamReceiver::hasFrame(std::uint32_t frame_id) const
+{
+    return by_frame_.count(frame_id) != 0;
+}
+
+std::vector<std::uint32_t>
+StreamReceiver::missingFrames(std::uint32_t expected_frames) const
+{
+    std::vector<std::uint32_t> missing;
+    for (std::uint32_t id = 0; id < expected_frames; ++id) {
+        if (by_frame_.count(id) == 0)
+            missing.push_back(id);
+    }
+    return missing;
+}
+
+std::vector<SessionFrame>
+StreamReceiver::decodeAll(std::uint32_t expected_frames)
+{
+    ScopedTrace trace("session.decode");
+    std::vector<SessionFrame> results;
+    results.reserve(expected_frames);
+
+    // Ladder state: the last presentable cloud (freeze/conceal
+    // source), the GOP id of the last intact I frame (reference
+    // validity), and whether damage occurred since the last intact
+    // I frame (drives the resynced outcome).
+    std::optional<VoxelCloud> last_good;
+    std::optional<std::uint32_t> good_intra_gop;
+    bool damaged = false;
+
+    const auto degrade = [&](SessionFrame &result) {
+        if (last_good.has_value()) {
+            result.outcome = FrameOutcome::kConcealed;
+            result.cloud = *last_good;
+        } else {
+            result.outcome = FrameOutcome::kSkipped;
+        }
+        damaged = true;
+    };
+
+    for (std::uint32_t id = 0; id < expected_frames; ++id) {
+        SessionFrame result;
+        result.frame_id = id;
+
+        const auto it = by_frame_.find(id);
+        if (it == by_frame_.end()) {
+            // Chunk never arrived intact: freeze the last good
+            // frame, or skip when there has not been one yet.
+            degrade(result);
+            results.push_back(std::move(result));
+            continue;
+        }
+        const ParsedChunk &chunk = it->second;
+        result.type = chunk.header.frame_type;
+        result.delivered = true;
+
+        if (chunk.header.frame_type == Frame::Type::kIntra) {
+            auto decoded = decoder_.decode(chunk.payload);
+            if (decoded.hasValue()) {
+                result.outcome = damaged
+                                     ? FrameOutcome::kResynced
+                                     : FrameOutcome::kOk;
+                result.cloud = std::move(decoded->cloud);
+                last_good = result.cloud;
+                good_intra_gop = chunk.header.gop_id;
+                damaged = false;
+            } else {
+                // The payload cleared the transport CRC but still
+                // failed the codec's own validation; treat like a
+                // lost chunk.
+                degrade(result);
+            }
+            results.push_back(std::move(result));
+            continue;
+        }
+
+        // P frame: decodable only when its anchor I frame was
+        // decoded intact. Otherwise the decoder's reference is
+        // stale (silent corruption) or absent — promote to a
+        // geometry-only decode with concealed attributes.
+        const bool reference_ok =
+            good_intra_gop.has_value() &&
+            *good_intra_gop == chunk.header.gop_id &&
+            decoder_.hasReference();
+        if (reference_ok) {
+            auto decoded = decoder_.decode(chunk.payload);
+            if (decoded.hasValue()) {
+                result.outcome = FrameOutcome::kOk;
+                result.cloud = std::move(decoded->cloud);
+                last_good = result.cloud;
+                results.push_back(std::move(result));
+                continue;
+            }
+        }
+        bool concealed = false;
+        auto promoted = decoder_.decodePromoted(
+            chunk.payload,
+            last_good.has_value() ? &*last_good : nullptr,
+            &concealed);
+        if (promoted.hasValue()) {
+            result.outcome = FrameOutcome::kConcealed;
+            result.cloud = std::move(promoted->cloud);
+            // Geometry is current even though attributes are
+            // borrowed: better freeze source than an older frame.
+            last_good = result.cloud;
+            damaged = true;
+        } else {
+            degrade(result);
+        }
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+// -----------------------------------------------------------------
+// StreamSession
+// -----------------------------------------------------------------
+
+StreamSession::StreamSession(CodecConfig codec,
+                             SessionConfig session)
+    : codec_(std::move(codec)), session_(std::move(session))
+{
+}
+
+Expected<SessionReport>
+StreamSession::run(const std::vector<VoxelCloud> &frames)
+{
+    if (frames.empty())
+        return invalidArgument("StreamSession::run: no frames");
+
+    ScopedTrace trace("session.run");
+    VideoEncoder encoder(codec_);
+    LossyChannel channel(session_.channel);
+    StreamReceiver receiver;
+    AdaptiveGopController gop(session_.gop, codec_.gop_size);
+
+    SessionReport report;
+    report.stats = SessionStats{};
+
+    std::uint32_t next_sequence = 0;
+    std::uint32_t gop_id = 0;
+    bool force_key = false;
+    std::vector<int> retransmits_per_frame(frames.size(), 0);
+
+    for (std::size_t f = 0; f < frames.size(); ++f) {
+        if (session_.adaptive_gop)
+            encoder.setGopSize(gop.gopSize());
+        if (force_key) {
+            encoder.forceKeyframe();
+            ++report.stats.keyframes_forced;
+            force_key = false;
+        }
+
+        auto encoded = encoder.encode(frames[f]);
+        if (!encoded)
+            return encoded.status();
+
+        const Frame::Type type = encoded->stats.type;
+        if (type == Frame::Type::kIntra)
+            gop_id = static_cast<std::uint32_t>(f);
+
+        ChunkHeader header;
+        header.frame_id = static_cast<std::uint32_t>(f);
+        header.gop_id = gop_id;
+        header.frame_type = type;
+
+        // First transmission plus bounded NACK-driven retries with
+        // exponential backoff (modelled latency, no sleeping).
+        bool delivered = false;
+        for (int attempt = 0;
+             attempt <= session_.max_retransmits && !delivered;
+             ++attempt) {
+            header.sequence = next_sequence++;
+            if (attempt > 0) {
+                header.flags = kChunkFlagRetransmit;
+                ++report.stats.nacks;
+                ++report.stats.retransmits;
+                retransmits_per_frame[f] = attempt;
+                report.stats.backoff_s +=
+                    session_.backoff_ms / 1e3 *
+                    static_cast<double>(1 << (attempt - 1));
+            }
+            const std::vector<std::uint8_t> chunk =
+                serializeChunk(header, encoded->bitstream);
+            ++report.stats.chunks_sent;
+            for (const auto &arrival : channel.transmit(chunk))
+                receiver.ingest(arrival);
+            delivered =
+                receiver.hasFrame(header.frame_id);
+        }
+        // Reorder-held copies may still surface later; the final
+        // flush below catches them, but delivery feedback uses the
+        // post-retry state (a held chunk is late, i.e. lost for
+        // latency purposes but still usable for decode).
+        if (delivered) {
+            ++report.stats.frames_delivered;
+        } else {
+            ++report.stats.frames_lost;
+            // Unrecovered loss: re-anchor at the next frame so a
+            // lost I frame cannot poison the rest of its GOP.
+            if (session_.keyframe_on_loss)
+                force_key = true;
+        }
+        if (session_.adaptive_gop)
+            gop.onFrameDelivery(delivered);
+    }
+
+    for (const auto &arrival : channel.flush())
+        receiver.ingest(arrival);
+
+    report.frames = receiver.decodeAll(
+        static_cast<std::uint32_t>(frames.size()));
+    report.wire = receiver.wireStats();
+
+    for (SessionFrame &frame : report.frames) {
+        frame.retransmits =
+            retransmits_per_frame[frame.frame_id];
+        switch (frame.outcome) {
+          case FrameOutcome::kOk:
+            ++report.stats.frames_ok;
+            break;
+          case FrameOutcome::kResynced:
+            ++report.stats.frames_resynced;
+            break;
+          case FrameOutcome::kConcealed:
+            ++report.stats.frames_concealed;
+            break;
+          case FrameOutcome::kSkipped:
+            ++report.stats.frames_skipped;
+            break;
+        }
+    }
+    return report;
+}
+
+}  // namespace edgepcc

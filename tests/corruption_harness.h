@@ -40,13 +40,16 @@ struct SweepStats {
  * buffer). Each truncation point must produce either a clean Status
  * failure or valid output — the process-level contract (no crash, no
  * sanitizer report) is checked implicitly by surviving the sweep.
+ * `stride` > 1 samples every stride-th truncation point, for large
+ * payloads where the full quadratic sweep is too slow.
  */
 inline SweepStats
 truncationSweep(const std::vector<std::uint8_t> &payload,
-                const DecodeFn &decode)
+                const DecodeFn &decode, std::size_t stride = 1)
 {
     SweepStats stats;
-    for (std::size_t len = 0; len < payload.size(); ++len) {
+    for (std::size_t len = 0; len < payload.size();
+         len += stride) {
         const std::vector<std::uint8_t> prefix(
             payload.begin(),
             payload.begin() + static_cast<std::ptrdiff_t>(len));
@@ -136,6 +139,126 @@ fullSweep(const std::vector<std::uint8_t> &payload,
     total.attempts += flips.attempts + runs.attempts;
     total.decoded_ok += flips.decoded_ok + runs.decoded_ok;
     total.rejected += flips.rejected + runs.rejected;
+    return total;
+}
+
+// -----------------------------------------------------------------
+// Chunk-level sweeps (framing layer)
+//
+// These operate on a stream of already-serialized transport chunks
+// rather than one contiguous payload: faults are injected at chunk
+// granularity (whole-chunk drops, reordering) or into the
+// concatenated wire (bit flips that may land in a header, a CRC
+// field, or a payload). The DecodeFn receives the damaged wire
+// bytes; for a resilient receiver it should ingest + decode and
+// return Ok unless output validation fails.
+// -----------------------------------------------------------------
+
+/** Concatenates serialized chunks into one wire buffer. */
+inline std::vector<std::uint8_t>
+joinChunks(const std::vector<std::vector<std::uint8_t>> &chunks)
+{
+    std::vector<std::uint8_t> wire;
+    for (const auto &chunk : chunks)
+        wire.insert(wire.end(), chunk.begin(), chunk.end());
+    return wire;
+}
+
+/**
+ * Drops every single chunk and every contiguous pair of chunks,
+ * decoding the concatenation of the survivors each time.
+ */
+inline SweepStats
+chunkDropSweep(const std::vector<std::vector<std::uint8_t>> &chunks,
+               const DecodeFn &decode)
+{
+    SweepStats stats;
+    const auto run = [&](std::size_t first, std::size_t count) {
+        std::vector<std::uint8_t> wire;
+        for (std::size_t i = 0; i < chunks.size(); ++i) {
+            if (i >= first && i < first + count)
+                continue;
+            wire.insert(wire.end(), chunks[i].begin(),
+                        chunks[i].end());
+        }
+        ++stats.attempts;
+        if (decode(wire).isOk())
+            ++stats.decoded_ok;
+        else
+            ++stats.rejected;
+    };
+    for (std::size_t i = 0; i < chunks.size(); ++i)
+        run(i, 1);
+    for (std::size_t i = 0; i + 1 < chunks.size(); ++i)
+        run(i, 2);
+    return stats;
+}
+
+/**
+ * Flips one seeded random bit anywhere in the concatenated wire per
+ * trial — headers, CRC fields and payloads are all fair game.
+ */
+inline SweepStats
+chunkFlipSweep(const std::vector<std::vector<std::uint8_t>> &chunks,
+               const DecodeFn &decode, std::uint64_t seed,
+               std::size_t num_flips = 128)
+{
+    return bitFlipSweep(joinChunks(chunks), decode, seed,
+                        num_flips);
+}
+
+/**
+ * Shuffles the chunk order with a seeded Fisher–Yates permutation
+ * per trial and decodes the reordered wire. No bytes are damaged:
+ * a self-delimiting receiver must reassemble by frame id.
+ */
+inline SweepStats
+chunkReorderSweep(
+    const std::vector<std::vector<std::uint8_t>> &chunks,
+    const DecodeFn &decode, std::uint64_t seed,
+    std::size_t num_trials = 32)
+{
+    SweepStats stats;
+    Rng rng(seed);
+    if (chunks.empty())
+        return stats;
+    for (std::size_t trial = 0; trial < num_trials; ++trial) {
+        std::vector<std::size_t> order(chunks.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        for (std::size_t i = order.size() - 1; i > 0; --i) {
+            const auto j =
+                static_cast<std::size_t>(rng.bounded(i + 1));
+            const std::size_t tmp = order[i];
+            order[i] = order[j];
+            order[j] = tmp;
+        }
+        std::vector<std::uint8_t> wire;
+        for (const std::size_t i : order)
+            wire.insert(wire.end(), chunks[i].begin(),
+                        chunks[i].end());
+        ++stats.attempts;
+        if (decode(wire).isOk())
+            ++stats.decoded_ok;
+        else
+            ++stats.rejected;
+    }
+    return stats;
+}
+
+/** Runs drop + flip + reorder chunk sweeps and accumulates. */
+inline SweepStats
+chunkFullSweep(
+    const std::vector<std::vector<std::uint8_t>> &chunks,
+    const DecodeFn &decode, std::uint64_t seed)
+{
+    SweepStats total = chunkDropSweep(chunks, decode);
+    const SweepStats flips = chunkFlipSweep(chunks, decode, seed);
+    const SweepStats reorders =
+        chunkReorderSweep(chunks, decode, seed ^ 0x85ebca6bu);
+    total.attempts += flips.attempts + reorders.attempts;
+    total.decoded_ok += flips.decoded_ok + reorders.decoded_ok;
+    total.rejected += flips.rejected + reorders.rejected;
     return total;
 }
 

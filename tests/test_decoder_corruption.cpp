@@ -18,11 +18,14 @@
 #include "corruption_harness.h"
 #include "edgepcc/attr/segment_codec.h"
 #include "edgepcc/common/rng.h"
+#include "edgepcc/core/video_codec.h"
 #include "edgepcc/entropy/bitstream.h"
 #include "edgepcc/entropy/range_coder.h"
 #include "edgepcc/interframe/macroblock_codec.h"
 #include "edgepcc/morton/morton.h"
 #include "edgepcc/octree/geometry_codec.h"
+#include "edgepcc/stream/chunk_stream.h"
+#include "edgepcc/stream/stream_session.h"
 
 namespace edgepcc {
 namespace {
@@ -280,6 +283,106 @@ TEST(CorruptBitstream, MacroBlockDecoderSurvivesSweeps)
     const SweepStats stats =
         fullSweep(encoded->payload, decode, 4001);
     EXPECT_GT(stats.rejected, 0u);
+}
+
+// -----------------------------------------------------------------
+// Chunked transport framing + resilient receiver
+// -----------------------------------------------------------------
+
+/** Serializes a short IPPI GOP into transport chunks. */
+std::vector<std::vector<std::uint8_t>>
+gopChunks(std::size_t num_frames)
+{
+    VideoEncoder encoder(makeIntraInterV1Config());
+    std::vector<std::vector<std::uint8_t>> chunks;
+    std::uint32_t gop_id = 0;
+    for (std::size_t f = 0; f < num_frames; ++f) {
+        const VoxelCloud frame = surfaceCloud(
+            61, 600, 7, static_cast<int>(f) * 3);
+        auto encoded = encoder.encode(frame);
+        EXPECT_TRUE(encoded.hasValue());
+        if (encoded->stats.type == Frame::Type::kIntra)
+            gop_id = static_cast<std::uint32_t>(f);
+        ChunkHeader header;
+        header.sequence = static_cast<std::uint32_t>(f);
+        header.frame_id = static_cast<std::uint32_t>(f);
+        header.gop_id = gop_id;
+        header.frame_type = encoded->stats.type;
+        chunks.push_back(
+            serializeChunk(header, encoded->bitstream));
+    }
+    return chunks;
+}
+
+/** Ingests damaged wire bytes through the resilient receiver and
+ *  validates every ladder output. Never returns failure: the
+ *  contract is no crash / no hang / no OOB output, not rejection. */
+DecodeFn
+receiverValidator(std::uint32_t expected_frames)
+{
+    return [expected_frames](
+               const std::vector<std::uint8_t> &wire) -> Status {
+        StreamReceiver receiver;
+        receiver.ingest(wire);
+        const std::vector<SessionFrame> frames =
+            receiver.decodeAll(expected_frames);
+        EXPECT_EQ(frames.size(), expected_frames);
+        for (const SessionFrame &frame : frames) {
+            const std::uint32_t grid = frame.cloud.gridSize();
+            for (std::size_t i = 0; i < frame.cloud.size(); ++i) {
+                EXPECT_LT(frame.cloud.x()[i], grid);
+                EXPECT_LT(frame.cloud.y()[i], grid);
+                EXPECT_LT(frame.cloud.z()[i], grid);
+            }
+        }
+        return Status::ok();
+    };
+}
+
+TEST(CorruptBitstream, ChunkedReceiverSurvivesChunkSweeps)
+{
+    const auto chunks = gopChunks(4);
+    const DecodeFn decode = receiverValidator(4);
+
+    // Sanity: the pristine wire decodes.
+    ASSERT_TRUE(decode(testing::joinChunks(chunks)).isOk());
+
+    const SweepStats stats =
+        testing::chunkFullSweep(chunks, decode, 6001);
+    EXPECT_GT(stats.attempts, 0u);
+    // The receiver degrades instead of rejecting: every damaged
+    // wire still yields one validated outcome per frame.
+    EXPECT_EQ(stats.decoded_ok, stats.attempts);
+}
+
+TEST(CorruptBitstream, ChunkedReceiverSurvivesWireTruncation)
+{
+    const auto chunks = gopChunks(3);
+    const std::vector<std::uint8_t> wire =
+        testing::joinChunks(chunks);
+    // Strided: the wire is a few KB and each trial decodes every
+    // surviving chunk; step 17 still hits every alignment class
+    // within the 26-byte header period.
+    const SweepStats stats = testing::truncationSweep(
+        wire, receiverValidator(3), /*stride=*/17);
+    EXPECT_GT(stats.attempts, 0u);
+    EXPECT_EQ(stats.decoded_ok, stats.attempts);
+}
+
+TEST(CorruptBitstream, ChunkedReceiverReassemblesPureReorder)
+{
+    const auto chunks = gopChunks(4);
+    // Reversed wire order, undamaged bytes: reassembly by frame id
+    // must recover every frame as ok.
+    std::vector<std::vector<std::uint8_t>> reversed(
+        chunks.rbegin(), chunks.rend());
+    StreamReceiver receiver;
+    receiver.ingest(testing::joinChunks(reversed));
+    const auto frames = receiver.decodeAll(4);
+    ASSERT_EQ(frames.size(), 4u);
+    for (const SessionFrame &frame : frames)
+        EXPECT_EQ(frame.outcome, FrameOutcome::kOk)
+            << "frame " << frame.frame_id;
 }
 
 TEST(CorruptBitstream, RawEntropyAttrSurvivesSweeps)

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 
 #include "edgepcc/common/rng.h"
@@ -20,8 +21,44 @@ TEST(NetworkModel, TransferTimeScalesWithBytes)
     const double small = net.transferSeconds(1000);
     const double large = net.transferSeconds(1000000);
     EXPECT_GT(large, small);
-    // Latency floor: even zero bytes pay half an RTT.
-    EXPECT_NEAR(net.transferSeconds(0), net.rtt_ms / 2e3, 1e-12);
+    // Latency floor: even zero bytes pay half an RTT plus jitter.
+    EXPECT_NEAR(net.transferSeconds(0),
+                (net.rtt_ms / 2.0 + net.jitter_ms) / 1e3, 1e-12);
+}
+
+TEST(NetworkModel, LossInflatesTransferTime)
+{
+    NetworkSpec clean = NetworkSpec::wifi();
+    clean.packet_loss_rate = 0.0;
+    clean.jitter_ms = 0.0;
+    NetworkSpec lossy = clean;
+    lossy.packet_loss_rate = 0.2;
+
+    const std::uint64_t mb = 1000000;
+    // Retransmissions: every byte is sent 1/(1-p) times on average.
+    EXPECT_NEAR(lossy.transferSeconds(mb) - lossy.rtt_ms / 2e3,
+                (clean.transferSeconds(mb) - clean.rtt_ms / 2e3) /
+                    0.8,
+                1e-9);
+    // A silly loss rate degrades gracefully instead of exploding.
+    lossy.packet_loss_rate = 1.0;
+    EXPECT_TRUE(std::isfinite(lossy.transferSeconds(mb)));
+}
+
+TEST(NetworkModel, PresetsCarryLossAndJitter)
+{
+    for (const NetworkSpec &net :
+         {NetworkSpec::wifi(), NetworkSpec::lte(),
+          NetworkSpec::fiveG()}) {
+        EXPECT_GT(net.packet_loss_rate, 0.0) << net.name;
+        EXPECT_LT(net.packet_loss_rate, 0.1) << net.name;
+        EXPECT_GT(net.jitter_ms, 0.0) << net.name;
+    }
+    // LTE is the flakiest of the three.
+    EXPECT_GT(NetworkSpec::lte().packet_loss_rate,
+              NetworkSpec::fiveG().packet_loss_rate);
+    EXPECT_GT(NetworkSpec::fiveG().packet_loss_rate,
+              NetworkSpec::wifi().packet_loss_rate);
 }
 
 TEST(NetworkModel, PresetsAreOrdered)
