@@ -5,24 +5,46 @@
  * The plain .epcv container (stream_file.h) is a clean-file format:
  * one corrupt length prefix and everything after it is unreachable.
  * For transmission over a lossy channel every encoded frame is
- * instead wrapped in a self-delimiting *chunk*:
+ * instead wrapped in one or more self-delimiting *chunks*:
  *
  *   marker 'E''P''C''K' | sequence u32 | frame_id u32 | gop_id u32 |
- *   frame_type u8 | flags u8 | payload_size u32 | crc32c u32 |
- *   payload bytes
+ *   frame_type u8 | flags u8 | payload_size u32 |
+ *   [v2 extension: slice_index u16 | slice_count u16 |
+ *    fec_group u16 | fec_seq u8 | fec_group_size u8] |
+ *   crc32c u32 | payload bytes
  *
- * All integers little-endian. The CRC32C covers the header fields
- * after the marker plus the payload, so any truncation, bit flip or
- * splice inside a chunk is detected. The fixed marker makes the
- * stream self-synchronizing: scanWire() skips damaged regions byte
- * by byte until the next marker that validates, so one bad chunk
- * costs exactly that chunk, never the rest of the stream.
+ * All integers little-endian. The 8-byte v2 extension is present
+ * only when `flags & kChunkFlagV2`; a chunk that uses no v2 feature
+ * (single-slice, no FEC) serializes to the exact v1 byte layout, so
+ * old receivers keep parsing new clean streams and new receivers
+ * parse v1 streams unchanged.
+ *
+ * The CRC32C covers the header fields after the marker plus the
+ * payload, so any truncation, bit flip or splice inside a chunk is
+ * detected (including a flipped kChunkFlagV2 bit — the CRC offset
+ * moves, so the check fails). The fixed marker makes the stream
+ * self-synchronizing: scanWire() skips damaged regions byte by byte
+ * until the next marker that validates, so one bad chunk costs
+ * exactly that chunk, never the rest of the stream.
+ *
+ * Two v2 features layer on top of the framing:
+ *
+ *  - Sub-frame slicing: a frame payload is split into up to 65535
+ *    MTU-sized slices (`slice_index` of `slice_count`), each an
+ *    independently CRC-protected chunk. A bit flip then costs one
+ *    slice, not the frame.
+ *  - XOR-parity FEC: every `FecSpec::group_size` data chunks form a
+ *    group and emit one parity chunk (kChunkFlagParity) whose
+ *    payload XORs the group's *records* (header-identifying prefix
+ *    + size + payload). The receiver reconstructs any single lost
+ *    data chunk per group without a NACK round-trip.
  */
 
 #ifndef EDGEPCC_STREAM_CHUNK_STREAM_H
 #define EDGEPCC_STREAM_CHUNK_STREAM_H
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "edgepcc/common/status.h"
@@ -34,15 +56,36 @@ namespace edgepcc {
 inline constexpr std::uint8_t kChunkMarker[4] = {'E', 'P', 'C',
                                                  'K'};
 
-/** Serialized header size including marker and CRC. */
+/** Serialized v1 header size including marker and CRC. */
 inline constexpr std::size_t kChunkHeaderBytes = 26;
+
+/** Bytes added by the v2 extension (slice + FEC fields). */
+inline constexpr std::size_t kChunkExtensionBytes = 8;
+
+/** Serialized v2 header size including marker, extension and CRC. */
+inline constexpr std::size_t kChunkHeaderBytesV2 =
+    kChunkHeaderBytes + kChunkExtensionBytes;
 
 /** Backstop against absurd payload sizes from damaged headers. */
 inline constexpr std::uint32_t kMaxChunkPayload = 1u << 28;
 
+/** `fec_seq` sentinel carried by parity chunks. */
+inline constexpr std::uint8_t kFecParitySeq = 0xff;
+
 /** Chunk flag bits. */
 enum ChunkFlags : std::uint8_t {
     kChunkFlagRetransmit = 1u << 0,  ///< NACK-driven resend
+    kChunkFlagParity = 1u << 1,      ///< payload is FEC parity
+    kChunkFlagFec = 1u << 2,         ///< member of an FEC group
+    kChunkFlagV2 = 1u << 7,          ///< extension fields present
+};
+
+/** XOR-parity FEC knob (see docs/RESILIENCE.md). */
+struct FecSpec {
+    bool enabled = false;
+    /** Data chunks per parity chunk. Groups never span frames, so
+     *  the last group of a frame may be smaller. */
+    int group_size = 4;
 };
 
 /** Transport metadata carried by every chunk. */
@@ -52,6 +95,40 @@ struct ChunkHeader {
     std::uint32_t gop_id = 0;    ///< id of the GOP's anchor I frame
     Frame::Type frame_type = Frame::Type::kIntra;
     std::uint8_t flags = 0;
+
+    // v2 extension fields; serialized only when the header needs
+    // them (isV2()). Defaults reproduce the v1 wire layout.
+    std::uint16_t slice_index = 0;  ///< this slice within the frame
+    std::uint16_t slice_count = 1;  ///< total slices of the frame
+    std::uint16_t fec_group = 0;    ///< FEC group id (wraps at 64Ki)
+    /** Data: index within the FEC group; parity: kFecParitySeq. */
+    std::uint8_t fec_seq = 0;
+    /** Number of data chunks in this FEC group (on every member). */
+    std::uint8_t fec_group_size = 0;
+
+    /** True when any v2 feature is in use; drives serialization. */
+    bool
+    isV2() const
+    {
+        return (flags & (kChunkFlagV2 | kChunkFlagParity |
+                         kChunkFlagFec)) != 0 ||
+               slice_index != 0 || slice_count != 1 ||
+               fec_group != 0 || fec_seq != 0 ||
+               fec_group_size != 0;
+    }
+
+    bool
+    isParity() const
+    {
+        return (flags & kChunkFlagParity) != 0;
+    }
+
+    /** Serialized header size for this chunk's version. */
+    std::size_t
+    headerBytes() const
+    {
+        return isV2() ? kChunkHeaderBytesV2 : kChunkHeaderBytes;
+    }
 };
 
 /** One chunk recovered from the wire. */
@@ -69,16 +146,19 @@ struct WireScanStats {
     std::size_t chunks_truncated = 0;  ///< header past buffer end
 };
 
-/** Serializes one chunk (header + CRC32C + payload copy). */
+/** Serializes one chunk (header + CRC32C + payload copy). Emits
+ *  the v1 layout unless the header uses a v2 feature, in which
+ *  case kChunkFlagV2 is set on the wire automatically. */
 std::vector<std::uint8_t> serializeChunk(
     const ChunkHeader &header,
     const std::vector<std::uint8_t> &payload);
 
 /**
- * Scans `wire` for valid chunks, resynchronizing on the marker after
- * any damage. Never fails: damaged regions are skipped and counted
- * in `stats` (optional). Chunks are returned in wire order,
- * duplicates included — dedup is the receiver's job.
+ * Scans `wire` for valid chunks (v1 and v2 layouts side by side),
+ * resynchronizing on the marker after any damage. Never fails:
+ * damaged regions are skipped and counted in `stats` (optional).
+ * Chunks are returned in wire order, duplicates included — dedup is
+ * the receiver's job.
  */
 std::vector<ParsedChunk> scanWire(
     const std::vector<std::uint8_t> &wire,
@@ -87,6 +167,44 @@ std::vector<ParsedChunk> scanWire(
 /** Concatenates serialized chunks into one wire buffer. */
 std::vector<std::uint8_t> concatWire(
     const std::vector<std::vector<std::uint8_t>> &chunks);
+
+/**
+ * Splits a frame payload into MTU-sized slices. Each returned chunk
+ * shares `base`'s identity fields and gets slice_index/slice_count
+ * set; payload bytes are contiguous ranges of `payload`.
+ * `mtu_payload == 0` (or payload <= mtu) yields one chunk with the
+ * v1 layout. The slice size is raised transparently when the
+ * payload would need more than 65535 slices.
+ */
+std::vector<ParsedChunk> sliceFramePayload(
+    const ChunkHeader &base,
+    const std::vector<std::uint8_t> &payload,
+    std::size_t mtu_payload);
+
+/** Reassembles slice payloads (already in slice_index order) into
+ *  the original frame payload. */
+std::vector<std::uint8_t> assembleSlices(
+    const std::vector<const std::vector<std::uint8_t> *> &slices);
+
+/**
+ * Builds the XOR-parity payload over one FEC group's data chunks.
+ * The parity XORs fixed-layout *records* (frame_id, gop_id,
+ * slice_index/count, frame_type, fec_seq, payload_size, payload,
+ * zero-padded to the longest record), so the receiver can rebuild a
+ * missing chunk's header fields as well as its bytes.
+ */
+std::vector<std::uint8_t> buildFecParity(
+    const std::vector<ParsedChunk> &group);
+
+/**
+ * Reconstructs the single missing data chunk of an FEC group from
+ * the group's other `received` data chunks and the parity payload.
+ * Returns nullopt when the parity is inconsistent (e.g. more than
+ * one chunk was actually missing, or the sizes don't add up).
+ */
+std::optional<ParsedChunk> recoverFecChunk(
+    const std::vector<ParsedChunk> &received,
+    const std::vector<std::uint8_t> &parity_payload);
 
 }  // namespace edgepcc
 

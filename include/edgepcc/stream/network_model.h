@@ -44,6 +44,18 @@ struct NetworkSpec {
      * term is inflated accordingly.
      */
     double transferSeconds(std::uint64_t bytes) const;
+
+    /** One-way propagation latency: half-RTT + jitter, seconds. */
+    double latencySeconds() const;
+
+    /**
+     * Loss-free serialization time for `bytes`, seconds. Use this
+     * (not transferSeconds) when retransmissions are modelled
+     * explicitly — e.g. the streaming session already counts every
+     * resent and parity byte in its wire-byte total, so inflating
+     * by 1/(1 - loss) on top would double-count the loss.
+     */
+    double serializationSeconds(std::uint64_t bytes) const;
 };
 
 }  // namespace edgepcc

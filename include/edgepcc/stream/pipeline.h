@@ -19,6 +19,7 @@
 #include "edgepcc/core/video_codec.h"
 #include "edgepcc/platform/device_model.h"
 #include "edgepcc/stream/network_model.h"
+#include "edgepcc/stream/stream_session.h"
 
 namespace edgepcc {
 
@@ -33,6 +34,23 @@ struct PipelineConfig {
     NetworkSpec network = NetworkSpec::wifi();
     DeviceSpec encoder_device = DeviceSpec::jetsonXavier15W();
     DeviceSpec decoder_device = DeviceSpec::jetsonXavier15W();
+
+    /**
+     * When true, the transfer stage runs the real chunked
+     * transport: frames are sliced, FEC-protected and shipped
+     * through a fault-injection channel derived from `network`
+     * (ChannelSpec::fromNetwork), and the reported latency uses
+     * the session's actual wire bytes (parity + retransmissions
+     * included) plus modelled NACK round-trips — no 1/(1 - loss)
+     * inflation, the loss is simulated instead. When false the
+     * analytic loss-free model is used (legacy behaviour).
+     */
+    bool transport = false;
+    /** Transport knobs (MTU slicing, FEC, NACK retries). The
+     *  channel spec inside is overwritten from `network`. */
+    SessionConfig session{};
+    /** Fault-injection seed for the transport channel. */
+    std::uint64_t transport_seed = 1;
 };
 
 /** Per-frame end-to-end latency split. */
@@ -41,24 +59,36 @@ struct FrameLatency {
     double capture_s = 0.0;
     double encode_s = 0.0;
     double transmit_s = 0.0;
+    /** Loss-recovery time: retransmission backoff plus one RTT per
+     *  NACK round. Zero in the analytic (non-transport) model. */
+    double recovery_s = 0.0;
     double decode_s = 0.0;
     double render_s = 0.0;
+    /** Encoded frame payload size. */
     std::uint64_t bytes = 0;
+    /** Actual wire bytes (headers, slices, parity, resends);
+     *  equals `bytes` in the analytic model (no framing). */
+    std::uint64_t wire_bytes = 0;
+    /** Degradation-ladder outcome (kOk in the analytic model). */
+    FrameOutcome outcome = FrameOutcome::kOk;
+    int retransmits = 0;
 
     double
     total() const
     {
-        return capture_s + encode_s + transmit_s + decode_s +
-               render_s;
+        return capture_s + encode_s + transmit_s + recovery_s +
+               decode_s + render_s;
     }
 
-    /** Slowest stage bounds the pipelined frame rate. */
+    /** Slowest stage bounds the pipelined frame rate. Recovery
+     *  overlaps transmission, so they count as one stage. */
     double
     bottleneckSeconds() const
     {
         double worst = capture_s;
         for (const double stage :
-             {encode_s, transmit_s, decode_s, render_s}) {
+             {encode_s, transmit_s + recovery_s, decode_s,
+              render_s}) {
             if (stage > worst)
                 worst = stage;
         }
@@ -70,15 +100,27 @@ struct FrameLatency {
 struct PipelineReport {
     std::vector<FrameLatency> frames;
 
+    /** Transport-mode accounting; all zero when the analytic
+     *  model was used (PipelineConfig::transport == false). */
+    bool transport = false;
+    SessionStats session;
+    WireScanStats wire;
+    FecStats fec;
+
     double meanTotalSeconds() const;
     /** Sustainable FPS with stage-level pipelining. */
     double pipelinedFps() const;
     double meanBitsPerFrame() const;
+    /** Mean per-frame loss-recovery seconds. */
+    double meanRecoverySeconds() const;
 };
 
 /**
- * Runs `frames` through encode -> (modelled) transmit -> decode
- * and reports the modelled end-to-end behaviour.
+ * Runs `frames` through encode -> transmit -> decode and reports
+ * the modelled end-to-end behaviour. The transmit stage is either
+ * the analytic loss-free network model or, with
+ * PipelineConfig::transport, the real chunked transport over a
+ * fault-injection channel (slicing + FEC + NACK accounting).
  */
 Expected<PipelineReport> evaluatePipeline(
     const std::vector<VoxelCloud> &frames,

@@ -5,9 +5,11 @@
  * Two layers:
  *
  *  - StreamReceiver: decoder-side resilience. Ingests (possibly
- *    damaged) wire bytes, reassembles chunks by frame id, and runs a
- *    degradation ladder instead of aborting the stream:
- *      ok        - chunk intact, decoded normally
+ *    damaged) wire bytes, reassembles chunks by frame id and slice
+ *    index, reconstructs single lost chunks per FEC group from XOR
+ *    parity, and runs a degradation ladder instead of aborting the
+ *    stream:
+ *      ok        - all slices intact, decoded normally
  *      resynced  - an intact I frame re-anchored the stream after
  *                  preceding damage
  *      concealed - frame degraded but presentable: a missing frame
@@ -16,11 +18,14 @@
  *                  geometry-promoted with borrowed attributes
  *      skipped   - nothing presentable (loss before any good frame)
  *
- *  - StreamSession: the closed loop. Encodes frames, ships chunks
- *    through a fault-injection LossyChannel, answers receiver NACKs
- *    with bounded exponential-backoff retransmissions, and feeds
- *    delivery outcomes to AdaptiveGopController so sustained loss
- *    shortens the GOP and an unrecovered loss forces a keyframe.
+ *  - StreamSession: the closed loop. Encodes frames, splits each
+ *    payload into MTU-sized slices, groups data chunks into
+ *    XOR-parity FEC groups, ships everything through a
+ *    fault-injection LossyChannel, answers receiver NACKs with
+ *    bounded exponential-backoff retransmissions of the missing
+ *    slices only, and feeds delivery outcomes to
+ *    AdaptiveGopController so sustained loss shortens the GOP and an
+ *    unrecovered loss forces a keyframe.
  *
  * Everything is deterministic given (codec config, session config,
  * input frames): the channel is seeded and no wall-clock time is
@@ -36,6 +41,7 @@
 #include <vector>
 
 #include "edgepcc/common/status.h"
+#include "edgepcc/common/work_counters.h"
 #include "edgepcc/core/video_codec.h"
 #include "edgepcc/stream/chunk_stream.h"
 #include "edgepcc/stream/lossy_channel.h"
@@ -58,16 +64,52 @@ struct SessionFrame {
     std::uint32_t frame_id = 0;
     Frame::Type type = Frame::Type::kIntra;
     FrameOutcome outcome = FrameOutcome::kSkipped;
-    /** Chunk arrived intact (after retransmissions). */
+    /** Every slice arrived intact (after FEC + retransmissions). */
     bool delivered = false;
+    /** Chunks resent for this frame (slice granularity). */
     int retransmits = 0;
+    /** NACK round-trips spent on this frame. */
+    int nack_rounds = 0;
+    /** Encoded bitstream size (the frame payload). */
+    std::uint64_t payload_bytes = 0;
+    /** Bytes put on the wire for this frame: headers, slices,
+     *  parity chunks and retransmissions included. */
+    std::uint64_t wire_bytes = 0;
+    /** Modelled retransmission backoff spent on this frame. */
+    double backoff_s = 0.0;
+    /** Encoder work profile (drives the edge device model). */
+    PipelineProfile encode_profile;
+    /** Decoder work profile; empty when nothing was decoded
+     *  (frozen or skipped frames). */
+    PipelineProfile decode_profile;
     /** Decoded or concealed output; empty when skipped. */
     VoxelCloud cloud{10};
 };
 
+/** Receiver-side FEC accounting. Groups from which no chunk at all
+ *  arrived are invisible to the receiver and not counted. */
+struct FecStats {
+    std::size_t groups = 0;           ///< groups seen at all
+    std::size_t parity_received = 0;  ///< intact parity chunks
+    std::size_t recovered_chunks = 0; ///< data chunks rebuilt
+    /** Groups missing exactly one chunk (data or parity). */
+    std::size_t single_loss_groups = 0;
+    /** Single-loss groups whose data is complete without any
+     *  retransmission (parity reconstruction, or the parity itself
+     *  was the lost chunk). */
+    std::size_t single_loss_recovered = 0;
+    /** Groups still missing data after recovery (NACK fallback). */
+    std::size_t unrecovered_groups = 0;
+
+    /** Fraction of single-loss groups needing no retransmission;
+     *  1.0 when no group lost exactly one chunk. */
+    double singleLossRecoveredFraction() const;
+};
+
 /** Aggregate transport + ladder accounting. */
 struct SessionStats {
-    std::size_t chunks_sent = 0;  ///< incl. retransmissions
+    std::size_t chunks_sent = 0;  ///< incl. retransmissions+parity
+    std::size_t parity_sent = 0;  ///< FEC parity chunks
     std::size_t frames_delivered = 0;
     std::size_t frames_lost = 0;  ///< undelivered after retries
     std::size_t nacks = 0;
@@ -77,6 +119,8 @@ struct SessionStats {
     std::size_t frames_resynced = 0;
     std::size_t frames_concealed = 0;
     std::size_t frames_skipped = 0;
+    /** Total bytes put on the wire (headers + payloads + parity). */
+    std::uint64_t wire_bytes = 0;
     /** Modelled retransmission backoff, seconds. */
     double backoff_s = 0.0;
 
@@ -96,6 +140,7 @@ struct SessionReport {
     std::vector<SessionFrame> frames;
     SessionStats stats;
     WireScanStats wire;
+    FecStats fec;
 };
 
 /** Decoder-side reassembly + degradation ladder. */
@@ -104,15 +149,21 @@ class StreamReceiver
   public:
     StreamReceiver() = default;
 
-    /** Scans damaged wire bytes; chunks found are buffered (first
-     *  intact copy of each frame id wins). */
+    /** Scans damaged wire bytes; slices are buffered per frame
+     *  (first intact copy of each slice wins), parity chunks feed
+     *  FEC groups, and any group reduced to a single missing data
+     *  chunk is reconstructed immediately. */
     WireScanStats ingest(const std::vector<std::uint8_t> &wire);
 
-    /** True once an intact chunk for `frame_id` is buffered. */
+    /** True once every slice of `frame_id` is buffered intact. */
     bool hasFrame(std::uint32_t frame_id) const;
 
-    /** NACK list: frame ids in [0, expected_frames) with no intact
-     *  chunk buffered. */
+    /** True once slice `slice_index` of `frame_id` is buffered. */
+    bool hasSlice(std::uint32_t frame_id,
+                  std::uint16_t slice_index) const;
+
+    /** NACK list: frame ids in [0, expected_frames) with at least
+     *  one slice still missing. */
     std::vector<std::uint32_t> missingFrames(
         std::uint32_t expected_frames) const;
 
@@ -128,8 +179,40 @@ class StreamReceiver
     /** Cumulative scan stats over every ingest() call. */
     const WireScanStats &wireStats() const { return wire_; }
 
+    /** FEC accounting over everything ingested so far. */
+    FecStats fecStats() const;
+
   private:
-    std::map<std::uint32_t, ParsedChunk> by_frame_;
+    /** Per-frame slice reassembly buffer. */
+    struct SliceBuffer {
+        std::uint16_t slice_count = 0;  ///< 0 until a slice arrives
+        Frame::Type type = Frame::Type::kIntra;
+        std::uint32_t gop_id = 0;
+        std::map<std::uint16_t, std::vector<std::uint8_t>> slices;
+
+        bool
+        complete() const
+        {
+            return slice_count != 0 &&
+                   slices.size() == slice_count;
+        }
+    };
+
+    /** One XOR-parity group's receive state. */
+    struct FecGroup {
+        std::uint8_t expected = 0;  ///< data chunks in the group
+        bool parity_present = false;
+        bool recovered = false;
+        std::vector<std::uint8_t> parity;
+        std::map<std::uint8_t, ParsedChunk> data;
+    };
+
+    void bufferSlice(const ParsedChunk &chunk);
+    void tryRecover(FecGroup &group);
+
+    std::map<std::uint32_t, SliceBuffer> by_frame_;
+    std::map<std::uint16_t, FecGroup> groups_;
+    std::size_t recovered_chunks_ = 0;
     VideoDecoder decoder_;
     WireScanStats wire_;
 };
@@ -137,11 +220,19 @@ class StreamReceiver
 /** Session knobs. */
 struct SessionConfig {
     ChannelSpec channel{};
-    /** NACK-driven retransmission attempts per frame. */
+    /** NACK-driven retransmission rounds per frame; each round
+     *  resends only the slices still missing. */
     int max_retransmits = 2;
-    /** First retransmission backoff; doubles per attempt. Modelled
+    /** First retransmission backoff; doubles per round. Modelled
      *  latency only — nothing sleeps. */
     double backoff_ms = 8.0;
+    /** Sub-frame slicing: max payload bytes per chunk. 0 disables
+     *  slicing (one chunk per frame, v1 wire layout). */
+    std::size_t mtu_payload = 0;
+    /** XOR-parity FEC over data chunks (see chunk_stream.h).
+     *  Recovery of any single lost chunk per group without a NACK
+     *  round-trip; retransmission remains the fallback. */
+    FecSpec fec{};
     /** Adaptive keyframe insertion under sustained loss. */
     bool adaptive_gop = true;
     AdaptiveGopConfig gop{};
@@ -151,8 +242,9 @@ struct SessionConfig {
 };
 
 /**
- * End-to-end resilient session: encode -> lossy channel (with
- * NACK/retransmit) -> receive -> degradation-ladder decode.
+ * End-to-end resilient session: encode -> slice (+FEC parity) ->
+ * lossy channel (with NACK/retransmit fallback) -> receive ->
+ * degradation-ladder decode.
  */
 class StreamSession
 {

@@ -1,5 +1,6 @@
 #include "edgepcc/stream/chunk_stream.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "edgepcc/common/crc32c.h"
@@ -9,12 +10,27 @@ namespace edgepcc {
 namespace {
 
 void
+putU16(std::vector<std::uint8_t> &out, std::uint16_t value)
+{
+    out.push_back(static_cast<std::uint8_t>(value & 0xffu));
+    out.push_back(static_cast<std::uint8_t>((value >> 8) & 0xffu));
+}
+
+void
 putU32(std::vector<std::uint8_t> &out, std::uint32_t value)
 {
     out.push_back(static_cast<std::uint8_t>(value & 0xffu));
     out.push_back(static_cast<std::uint8_t>((value >> 8) & 0xffu));
     out.push_back(static_cast<std::uint8_t>((value >> 16) & 0xffu));
     out.push_back(static_cast<std::uint8_t>((value >> 24) & 0xffu));
+}
+
+std::uint16_t
+getU16(const std::uint8_t *data)
+{
+    return static_cast<std::uint16_t>(
+        static_cast<std::uint32_t>(data[0]) |
+        static_cast<std::uint32_t>(data[1]) << 8);
 }
 
 std::uint32_t
@@ -26,8 +42,41 @@ getU32(const std::uint8_t *data)
            static_cast<std::uint32_t>(data[3]) << 24;
 }
 
-/** Offset of the CRC field within the serialized header. */
-constexpr std::size_t kCrcOffset = kChunkHeaderBytes - 4;
+/** FEC record prefix: frame_id u32 | gop_id u32 | slice_index u16 |
+ *  slice_count u16 | frame_type u8 | fec_seq u8 | payload_size u32,
+ *  followed by the payload. The parity XORs whole records so a
+ *  reconstruction recovers header identity and bytes together. */
+constexpr std::size_t kFecRecordPrefix = 18;
+
+std::vector<std::uint8_t>
+fecRecord(const ChunkHeader &header,
+          const std::vector<std::uint8_t> &payload)
+{
+    std::vector<std::uint8_t> record;
+    record.reserve(kFecRecordPrefix + payload.size());
+    putU32(record, header.frame_id);
+    putU32(record, header.gop_id);
+    putU16(record, header.slice_index);
+    putU16(record, header.slice_count);
+    record.push_back(header.frame_type == Frame::Type::kPredicted
+                         ? 1u
+                         : 0u);
+    record.push_back(header.fec_seq);
+    putU32(record, static_cast<std::uint32_t>(payload.size()));
+    record.insert(record.end(), payload.begin(), payload.end());
+    return record;
+}
+
+/** XORs `record` into `acc`, growing `acc` to fit (zero padding). */
+void
+xorInto(std::vector<std::uint8_t> &acc,
+        const std::vector<std::uint8_t> &record)
+{
+    if (record.size() > acc.size())
+        acc.resize(record.size(), 0);
+    for (std::size_t i = 0; i < record.size(); ++i)
+        acc[i] ^= record[i];
+}
 
 }  // namespace
 
@@ -35,8 +84,9 @@ std::vector<std::uint8_t>
 serializeChunk(const ChunkHeader &header,
                const std::vector<std::uint8_t> &payload)
 {
+    const bool v2 = header.isV2();
     std::vector<std::uint8_t> out;
-    out.reserve(kChunkHeaderBytes + payload.size());
+    out.reserve(header.headerBytes() + payload.size());
     for (const std::uint8_t byte : kChunkMarker)
         out.push_back(byte);
     putU32(out, header.sequence);
@@ -45,8 +95,17 @@ serializeChunk(const ChunkHeader &header,
     out.push_back(header.frame_type == Frame::Type::kPredicted
                       ? 1u
                       : 0u);
-    out.push_back(header.flags);
+    out.push_back(v2 ? static_cast<std::uint8_t>(header.flags |
+                                                 kChunkFlagV2)
+                     : header.flags);
     putU32(out, static_cast<std::uint32_t>(payload.size()));
+    if (v2) {
+        putU16(out, header.slice_index);
+        putU16(out, header.slice_count);
+        putU16(out, header.fec_group);
+        out.push_back(header.fec_seq);
+        out.push_back(header.fec_group_size);
+    }
 
     // CRC over the header fields after the marker, then the payload.
     std::uint32_t crc =
@@ -76,9 +135,16 @@ scanWire(const std::vector<std::uint8_t> &wire,
             continue;
         }
         const std::uint8_t *base = wire.data() + pos;
+        // The flags byte selects the header layout. A flipped V2
+        // bit moves the CRC offset, so the CRC check below still
+        // rejects the chunk — no false accept.
+        const bool v2 = (base[17] & kChunkFlagV2) != 0;
+        const std::size_t header_bytes =
+            v2 ? kChunkHeaderBytesV2 : kChunkHeaderBytes;
         const std::uint32_t payload_size = getU32(base + 18);
-        if (payload_size > kMaxChunkPayload ||
-            pos + kChunkHeaderBytes + payload_size > wire.size()) {
+        if (pos + header_bytes > wire.size() ||
+            payload_size > kMaxChunkPayload ||
+            pos + header_bytes + payload_size > wire.size()) {
             // Header claims more bytes than exist: either a damaged
             // size field or a truncated tail chunk. Either way, skip
             // one byte and keep hunting for the next marker.
@@ -87,9 +153,10 @@ scanWire(const std::vector<std::uint8_t> &wire,
             ++s.bytes_skipped;
             continue;
         }
-        const std::uint32_t stored_crc = getU32(base + kCrcOffset);
-        std::uint32_t crc = crc32c(base + 4, kCrcOffset - 4);
-        crc = crc32c(base + kChunkHeaderBytes, payload_size, crc);
+        const std::size_t crc_offset = header_bytes - 4;
+        const std::uint32_t stored_crc = getU32(base + crc_offset);
+        std::uint32_t crc = crc32c(base + 4, crc_offset - 4);
+        crc = crc32c(base + header_bytes, payload_size, crc);
         if (crc != stored_crc) {
             ++s.chunks_bad_crc;
             ++pos;
@@ -105,12 +172,19 @@ scanWire(const std::vector<std::uint8_t> &wire,
                                       ? Frame::Type::kPredicted
                                       : Frame::Type::kIntra;
         chunk.header.flags = base[17];
+        if (v2) {
+            chunk.header.slice_index = getU16(base + 22);
+            chunk.header.slice_count = getU16(base + 24);
+            chunk.header.fec_group = getU16(base + 26);
+            chunk.header.fec_seq = base[28];
+            chunk.header.fec_group_size = base[29];
+        }
         chunk.payload.assign(
-            base + kChunkHeaderBytes,
-            base + kChunkHeaderBytes + payload_size);
+            base + header_bytes,
+            base + header_bytes + payload_size);
         chunks.push_back(std::move(chunk));
         ++s.chunks_ok;
-        pos += kChunkHeaderBytes + payload_size;
+        pos += header_bytes + payload_size;
     }
     // Trailing bytes too short to hold a header were never consumed.
     if (pos < wire.size())
@@ -129,6 +203,120 @@ concatWire(const std::vector<std::vector<std::uint8_t>> &chunks)
     for (const auto &chunk : chunks)
         wire.insert(wire.end(), chunk.begin(), chunk.end());
     return wire;
+}
+
+std::vector<ParsedChunk>
+sliceFramePayload(const ChunkHeader &base,
+                  const std::vector<std::uint8_t> &payload,
+                  std::size_t mtu_payload)
+{
+    std::vector<ParsedChunk> slices;
+    if (mtu_payload == 0 || payload.size() <= mtu_payload) {
+        ParsedChunk whole;
+        whole.header = base;
+        whole.header.slice_index = 0;
+        whole.header.slice_count = 1;
+        whole.payload = payload;
+        slices.push_back(std::move(whole));
+        return slices;
+    }
+    // slice_count is u16: raise the slice size rather than overflow.
+    std::size_t mtu = mtu_payload;
+    const std::size_t max_slices = 0xffff;
+    if ((payload.size() + mtu - 1) / mtu > max_slices)
+        mtu = (payload.size() + max_slices - 1) / max_slices;
+    const std::size_t count = (payload.size() + mtu - 1) / mtu;
+    slices.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t begin = i * mtu;
+        const std::size_t end =
+            std::min(begin + mtu, payload.size());
+        ParsedChunk slice;
+        slice.header = base;
+        slice.header.slice_index =
+            static_cast<std::uint16_t>(i);
+        slice.header.slice_count =
+            static_cast<std::uint16_t>(count);
+        slice.payload.assign(payload.begin() +
+                                 static_cast<std::ptrdiff_t>(begin),
+                             payload.begin() +
+                                 static_cast<std::ptrdiff_t>(end));
+        slices.push_back(std::move(slice));
+    }
+    return slices;
+}
+
+std::vector<std::uint8_t>
+assembleSlices(
+    const std::vector<const std::vector<std::uint8_t> *> &slices)
+{
+    std::size_t total = 0;
+    for (const auto *slice : slices)
+        total += slice->size();
+    std::vector<std::uint8_t> payload;
+    payload.reserve(total);
+    for (const auto *slice : slices)
+        payload.insert(payload.end(), slice->begin(),
+                       slice->end());
+    return payload;
+}
+
+std::vector<std::uint8_t>
+buildFecParity(const std::vector<ParsedChunk> &group)
+{
+    std::vector<std::uint8_t> parity;
+    for (const ParsedChunk &chunk : group)
+        xorInto(parity, fecRecord(chunk.header, chunk.payload));
+    return parity;
+}
+
+std::optional<ParsedChunk>
+recoverFecChunk(const std::vector<ParsedChunk> &received,
+                const std::vector<std::uint8_t> &parity_payload)
+{
+    if (parity_payload.size() < kFecRecordPrefix)
+        return std::nullopt;
+    std::vector<std::uint8_t> acc = parity_payload;
+    for (const ParsedChunk &chunk : received) {
+        const std::vector<std::uint8_t> record =
+            fecRecord(chunk.header, chunk.payload);
+        // A record longer than the parity means this chunk was not
+        // covered by this parity — the group is inconsistent.
+        if (record.size() > acc.size())
+            return std::nullopt;
+        xorInto(acc, record);
+    }
+
+    const std::uint32_t payload_size = getU32(acc.data() + 14);
+    if (payload_size > kMaxChunkPayload ||
+        kFecRecordPrefix + payload_size > acc.size())
+        return std::nullopt;
+    // With exactly one record missing, everything past its end must
+    // have XOR-cancelled to zero. Non-zero tail bytes mean two or
+    // more chunks were missing: reject instead of fabricating data.
+    for (std::size_t i = kFecRecordPrefix + payload_size;
+         i < acc.size(); ++i) {
+        if (acc[i] != 0)
+            return std::nullopt;
+    }
+
+    ParsedChunk chunk;
+    chunk.header.frame_id = getU32(acc.data());
+    chunk.header.gop_id = getU32(acc.data() + 4);
+    chunk.header.slice_index = getU16(acc.data() + 8);
+    chunk.header.slice_count = getU16(acc.data() + 10);
+    chunk.header.frame_type = acc[12] == 1
+                                  ? Frame::Type::kPredicted
+                                  : Frame::Type::kIntra;
+    chunk.header.fec_seq = acc[13];
+    chunk.header.flags = kChunkFlagV2 | kChunkFlagFec;
+    if (chunk.header.slice_count == 0)
+        return std::nullopt;
+    chunk.payload.assign(acc.begin() + kFecRecordPrefix,
+                         acc.begin() +
+                             static_cast<std::ptrdiff_t>(
+                                 kFecRecordPrefix + payload_size));
+    return chunk;
 }
 
 }  // namespace edgepcc

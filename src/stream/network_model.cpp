@@ -48,10 +48,22 @@ NetworkSpec::transferSeconds(std::uint64_t bytes) const
     // degrades gracefully instead of dividing by ~zero.
     const double loss =
         std::clamp(packet_loss_rate, 0.0, 0.95);
-    const double wire_bits = static_cast<double>(bytes) * 8.0 /
-                             efficiency / (1.0 - loss);
-    return (rtt_ms / 2.0 + jitter_ms) / 1e3 +
-           wire_bits / (bandwidth_mbps * 1e6);
+    return latencySeconds() +
+           serializationSeconds(bytes) / (1.0 - loss);
+}
+
+double
+NetworkSpec::latencySeconds() const
+{
+    return (rtt_ms / 2.0 + jitter_ms) / 1e3;
+}
+
+double
+NetworkSpec::serializationSeconds(std::uint64_t bytes) const
+{
+    const double wire_bits =
+        static_cast<double>(bytes) * 8.0 / efficiency;
+    return wire_bits / (bandwidth_mbps * 1e6);
 }
 
 }  // namespace edgepcc

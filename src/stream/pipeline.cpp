@@ -37,6 +37,81 @@ PipelineReport::meanBitsPerFrame() const
     return sum / static_cast<double>(frames.size());
 }
 
+double
+PipelineReport::meanRecoverySeconds() const
+{
+    if (frames.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const FrameLatency &frame : frames)
+        sum += frame.recovery_s;
+    return sum / static_cast<double>(frames.size());
+}
+
+namespace {
+
+/**
+ * Transport-mode evaluation: run the full resilient session
+ * (slicing + FEC + NACK over a fault-injection channel derived
+ * from the network spec) and price each frame's latency from the
+ * session's actual accounting. Serialization uses the frame's real
+ * wire bytes — parity and resends included — so loss is never
+ * double-counted; recovery adds the modelled backoff plus one RTT
+ * per NACK round-trip.
+ */
+Expected<PipelineReport>
+evaluateTransport(const std::vector<VoxelCloud> &frames,
+                  const CodecConfig &codec,
+                  const PipelineConfig &config)
+{
+    const EdgeDeviceModel encoder_model(config.encoder_device);
+    const EdgeDeviceModel decoder_model(config.decoder_device);
+
+    SessionConfig session = config.session;
+    session.channel = ChannelSpec::fromNetwork(
+        config.network, config.transport_seed);
+    StreamSession stream(codec, session);
+    auto run = stream.run(frames);
+    if (!run)
+        return run.status();
+
+    PipelineReport report;
+    report.transport = true;
+    report.session = run->stats;
+    report.wire = run->wire;
+    report.fec = run->fec;
+    report.frames.reserve(run->frames.size());
+
+    const double rtt_s = config.network.rtt_ms / 1e3;
+    for (const SessionFrame &frame : run->frames) {
+        FrameLatency latency;
+        latency.type = frame.type;
+        latency.outcome = frame.outcome;
+        latency.retransmits = frame.retransmits;
+        latency.capture_s = config.capture_seconds;
+        latency.encode_s =
+            encoder_model.evaluate(frame.encode_profile)
+                .modelSeconds();
+        latency.bytes = frame.payload_bytes;
+        latency.wire_bytes = frame.wire_bytes;
+        latency.transmit_s =
+            config.network.latencySeconds() +
+            config.network.serializationSeconds(
+                frame.wire_bytes);
+        latency.recovery_s =
+            frame.backoff_s +
+            static_cast<double>(frame.nack_rounds) * rtt_s;
+        latency.decode_s =
+            decoder_model.evaluate(frame.decode_profile)
+                .modelSeconds();
+        latency.render_s = config.render_seconds;
+        report.frames.push_back(latency);
+    }
+    return report;
+}
+
+}  // namespace
+
 Expected<PipelineReport>
 evaluatePipeline(const std::vector<VoxelCloud> &frames,
                  const CodecConfig &codec,
@@ -44,6 +119,11 @@ evaluatePipeline(const std::vector<VoxelCloud> &frames,
 {
     if (frames.empty())
         return invalidArgument("evaluatePipeline: no frames");
+
+    if (config.transport) {
+        ScopedTrace trace("pipeline.evaluate_transport");
+        return evaluateTransport(frames, codec, config);
+    }
 
     const EdgeDeviceModel encoder_model(config.encoder_device);
     const EdgeDeviceModel decoder_model(config.decoder_device);
@@ -70,6 +150,7 @@ evaluatePipeline(const std::vector<VoxelCloud> &frames,
             encoder_model.evaluate(encoded->profile)
                 .modelSeconds();
         latency.bytes = encoded->bitstream.size();
+        latency.wire_bytes = latency.bytes;
         latency.transmit_s =
             config.network.transferSeconds(latency.bytes);
         latency.decode_s =

@@ -1,5 +1,6 @@
 #include "edgepcc/stream/stream_session.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "edgepcc/common/trace.h"
@@ -33,9 +34,57 @@ SessionStats::okOrConcealedFraction() const
                      static_cast<double>(total);
 }
 
+double
+FecStats::singleLossRecoveredFraction() const
+{
+    return single_loss_groups == 0
+               ? 1.0
+               : static_cast<double>(single_loss_recovered) /
+                     static_cast<double>(single_loss_groups);
+}
+
 // -----------------------------------------------------------------
 // StreamReceiver
 // -----------------------------------------------------------------
+
+void
+StreamReceiver::bufferSlice(const ParsedChunk &chunk)
+{
+    SliceBuffer &buf = by_frame_[chunk.header.frame_id];
+    if (buf.slice_count == 0) {
+        // First intact slice of the frame fixes its shape.
+        buf.slice_count = std::max<std::uint16_t>(
+            chunk.header.slice_count, 1);
+        buf.type = chunk.header.frame_type;
+        buf.gop_id = chunk.header.gop_id;
+    }
+    if (chunk.header.slice_index >= buf.slice_count)
+        return;  // inconsistent with the established shape
+    // First intact copy wins; duplicates, retransmissions and FEC
+    // reconstructions of an already-buffered slice are dropped.
+    buf.slices.emplace(chunk.header.slice_index, chunk.payload);
+}
+
+void
+StreamReceiver::tryRecover(FecGroup &group)
+{
+    if (group.recovered || !group.parity_present ||
+        group.expected == 0 ||
+        group.data.size() + 1 !=
+            static_cast<std::size_t>(group.expected))
+        return;
+    std::vector<ParsedChunk> received;
+    received.reserve(group.data.size());
+    for (const auto &[seq, chunk] : group.data)
+        received.push_back(chunk);
+    std::optional<ParsedChunk> rebuilt =
+        recoverFecChunk(received, group.parity);
+    if (!rebuilt.has_value())
+        return;
+    group.recovered = true;
+    ++recovered_chunks_;
+    bufferSlice(*rebuilt);
+}
 
 WireScanStats
 StreamReceiver::ingest(const std::vector<std::uint8_t> &wire)
@@ -43,10 +92,26 @@ StreamReceiver::ingest(const std::vector<std::uint8_t> &wire)
     WireScanStats stats;
     std::vector<ParsedChunk> chunks = scanWire(wire, &stats);
     for (ParsedChunk &chunk : chunks) {
-        // First intact copy wins; duplicates and retransmissions of
-        // an already-buffered frame are dropped here.
-        by_frame_.emplace(chunk.header.frame_id,
-                          std::move(chunk));
+        if (chunk.header.isParity()) {
+            FecGroup &group = groups_[chunk.header.fec_group];
+            if (!group.parity_present) {
+                group.parity_present = true;
+                group.parity = std::move(chunk.payload);
+            }
+            if (group.expected == 0)
+                group.expected = chunk.header.fec_group_size;
+            tryRecover(group);
+            continue;
+        }
+        bufferSlice(chunk);
+        if ((chunk.header.flags & kChunkFlagFec) != 0) {
+            FecGroup &group = groups_[chunk.header.fec_group];
+            if (group.expected == 0)
+                group.expected = chunk.header.fec_group_size;
+            group.data.emplace(chunk.header.fec_seq,
+                               std::move(chunk));
+            tryRecover(group);
+        }
     }
     wire_.bytes_scanned += stats.bytes_scanned;
     wire_.bytes_skipped += stats.bytes_skipped;
@@ -59,7 +124,17 @@ StreamReceiver::ingest(const std::vector<std::uint8_t> &wire)
 bool
 StreamReceiver::hasFrame(std::uint32_t frame_id) const
 {
-    return by_frame_.count(frame_id) != 0;
+    const auto it = by_frame_.find(frame_id);
+    return it != by_frame_.end() && it->second.complete();
+}
+
+bool
+StreamReceiver::hasSlice(std::uint32_t frame_id,
+                         std::uint16_t slice_index) const
+{
+    const auto it = by_frame_.find(frame_id);
+    return it != by_frame_.end() &&
+           it->second.slices.count(slice_index) != 0;
 }
 
 std::vector<std::uint32_t>
@@ -67,10 +142,37 @@ StreamReceiver::missingFrames(std::uint32_t expected_frames) const
 {
     std::vector<std::uint32_t> missing;
     for (std::uint32_t id = 0; id < expected_frames; ++id) {
-        if (by_frame_.count(id) == 0)
+        if (!hasFrame(id))
             missing.push_back(id);
     }
     return missing;
+}
+
+FecStats
+StreamReceiver::fecStats() const
+{
+    FecStats stats;
+    stats.recovered_chunks = recovered_chunks_;
+    for (const auto &[id, group] : groups_) {
+        ++stats.groups;
+        if (group.parity_present)
+            ++stats.parity_received;
+        const std::size_t expected = group.expected;
+        const std::size_t data_missing =
+            expected > group.data.size()
+                ? expected - group.data.size()
+                : 0;
+        const std::size_t missing_total =
+            data_missing + (group.parity_present ? 0 : 1);
+        if (missing_total == 1) {
+            ++stats.single_loss_groups;
+            if (data_missing == 0 || group.recovered)
+                ++stats.single_loss_recovered;
+        }
+        if (data_missing > 0 && !group.recovered)
+            ++stats.unrecovered_groups;
+    }
+    return stats;
 }
 
 std::vector<SessionFrame>
@@ -103,26 +205,39 @@ StreamReceiver::decodeAll(std::uint32_t expected_frames)
         result.frame_id = id;
 
         const auto it = by_frame_.find(id);
-        if (it == by_frame_.end()) {
-            // Chunk never arrived intact: freeze the last good
+        if (it == by_frame_.end() || !it->second.complete()) {
+            // Some slice never arrived intact: freeze the last good
             // frame, or skip when there has not been one yet.
+            if (it != by_frame_.end())
+                result.type = it->second.type;
             degrade(result);
             results.push_back(std::move(result));
             continue;
         }
-        const ParsedChunk &chunk = it->second;
-        result.type = chunk.header.frame_type;
+        const SliceBuffer &buf = it->second;
+        result.type = buf.type;
         result.delivered = true;
 
-        if (chunk.header.frame_type == Frame::Type::kIntra) {
-            auto decoded = decoder_.decode(chunk.payload);
+        // Reassemble the frame payload from its slices (std::map
+        // iterates in slice_index order).
+        std::vector<const std::vector<std::uint8_t> *> parts;
+        parts.reserve(buf.slices.size());
+        for (const auto &[index, payload] : buf.slices)
+            parts.push_back(&payload);
+        const std::vector<std::uint8_t> payload =
+            assembleSlices(parts);
+
+        if (buf.type == Frame::Type::kIntra) {
+            auto decoded = decoder_.decode(payload);
             if (decoded.hasValue()) {
                 result.outcome = damaged
                                      ? FrameOutcome::kResynced
                                      : FrameOutcome::kOk;
                 result.cloud = std::move(decoded->cloud);
+                result.decode_profile =
+                    std::move(decoded->profile);
                 last_good = result.cloud;
-                good_intra_gop = chunk.header.gop_id;
+                good_intra_gop = buf.gop_id;
                 damaged = false;
             } else {
                 // The payload cleared the transport CRC but still
@@ -140,13 +255,15 @@ StreamReceiver::decodeAll(std::uint32_t expected_frames)
         // geometry-only decode with concealed attributes.
         const bool reference_ok =
             good_intra_gop.has_value() &&
-            *good_intra_gop == chunk.header.gop_id &&
+            *good_intra_gop == buf.gop_id &&
             decoder_.hasReference();
         if (reference_ok) {
-            auto decoded = decoder_.decode(chunk.payload);
+            auto decoded = decoder_.decode(payload);
             if (decoded.hasValue()) {
                 result.outcome = FrameOutcome::kOk;
                 result.cloud = std::move(decoded->cloud);
+                result.decode_profile =
+                    std::move(decoded->profile);
                 last_good = result.cloud;
                 results.push_back(std::move(result));
                 continue;
@@ -154,12 +271,13 @@ StreamReceiver::decodeAll(std::uint32_t expected_frames)
         }
         bool concealed = false;
         auto promoted = decoder_.decodePromoted(
-            chunk.payload,
+            payload,
             last_good.has_value() ? &*last_good : nullptr,
             &concealed);
         if (promoted.hasValue()) {
             result.outcome = FrameOutcome::kConcealed;
             result.cloud = std::move(promoted->cloud);
+            result.decode_profile = std::move(promoted->profile);
             // Geometry is current even though attributes are
             // borrowed: better freeze source than an older frame.
             last_good = result.cloud;
@@ -199,8 +317,32 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
 
     std::uint32_t next_sequence = 0;
     std::uint32_t gop_id = 0;
+    std::uint16_t next_fec_group = 0;
     bool force_key = false;
-    std::vector<int> retransmits_per_frame(frames.size(), 0);
+
+    /** Per-frame transport accounting attached after decodeAll. */
+    struct FrameSendInfo {
+        int retransmits = 0;
+        int nack_rounds = 0;
+        std::uint64_t payload_bytes = 0;
+        std::uint64_t wire_bytes = 0;
+        double backoff_s = 0.0;
+        PipelineProfile encode_profile;
+    };
+    std::vector<FrameSendInfo> sent(frames.size());
+
+    const auto sendChunk = [&](ChunkHeader header,
+                               const std::vector<std::uint8_t>
+                                   &payload,
+                               FrameSendInfo &info) {
+        header.sequence = next_sequence++;
+        const std::vector<std::uint8_t> wire =
+            serializeChunk(header, payload);
+        info.wire_bytes += wire.size();
+        ++report.stats.chunks_sent;
+        for (const auto &arrival : channel.transmit(wire))
+            receiver.ingest(arrival);
+    };
 
     for (std::size_t f = 0; f < frames.size(); ++f) {
         if (session_.adaptive_gop)
@@ -219,39 +361,110 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
         if (type == Frame::Type::kIntra)
             gop_id = static_cast<std::uint32_t>(f);
 
-        ChunkHeader header;
-        header.frame_id = static_cast<std::uint32_t>(f);
-        header.gop_id = gop_id;
-        header.frame_type = type;
+        FrameSendInfo &info = sent[f];
+        info.payload_bytes = encoded->bitstream.size();
+        info.encode_profile = std::move(encoded->profile);
 
-        // First transmission plus bounded NACK-driven retries with
-        // exponential backoff (modelled latency, no sleeping).
-        bool delivered = false;
-        for (int attempt = 0;
-             attempt <= session_.max_retransmits && !delivered;
-             ++attempt) {
-            header.sequence = next_sequence++;
-            if (attempt > 0) {
-                header.flags = kChunkFlagRetransmit;
+        ChunkHeader base;
+        base.frame_id = static_cast<std::uint32_t>(f);
+        base.gop_id = gop_id;
+        base.frame_type = type;
+
+        // Sub-frame slicing: one chunk per MTU payload so a bit
+        // flip costs a slice, not the frame. mtu_payload == 0
+        // reproduces the v1 one-chunk-per-frame wire byte for byte.
+        std::vector<ParsedChunk> slices = sliceFramePayload(
+            base, encoded->bitstream, session_.mtu_payload);
+
+        // XOR-parity FEC: every group_size data chunks emit one
+        // parity chunk. Groups never span frames, so the receiver
+        // can recover a loss before this frame's NACK check runs.
+        const std::size_t group_size =
+            session_.fec.enabled
+                ? static_cast<std::size_t>(
+                      std::max(session_.fec.group_size, 1))
+                : 0;
+        for (std::size_t begin = 0; begin < slices.size();
+             begin += group_size == 0 ? slices.size()
+                                      : group_size) {
+            const std::size_t end =
+                group_size == 0
+                    ? slices.size()
+                    : std::min(begin + group_size,
+                               slices.size());
+            if (group_size != 0) {
+                const std::uint16_t group_id = next_fec_group++;
+                const std::uint8_t count =
+                    static_cast<std::uint8_t>(end - begin);
+                for (std::size_t i = begin; i < end; ++i) {
+                    slices[i].header.flags |= kChunkFlagFec;
+                    slices[i].header.fec_group = group_id;
+                    slices[i].header.fec_seq =
+                        static_cast<std::uint8_t>(i - begin);
+                    slices[i].header.fec_group_size = count;
+                }
+            }
+            for (std::size_t i = begin; i < end; ++i)
+                sendChunk(slices[i].header, slices[i].payload,
+                          info);
+            if (group_size != 0) {
+                ChunkHeader parity = base;
+                parity.flags = kChunkFlagParity | kChunkFlagFec;
+                parity.fec_group = slices[begin].header.fec_group;
+                parity.fec_seq = kFecParitySeq;
+                parity.fec_group_size =
+                    slices[begin].header.fec_group_size;
+                const std::vector<ParsedChunk> group(
+                    slices.begin() +
+                        static_cast<std::ptrdiff_t>(begin),
+                    slices.begin() +
+                        static_cast<std::ptrdiff_t>(end));
+                sendChunk(parity, buildFecParity(group), info);
+                ++report.stats.parity_sent;
+            }
+        }
+
+        // Bounded NACK rounds: each round resends only the slices
+        // still missing (after FEC recovery), with exponential
+        // backoff (modelled latency, no sleeping).
+        for (int round = 1; round <= session_.max_retransmits;
+             ++round) {
+            std::vector<std::size_t> missing;
+            for (std::size_t i = 0; i < slices.size(); ++i) {
+                if (!receiver.hasSlice(
+                        base.frame_id,
+                        slices[i].header.slice_index))
+                    missing.push_back(i);
+            }
+            if (missing.empty())
+                break;
+            ++info.nack_rounds;
+            const double backoff =
+                session_.backoff_ms / 1e3 *
+                static_cast<double>(1 << (round - 1));
+            info.backoff_s += backoff;
+            report.stats.backoff_s += backoff;
+            for (const std::size_t i : missing) {
+                ChunkHeader resend = slices[i].header;
+                resend.flags = static_cast<std::uint8_t>(
+                    (resend.flags & ~kChunkFlagFec) |
+                    kChunkFlagRetransmit);
+                // The original FEC group is already closed; a
+                // resent copy must not distort its accounting.
+                resend.fec_group = 0;
+                resend.fec_seq = 0;
+                resend.fec_group_size = 0;
                 ++report.stats.nacks;
                 ++report.stats.retransmits;
-                retransmits_per_frame[f] = attempt;
-                report.stats.backoff_s +=
-                    session_.backoff_ms / 1e3 *
-                    static_cast<double>(1 << (attempt - 1));
+                ++info.retransmits;
+                sendChunk(resend, slices[i].payload, info);
             }
-            const std::vector<std::uint8_t> chunk =
-                serializeChunk(header, encoded->bitstream);
-            ++report.stats.chunks_sent;
-            for (const auto &arrival : channel.transmit(chunk))
-                receiver.ingest(arrival);
-            delivered =
-                receiver.hasFrame(header.frame_id);
         }
         // Reorder-held copies may still surface later; the final
         // flush below catches them, but delivery feedback uses the
         // post-retry state (a held chunk is late, i.e. lost for
         // latency purposes but still usable for decode).
+        const bool delivered = receiver.hasFrame(base.frame_id);
         if (delivered) {
             ++report.stats.frames_delivered;
         } else {
@@ -271,10 +484,17 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
     report.frames = receiver.decodeAll(
         static_cast<std::uint32_t>(frames.size()));
     report.wire = receiver.wireStats();
+    report.fec = receiver.fecStats();
 
     for (SessionFrame &frame : report.frames) {
-        frame.retransmits =
-            retransmits_per_frame[frame.frame_id];
+        FrameSendInfo &info = sent[frame.frame_id];
+        frame.retransmits = info.retransmits;
+        frame.nack_rounds = info.nack_rounds;
+        frame.payload_bytes = info.payload_bytes;
+        frame.wire_bytes = info.wire_bytes;
+        frame.backoff_s = info.backoff_s;
+        frame.encode_profile = std::move(info.encode_profile);
+        report.stats.wire_bytes += info.wire_bytes;
         switch (frame.outcome) {
           case FrameOutcome::kOk:
             ++report.stats.frames_ok;

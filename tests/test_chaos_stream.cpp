@@ -123,6 +123,72 @@ TEST(ChaosStream, AllFaultTypesAtOnce)
               0u);
 }
 
+/** Slicing + FEC under the loss sweep: same invariants, plus the
+ *  FEC accounting must stay self-consistent. */
+class ChaosFecStream
+    : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ChaosFecStream, SlicedFecSessionSurvivesLossSweep)
+{
+    const double loss = GetParam();
+    const std::uint64_t seed = chaosSeed();
+    const auto frames = chaosVideo(16, seed * 4000 + 13);
+
+    SessionConfig session;
+    session.channel = ChannelSpec::lossy(loss, seed);
+    session.mtu_payload = 300;
+    session.fec.enabled = true;
+    session.fec.group_size = 4;
+    StreamSession stream(makeIntraInterV1Config(), session);
+    auto report = stream.run(frames);
+    ASSERT_TRUE(report.hasValue());
+    checkInvariants(*report, frames.size());
+    SCOPED_TRACE("loss=" + std::to_string(loss) +
+                 " seed=" + std::to_string(seed));
+
+    const FecStats &fec = report->fec;
+    EXPECT_LE(fec.single_loss_recovered, fec.single_loss_groups);
+    EXPECT_LE(fec.parity_received, fec.groups);
+    EXPECT_LE(fec.unrecovered_groups, fec.groups);
+    EXPECT_GE(fec.singleLossRecoveredFraction(), 0.0);
+    EXPECT_LE(fec.singleLossRecoveredFraction(), 1.0);
+    if (loss == 0.0) {
+        EXPECT_EQ(fec.recovered_chunks, 0u);
+        EXPECT_EQ(report->stats.retransmits, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, ChaosFecStream,
+                         ::testing::Values(0.0, 0.05, 0.25,
+                                           0.6));
+
+/** All fault types with slicing + FEC and a tiny group size. */
+TEST(ChaosStream, AllFaultTypesWithFecAndSlicing)
+{
+    const std::uint64_t seed = chaosSeed();
+    const auto frames = chaosVideo(12, seed * 5000 + 17);
+
+    SessionConfig session;
+    session.channel.drop_rate = 0.1;
+    session.channel.truncate_rate = 0.1;
+    session.channel.bit_flip_rate = 0.1;
+    session.channel.duplicate_rate = 0.2;
+    session.channel.reorder_rate = 0.3;
+    session.channel.seed = seed;
+    session.max_retransmits = 3;
+    session.mtu_payload = 200;
+    session.fec.enabled = true;
+    session.fec.group_size = 2;
+
+    StreamSession stream(makeIntraInterV1Config(), session);
+    auto report = stream.run(frames);
+    ASSERT_TRUE(report.hasValue());
+    checkInvariants(*report, frames.size());
+    EXPECT_GT(report->stats.parity_sent, 0u);
+}
+
 TEST(ChaosStream, IntraOnlyCodecSurvivesHeavyLoss)
 {
     const std::uint64_t seed = chaosSeed();

@@ -1,0 +1,594 @@
+/**
+ * @file
+ * ISSUE-4 streaming features: v2 chunk header (slice + FEC fields)
+ * with v1 back-compat pinned byte-for-byte, sub-frame slicing and
+ * reassembly (reordered slices, one-slice blast radius for a bit
+ * flip), XOR-parity FEC reconstruction edge cases (each chunk lost
+ * in turn, parity itself lost, two losses, final partial group),
+ * the session-level 5%-loss acceptance criterion, and the
+ * network-aware transport mode of the pipeline evaluator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "edgepcc/dataset/synthetic_human.h"
+#include "edgepcc/stream/chunk_stream.h"
+#include "edgepcc/stream/lossy_channel.h"
+#include "edgepcc/stream/pipeline.h"
+#include "edgepcc/stream/stream_session.h"
+
+namespace edgepcc {
+namespace {
+
+std::vector<VoxelCloud>
+testVideo(int num_frames, std::uint64_t seed = 91,
+          std::size_t points = 6000)
+{
+    VideoSpec spec;
+    spec.name = "fec-slicing-test";
+    spec.seed = seed;
+    spec.target_points = points;
+    SyntheticHumanVideo video(spec);
+    std::vector<VoxelCloud> frames;
+    frames.reserve(static_cast<std::size_t>(num_frames));
+    for (int f = 0; f < num_frames; ++f)
+        frames.push_back(video.frame(f));
+    return frames;
+}
+
+std::vector<std::uint8_t>
+patternPayload(std::size_t size, std::uint8_t salt)
+{
+    std::vector<std::uint8_t> payload(size);
+    for (std::size_t i = 0; i < size; ++i)
+        payload[i] = static_cast<std::uint8_t>(
+            (i * 31 + salt) & 0xff);
+    return payload;
+}
+
+/** One member of a synthetic FEC group. */
+ParsedChunk
+makeDataChunk(std::uint8_t fec_seq, std::size_t payload_size,
+              std::uint16_t fec_group = 7,
+              std::uint8_t group_size = 3)
+{
+    ParsedChunk chunk;
+    chunk.header.frame_id = 5;
+    chunk.header.gop_id = 4;
+    chunk.header.frame_type = Frame::Type::kPredicted;
+    chunk.header.flags = kChunkFlagFec;
+    chunk.header.slice_index = fec_seq;
+    chunk.header.slice_count = group_size;
+    chunk.header.fec_group = fec_group;
+    chunk.header.fec_seq = fec_seq;
+    chunk.header.fec_group_size = group_size;
+    chunk.payload = patternPayload(payload_size, fec_seq);
+    return chunk;
+}
+
+// -----------------------------------------------------------------
+// Wire format: v1 back-compat and v2 round-trip
+// -----------------------------------------------------------------
+
+/** A default header must serialize to the exact v1 layout — this
+ *  pins the clean-channel byte-identity acceptance criterion. */
+TEST(ChunkV2, DefaultHeaderEmitsV1Bytes)
+{
+    ChunkHeader header;
+    header.sequence = 0x04030201u;
+    header.frame_id = 0x14131211u;
+    header.gop_id = 0x24232221u;
+    header.frame_type = Frame::Type::kPredicted;
+    const std::vector<std::uint8_t> payload = {0xaa, 0xbb, 0xcc};
+    const auto wire = serializeChunk(header, payload);
+
+    ASSERT_EQ(wire.size(), kChunkHeaderBytes + payload.size());
+    // Hand-built v1 header, field by field.
+    const std::uint8_t expected_prefix[] = {
+        'E',  'P',  'C',  'K',         // marker
+        0x01, 0x02, 0x03, 0x04,        // sequence LE
+        0x11, 0x12, 0x13, 0x14,        // frame_id LE
+        0x21, 0x22, 0x23, 0x24,        // gop_id LE
+        0x01,                          // frame_type = P
+        0x00,                          // flags (no V2 bit)
+        0x03, 0x00, 0x00, 0x00,        // payload_size LE
+    };
+    for (std::size_t i = 0; i < sizeof(expected_prefix); ++i)
+        EXPECT_EQ(wire[i], expected_prefix[i]) << "byte " << i;
+
+    WireScanStats stats;
+    const auto parsed = scanWire(wire, &stats);
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(stats.chunks_ok, 1u);
+    EXPECT_FALSE(parsed[0].header.isV2());
+    EXPECT_EQ(parsed[0].header.slice_count, 1);
+    EXPECT_EQ(parsed[0].payload, payload);
+}
+
+TEST(ChunkV2, ExtensionFieldsRoundTrip)
+{
+    ChunkHeader header;
+    header.sequence = 9;
+    header.frame_id = 3;
+    header.gop_id = 2;
+    header.frame_type = Frame::Type::kPredicted;
+    header.flags = kChunkFlagFec;
+    header.slice_index = 513;
+    header.slice_count = 777;
+    header.fec_group = 0xbeef;
+    header.fec_seq = 3;
+    header.fec_group_size = 4;
+    const auto payload = patternPayload(64, 1);
+    const auto wire = serializeChunk(header, payload);
+    ASSERT_EQ(wire.size(), kChunkHeaderBytesV2 + payload.size());
+
+    const auto parsed = scanWire(wire);
+    ASSERT_EQ(parsed.size(), 1u);
+    const ChunkHeader &h = parsed[0].header;
+    EXPECT_TRUE(h.isV2());
+    EXPECT_EQ(h.flags & kChunkFlagFec, kChunkFlagFec);
+    EXPECT_EQ(h.slice_index, 513);
+    EXPECT_EQ(h.slice_count, 777);
+    EXPECT_EQ(h.fec_group, 0xbeef);
+    EXPECT_EQ(h.fec_seq, 3);
+    EXPECT_EQ(h.fec_group_size, 4);
+    EXPECT_EQ(parsed[0].payload, payload);
+}
+
+/** v1 and v2 chunks interleaved in one buffer both parse — a v2
+ *  receiver accepts old streams and vice versa for clean chunks. */
+TEST(ChunkV2, MixedVersionsInOneWire)
+{
+    ChunkHeader v1;
+    v1.frame_id = 1;
+    ChunkHeader v2;
+    v2.frame_id = 2;
+    v2.slice_index = 1;
+    v2.slice_count = 2;
+    const auto wire = concatWire({
+        serializeChunk(v1, patternPayload(10, 0)),
+        serializeChunk(v2, patternPayload(11, 1)),
+        serializeChunk(v1, patternPayload(12, 2)),
+    });
+    WireScanStats stats;
+    const auto parsed = scanWire(wire, &stats);
+    ASSERT_EQ(parsed.size(), 3u);
+    EXPECT_EQ(stats.bytes_skipped, 0u);
+    EXPECT_FALSE(parsed[0].header.isV2());
+    EXPECT_TRUE(parsed[1].header.isV2());
+    EXPECT_EQ(parsed[1].header.slice_index, 1);
+}
+
+/** Flipping the V2 flag bit moves the CRC offset; the scan must
+ *  reject the chunk rather than misparse it. */
+TEST(ChunkV2, FlippedVersionBitRejected)
+{
+    ChunkHeader header;
+    header.frame_id = 1;
+    auto wire = serializeChunk(header, patternPayload(32, 3));
+    wire[17] ^= kChunkFlagV2;
+    WireScanStats stats;
+    const auto parsed = scanWire(wire, &stats);
+    EXPECT_TRUE(parsed.empty());
+    EXPECT_GE(stats.chunks_bad_crc + stats.chunks_truncated, 1u);
+}
+
+// -----------------------------------------------------------------
+// Sub-frame slicing
+// -----------------------------------------------------------------
+
+TEST(Slicing, SplitAndReassemble)
+{
+    ChunkHeader base;
+    base.frame_id = 6;
+    base.gop_id = 6;
+    const auto payload = patternPayload(1000, 9);
+    const auto slices = sliceFramePayload(base, payload, 300);
+    ASSERT_EQ(slices.size(), 4u);  // 300+300+300+100
+    std::vector<const std::vector<std::uint8_t> *> parts;
+    for (const ParsedChunk &slice : slices) {
+        EXPECT_EQ(slice.header.slice_count, 4);
+        EXPECT_EQ(slice.header.frame_id, 6u);
+        EXPECT_LE(slice.payload.size(), 300u);
+        parts.push_back(&slice.payload);
+    }
+    EXPECT_EQ(slices[3].payload.size(), 100u);
+    EXPECT_EQ(assembleSlices(parts), payload);
+}
+
+TEST(Slicing, ZeroMtuKeepsV1SingleChunk)
+{
+    ChunkHeader base;
+    const auto payload = patternPayload(5000, 2);
+    const auto slices = sliceFramePayload(base, payload, 0);
+    ASSERT_EQ(slices.size(), 1u);
+    EXPECT_FALSE(slices[0].header.isV2());
+    EXPECT_EQ(slices[0].payload, payload);
+}
+
+/** Slices arriving in reverse order still reassemble and decode. */
+TEST(Slicing, ReorderedSlicesReassemble)
+{
+    const auto frames = testVideo(1);
+    VideoEncoder encoder(makeIntraOnlyConfig());
+    auto encoded = encoder.encode(frames[0]);
+    ASSERT_TRUE(encoded.hasValue());
+
+    ChunkHeader base;
+    base.frame_id = 0;
+    auto slices =
+        sliceFramePayload(base, encoded->bitstream, 256);
+    ASSERT_GT(slices.size(), 2u);
+    std::reverse(slices.begin(), slices.end());
+
+    StreamReceiver receiver;
+    for (const ParsedChunk &slice : slices)
+        receiver.ingest(
+            serializeChunk(slice.header, slice.payload));
+    EXPECT_TRUE(receiver.hasFrame(0));
+    const auto decoded = receiver.decodeAll(1);
+    ASSERT_EQ(decoded.size(), 1u);
+    EXPECT_EQ(decoded[0].outcome, FrameOutcome::kOk);
+}
+
+/** A bit flip knocks out exactly the slice it hit. */
+TEST(Slicing, BitFlipCostsOneSlice)
+{
+    ChunkHeader base;
+    base.frame_id = 0;
+    const auto payload = patternPayload(900, 5);
+    const auto slices = sliceFramePayload(base, payload, 300);
+    ASSERT_EQ(slices.size(), 3u);
+
+    StreamReceiver receiver;
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+        auto wire =
+            serializeChunk(slices[i].header, slices[i].payload);
+        if (i == 1)
+            wire[wire.size() / 2] ^= 0x10;
+        receiver.ingest(wire);
+    }
+    EXPECT_FALSE(receiver.hasFrame(0));
+    EXPECT_TRUE(receiver.hasSlice(0, 0));
+    EXPECT_FALSE(receiver.hasSlice(0, 1));
+    EXPECT_TRUE(receiver.hasSlice(0, 2));
+}
+
+// -----------------------------------------------------------------
+// XOR-parity FEC reconstruction
+// -----------------------------------------------------------------
+
+TEST(Fec, RecoversEachChunkInTurn)
+{
+    const std::vector<ParsedChunk> group = {
+        makeDataChunk(0, 200),
+        makeDataChunk(1, 150),  // shorter than the longest
+        makeDataChunk(2, 220),
+    };
+    const auto parity = buildFecParity(group);
+    for (std::size_t lost = 0; lost < group.size(); ++lost) {
+        std::vector<ParsedChunk> received;
+        for (std::size_t i = 0; i < group.size(); ++i) {
+            if (i != lost)
+                received.push_back(group[i]);
+        }
+        const auto rebuilt = recoverFecChunk(received, parity);
+        ASSERT_TRUE(rebuilt.has_value()) << "lost " << lost;
+        EXPECT_EQ(rebuilt->header.frame_id,
+                  group[lost].header.frame_id);
+        EXPECT_EQ(rebuilt->header.gop_id,
+                  group[lost].header.gop_id);
+        EXPECT_EQ(rebuilt->header.slice_index,
+                  group[lost].header.slice_index);
+        EXPECT_EQ(rebuilt->header.slice_count,
+                  group[lost].header.slice_count);
+        EXPECT_EQ(rebuilt->header.frame_type,
+                  group[lost].header.frame_type);
+        EXPECT_EQ(rebuilt->header.fec_seq,
+                  group[lost].header.fec_seq);
+        EXPECT_EQ(rebuilt->payload, group[lost].payload);
+    }
+}
+
+TEST(Fec, TwoLossesRejected)
+{
+    const std::vector<ParsedChunk> group = {
+        makeDataChunk(0, 200),
+        makeDataChunk(1, 150),
+        makeDataChunk(2, 220),
+    };
+    const auto parity = buildFecParity(group);
+    // Only one survivor: the XOR residue mixes two records and the
+    // trailing-zero check must refuse to fabricate data.
+    EXPECT_FALSE(
+        recoverFecChunk({group[0]}, parity).has_value());
+}
+
+/** Receiver-level: parity chunk itself lost. The data is complete,
+ *  so nothing needs recovery, and the group still counts as a
+ *  single loss survived without retransmission. */
+TEST(Fec, ParityLostDataComplete)
+{
+    const std::vector<ParsedChunk> group = {
+        makeDataChunk(0, 100),
+        makeDataChunk(1, 100),
+        makeDataChunk(2, 100),
+    };
+    StreamReceiver receiver;
+    for (const ParsedChunk &chunk : group)
+        receiver.ingest(
+            serializeChunk(chunk.header, chunk.payload));
+    const FecStats stats = receiver.fecStats();
+    EXPECT_EQ(stats.groups, 1u);
+    EXPECT_EQ(stats.parity_received, 0u);
+    EXPECT_EQ(stats.recovered_chunks, 0u);
+    EXPECT_EQ(stats.single_loss_groups, 1u);
+    EXPECT_EQ(stats.single_loss_recovered, 1u);
+    EXPECT_DOUBLE_EQ(stats.singleLossRecoveredFraction(), 1.0);
+}
+
+/** Receiver-level: one data chunk lost, parity arrives late. */
+TEST(Fec, ReceiverRecoversFromParity)
+{
+    const std::vector<ParsedChunk> group = {
+        makeDataChunk(0, 300),
+        makeDataChunk(1, 300),
+        makeDataChunk(2, 140),
+    };
+    ChunkHeader parity_header = group[0].header;
+    parity_header.flags = kChunkFlagParity | kChunkFlagFec;
+    parity_header.slice_index = 0;
+    parity_header.fec_seq = kFecParitySeq;
+    const auto parity = buildFecParity(group);
+
+    StreamReceiver receiver;
+    receiver.ingest(
+        serializeChunk(group[0].header, group[0].payload));
+    receiver.ingest(
+        serializeChunk(group[2].header, group[2].payload));
+    EXPECT_FALSE(receiver.hasSlice(5, 1));
+    receiver.ingest(serializeChunk(parity_header, parity));
+    EXPECT_TRUE(receiver.hasSlice(5, 1));
+    EXPECT_TRUE(receiver.hasFrame(5));
+
+    const FecStats stats = receiver.fecStats();
+    EXPECT_EQ(stats.recovered_chunks, 1u);
+    EXPECT_EQ(stats.single_loss_groups, 1u);
+    EXPECT_EQ(stats.single_loss_recovered, 1u);
+    EXPECT_EQ(stats.unrecovered_groups, 0u);
+}
+
+/** Receiver-level: two data chunks lost in one group — recovery is
+ *  impossible and the group is reported for the NACK fallback. */
+TEST(Fec, ReceiverTwoLossesFallBackToNack)
+{
+    const std::vector<ParsedChunk> group = {
+        makeDataChunk(0, 300),
+        makeDataChunk(1, 300),
+        makeDataChunk(2, 140),
+    };
+    ChunkHeader parity_header = group[0].header;
+    parity_header.flags = kChunkFlagParity | kChunkFlagFec;
+    parity_header.fec_seq = kFecParitySeq;
+    const auto parity = buildFecParity(group);
+
+    StreamReceiver receiver;
+    receiver.ingest(
+        serializeChunk(group[0].header, group[0].payload));
+    receiver.ingest(serializeChunk(parity_header, parity));
+    const FecStats stats = receiver.fecStats();
+    EXPECT_EQ(stats.recovered_chunks, 0u);
+    EXPECT_EQ(stats.single_loss_groups, 0u);
+    EXPECT_EQ(stats.unrecovered_groups, 1u);
+    EXPECT_FALSE(receiver.hasFrame(5));
+}
+
+/** Loss on the final partial group of a frame (fewer data chunks
+ *  than FecSpec::group_size) still recovers. */
+TEST(Fec, FinalPartialGroupRecovers)
+{
+    // Group of 2 (e.g. 6 slices with group_size 4 -> 4 + 2).
+    const std::vector<ParsedChunk> group = {
+        makeDataChunk(0, 180, /*fec_group=*/9, /*group_size=*/2),
+        makeDataChunk(1, 90, /*fec_group=*/9, /*group_size=*/2),
+    };
+    ChunkHeader parity_header = group[0].header;
+    parity_header.flags = kChunkFlagParity | kChunkFlagFec;
+    parity_header.fec_seq = kFecParitySeq;
+    const auto parity = buildFecParity(group);
+
+    StreamReceiver receiver;
+    receiver.ingest(serializeChunk(parity_header, parity));
+    receiver.ingest(
+        serializeChunk(group[1].header, group[1].payload));
+    const FecStats stats = receiver.fecStats();
+    EXPECT_EQ(stats.recovered_chunks, 1u);
+    EXPECT_TRUE(receiver.hasSlice(5, 0));
+}
+
+// -----------------------------------------------------------------
+// Session-level FEC + slicing
+// -----------------------------------------------------------------
+
+SessionConfig
+fecSessionConfig(double loss, std::uint64_t seed)
+{
+    SessionConfig session;
+    session.channel = ChannelSpec::lossy(loss, seed);
+    session.mtu_payload = 400;
+    session.fec.enabled = true;
+    session.fec.group_size = 4;
+    return session;
+}
+
+/** ISSUE-4 acceptance: at 5% chunk loss, >= 90% of single-loss
+ *  groups recover without a retransmission. */
+TEST(SessionFec, AcceptanceFivePercentSingleLossRecovery)
+{
+    const auto frames = testVideo(30);
+    StreamSession stream(makeIntraInterV1Config(),
+                         fecSessionConfig(0.05, 17));
+    auto report = stream.run(frames);
+    ASSERT_TRUE(report.hasValue());
+
+    // The sliced stream actually exercised FEC.
+    EXPECT_GT(report->stats.parity_sent, 0u);
+    EXPECT_GT(report->fec.groups, 0u);
+    EXPECT_GT(report->fec.single_loss_groups, 0u);
+    EXPECT_GT(report->fec.recovered_chunks, 0u);
+    EXPECT_GE(report->fec.singleLossRecoveredFraction(), 0.9);
+
+    // FEC + NACK fallback keeps the stream watchable.
+    EXPECT_EQ(report->stats.frames_lost, 0u);
+    EXPECT_DOUBLE_EQ(report->stats.okOrConcealedFraction(), 1.0);
+}
+
+/** FEC reduces retransmissions vs the identical NACK-only run. */
+TEST(SessionFec, FewerRetransmitsThanNackOnly)
+{
+    const auto frames = testVideo(20);
+    SessionConfig with_fec = fecSessionConfig(0.05, 23);
+    SessionConfig nack_only = with_fec;
+    nack_only.fec.enabled = false;
+
+    auto fec_report =
+        StreamSession(makeIntraInterV1Config(), with_fec)
+            .run(frames);
+    auto nack_report =
+        StreamSession(makeIntraInterV1Config(), nack_only)
+            .run(frames);
+    ASSERT_TRUE(fec_report.hasValue());
+    ASSERT_TRUE(nack_report.hasValue());
+    EXPECT_LT(fec_report->stats.retransmits,
+              nack_report->stats.retransmits);
+    EXPECT_EQ(nack_report->stats.parity_sent, 0u);
+    EXPECT_EQ(nack_report->fec.groups, 0u);
+}
+
+TEST(SessionFec, DeterministicAcrossRuns)
+{
+    const auto frames = testVideo(12);
+    const SessionConfig session = fecSessionConfig(0.08, 5);
+    auto a = StreamSession(makeIntraInterV1Config(), session)
+                 .run(frames);
+    auto b = StreamSession(makeIntraInterV1Config(), session)
+                 .run(frames);
+    ASSERT_TRUE(a.hasValue());
+    ASSERT_TRUE(b.hasValue());
+    EXPECT_EQ(a->stats.chunks_sent, b->stats.chunks_sent);
+    EXPECT_EQ(a->stats.retransmits, b->stats.retransmits);
+    EXPECT_EQ(a->stats.wire_bytes, b->stats.wire_bytes);
+    EXPECT_EQ(a->fec.recovered_chunks, b->fec.recovered_chunks);
+    ASSERT_EQ(a->frames.size(), b->frames.size());
+    for (std::size_t f = 0; f < a->frames.size(); ++f)
+        EXPECT_EQ(a->frames[f].outcome, b->frames[f].outcome);
+}
+
+/** Clean channel with slicing+FEC on: zero recovery activity and
+ *  every frame intact. */
+TEST(SessionFec, CleanChannelNoRecoveryNeeded)
+{
+    const auto frames = testVideo(6);
+    SessionConfig session = fecSessionConfig(0.0, 1);
+    session.channel = ChannelSpec::clean();
+    auto report =
+        StreamSession(makeIntraInterV1Config(), session)
+            .run(frames);
+    ASSERT_TRUE(report.hasValue());
+    EXPECT_EQ(report->stats.retransmits, 0u);
+    EXPECT_EQ(report->fec.recovered_chunks, 0u);
+    EXPECT_EQ(report->fec.single_loss_groups, 0u);
+    EXPECT_EQ(report->stats.frames_ok, frames.size());
+    EXPECT_GT(report->stats.parity_sent, 0u);
+}
+
+// -----------------------------------------------------------------
+// Network-aware pipeline evaluation
+// -----------------------------------------------------------------
+
+TEST(PipelineTransport, ReportsRecoveryLatency)
+{
+    const auto frames = testVideo(8, 91, 4000);
+    PipelineConfig config;
+    config.network = NetworkSpec::wifi();
+    config.network.packet_loss_rate = 0.05;
+    config.transport = true;
+    config.transport_seed = 3;
+    config.session.mtu_payload = 400;
+    config.session.fec.enabled = true;
+
+    auto report = evaluatePipeline(
+        frames, makeIntraInterV1Config(), config);
+    ASSERT_TRUE(report.hasValue());
+    EXPECT_TRUE(report->transport);
+    ASSERT_EQ(report->frames.size(), frames.size());
+    EXPECT_GT(report->session.chunks_sent, 0u);
+    double recovery = 0.0;
+    for (const FrameLatency &frame : report->frames) {
+        // Wire bytes include framing + parity, so they exceed the
+        // raw payload for every delivered frame.
+        EXPECT_GT(frame.wire_bytes, frame.bytes);
+        EXPECT_GT(frame.transmit_s, 0.0);
+        EXPECT_GE(frame.recovery_s, 0.0);
+        EXPECT_GE(frame.total(),
+                  frame.capture_s + frame.render_s);
+        recovery += frame.recovery_s;
+        if (frame.retransmits > 0) {
+            EXPECT_GT(frame.recovery_s, 0.0);
+        }
+    }
+    EXPECT_EQ(report->meanRecoverySeconds() * frames.size(),
+              recovery);
+}
+
+/** Without transport the analytic model is untouched: loss-free
+ *  session stats stay zero and recovery is zero. */
+TEST(PipelineTransport, AnalyticModeUnchanged)
+{
+    const auto frames = testVideo(3, 91, 3000);
+    PipelineConfig config;
+    auto report = evaluatePipeline(
+        frames, makeIntraOnlyConfig(), config);
+    ASSERT_TRUE(report.hasValue());
+    EXPECT_FALSE(report->transport);
+    EXPECT_EQ(report->session.chunks_sent, 0u);
+    for (const FrameLatency &frame : report->frames) {
+        EXPECT_EQ(frame.recovery_s, 0.0);
+        EXPECT_EQ(frame.outcome, FrameOutcome::kOk);
+        EXPECT_EQ(frame.wire_bytes, frame.bytes);
+    }
+}
+
+/** Transport evaluation is deterministic for a fixed seed. */
+TEST(PipelineTransport, Deterministic)
+{
+    const auto frames = testVideo(5, 91, 3000);
+    PipelineConfig config;
+    config.network = NetworkSpec::lte();
+    config.transport = true;
+    config.transport_seed = 11;
+    config.session.mtu_payload = 500;
+    config.session.fec.enabled = true;
+
+    auto a = evaluatePipeline(frames, makeIntraInterV1Config(),
+                              config);
+    auto b = evaluatePipeline(frames, makeIntraInterV1Config(),
+                              config);
+    ASSERT_TRUE(a.hasValue());
+    ASSERT_TRUE(b.hasValue());
+    EXPECT_EQ(a->session.wire_bytes, b->session.wire_bytes);
+    ASSERT_EQ(a->frames.size(), b->frames.size());
+    for (std::size_t f = 0; f < a->frames.size(); ++f) {
+        EXPECT_EQ(a->frames[f].wire_bytes,
+                  b->frames[f].wire_bytes);
+        EXPECT_DOUBLE_EQ(a->frames[f].total(),
+                         b->frames[f].total());
+    }
+}
+
+}  // namespace
+}  // namespace edgepcc

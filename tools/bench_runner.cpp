@@ -15,11 +15,18 @@
  *                [--points N] [--seed N] [--threads N]
  *                [--out FILE] [--trace FILE] [--measure-overhead]
  *                [--loss R] [--channel-seed N]
+ *                [--network wifi|lte|5g] [--mtu N] [--fec-group K]
  *
  * With --loss R the same workload additionally runs through the
  * loss-resilient StreamSession over a ChannelSpec::lossy(R) channel
  * and a "resilience" section (ladder outcome counts, retransmission
- * cost, concealed-frame quality) is added to the JSON.
+ * cost, concealed-frame quality) is added to the JSON. The section
+ * also carries a "modes" comparison: the full network-aware
+ * pipeline (paper Fig. 9 — capture -> encode -> transfer incl.
+ * loss recovery -> decode -> render) evaluated once with pure
+ * NACK/retransmission and once with XOR-parity FEC enabled, over a
+ * channel derived from the selected --network profile at the given
+ * loss rate.
  */
 
 #include <cinttypes>
@@ -40,6 +47,7 @@
 #include "edgepcc/metrics/quality.h"
 #include "edgepcc/parallel/thread_pool.h"
 #include "edgepcc/platform/device_model.h"
+#include "edgepcc/stream/pipeline.h"
 #include "edgepcc/stream/stream_session.h"
 
 namespace {
@@ -87,6 +95,19 @@ jsonPsnr(double psnr)
     return psnr > 999.0 ? 999.0 : psnr;
 }
 
+/** One transport mode's end-to-end (Fig. 9 style) numbers. */
+struct ModeMetrics {
+    PercentileStats e2e_latency_s;  ///< capture..render incl. recovery
+    double transmit_s_mean = 0.0;
+    double recovery_s_mean = 0.0;
+    std::uint64_t wire_bytes = 0;
+    std::size_t retransmits = 0;
+    std::size_t parity_sent = 0;
+    std::size_t fec_recovered_chunks = 0;
+    double fec_single_loss_recovered_fraction = 1.0;
+    double ok_or_concealed_fraction = 0.0;
+};
+
 /** Lossy-channel session results (present only with --loss). */
 struct ResilienceMetrics {
     bool enabled = false;
@@ -97,7 +118,61 @@ struct ResilienceMetrics {
     /** Mean attribute PSNR of concealed frames vs the originals;
      *  negative when no frame was concealed. */
     double concealed_attr_psnr_db = -1.0;
+
+    /** FEC-vs-NACK end-to-end comparison over --network. */
+    std::string network_name;
+    std::size_t mtu_payload = 0;
+    int fec_group_size = 0;
+    ModeMetrics nack;
+    ModeMetrics fec;
 };
+
+/** Network-aware end-to-end evaluation of one transport mode. */
+Expected<ModeMetrics>
+runMode(const std::vector<VoxelCloud> &frames,
+        const CodecConfig &config, const NetworkSpec &network,
+        std::size_t mtu_payload, bool fec_enabled,
+        int fec_group_size, std::uint64_t channel_seed)
+{
+    PipelineConfig pipe;
+    pipe.network = network;
+    pipe.transport = true;
+    pipe.transport_seed = channel_seed;
+    pipe.session.mtu_payload = mtu_payload;
+    pipe.session.fec.enabled = fec_enabled;
+    pipe.session.fec.group_size = fec_group_size;
+
+    auto report = evaluatePipeline(frames, config, pipe);
+    if (!report)
+        return report.status();
+
+    ModeMetrics mode;
+    std::vector<double> totals;
+    totals.reserve(report->frames.size());
+    double transmit_sum = 0.0;
+    double recovery_sum = 0.0;
+    for (const FrameLatency &frame : report->frames) {
+        totals.push_back(frame.total());
+        transmit_sum += frame.transmit_s;
+        recovery_sum += frame.recovery_s;
+    }
+    const double n =
+        report->frames.empty()
+            ? 1.0
+            : static_cast<double>(report->frames.size());
+    mode.e2e_latency_s = computePercentiles(totals);
+    mode.transmit_s_mean = transmit_sum / n;
+    mode.recovery_s_mean = recovery_sum / n;
+    mode.wire_bytes = report->session.wire_bytes;
+    mode.retransmits = report->session.retransmits;
+    mode.parity_sent = report->session.parity_sent;
+    mode.fec_recovered_chunks = report->fec.recovered_chunks;
+    mode.fec_single_loss_recovered_fraction =
+        report->fec.singleLossRecoveredFraction();
+    mode.ok_or_concealed_fraction =
+        report->session.okOrConcealedFraction();
+    return mode;
+}
 
 Expected<ResilienceMetrics>
 runResilience(const std::vector<VoxelCloud> &frames,
@@ -352,6 +427,53 @@ writeResults(const std::string &path, const CodecConfig &config,
                      resilience.wire.chunks_truncated);
         std::fprintf(out, "    \"wire_bytes_skipped\": %zu,\n",
                      resilience.wire.bytes_skipped);
+        std::fprintf(out, "    \"network\": \"%s\",\n",
+                     resilience.network_name.c_str());
+        std::fprintf(out, "    \"mtu_payload\": %zu,\n",
+                     resilience.mtu_payload);
+        std::fprintf(out, "    \"fec_group_size\": %d,\n",
+                     resilience.fec_group_size);
+        std::fprintf(out, "    \"modes\": {\n");
+        const auto write_mode = [out](const char *name,
+                                      const ModeMetrics &m,
+                                      const char *trailer) {
+            std::fprintf(out, "      \"%s\": {\n", name);
+            std::fprintf(
+                out,
+                "        \"e2e_latency_s\": {\"mean\": %.9g, "
+                "\"p50\": %.9g, \"p95\": %.9g, \"max\": %.9g},\n",
+                m.e2e_latency_s.mean, m.e2e_latency_s.p50,
+                m.e2e_latency_s.p95, m.e2e_latency_s.max);
+            std::fprintf(out,
+                         "        \"transmit_s_mean\": %.9g,\n",
+                         m.transmit_s_mean);
+            std::fprintf(out,
+                         "        \"recovery_s_mean\": %.9g,\n",
+                         m.recovery_s_mean);
+            std::fprintf(out,
+                         "        \"wire_bytes\": %" PRIu64 ",\n",
+                         m.wire_bytes);
+            std::fprintf(out, "        \"retransmits\": %zu,\n",
+                         m.retransmits);
+            std::fprintf(out, "        \"parity_sent\": %zu,\n",
+                         m.parity_sent);
+            std::fprintf(out,
+                         "        \"fec_recovered_chunks\": %zu,\n",
+                         m.fec_recovered_chunks);
+            std::fprintf(
+                out,
+                "        \"fec_single_loss_recovered_fraction\": "
+                "%.9g,\n",
+                m.fec_single_loss_recovered_fraction);
+            std::fprintf(
+                out,
+                "        \"ok_or_concealed_fraction\": %.9g\n",
+                m.ok_or_concealed_fraction);
+            std::fprintf(out, "      }%s\n", trailer);
+        };
+        write_mode("nack", resilience.nack, ",");
+        write_mode("fec", resilience.fec, "");
+        std::fprintf(out, "    },\n");
         if (resilience.concealed_attr_psnr_db >= 0.0)
             std::fprintf(
                 out, "    \"concealed_attr_psnr_db\": %.9g\n",
@@ -394,6 +516,20 @@ configByName(const std::string &name, bool *ok)
     return CodecConfig{};
 }
 
+NetworkSpec
+networkByName(const std::string &name, bool *ok)
+{
+    *ok = true;
+    if (name == "wifi")
+        return NetworkSpec::wifi();
+    if (name == "lte")
+        return NetworkSpec::lte();
+    if (name == "5g")
+        return NetworkSpec::fiveG();
+    *ok = false;
+    return NetworkSpec{};
+}
+
 int
 usage()
 {
@@ -403,7 +539,22 @@ usage()
         "                    [--frames N] [--points N] [--seed N]\n"
         "                    [--threads N] [--out FILE]\n"
         "                    [--trace FILE] [--measure-overhead]\n"
-        "                    [--loss R] [--channel-seed N]\n");
+        "                    [--loss R] [--channel-seed N]\n"
+        "                    [--network wifi|lte|5g] [--mtu N]\n"
+        "                    [--fec-group K]\n"
+        "\n"
+        "  --loss R          run the loss-resilient session at\n"
+        "                    chunk-loss rate R and add a\n"
+        "                    \"resilience\" JSON section, including\n"
+        "                    an end-to-end FEC-vs-NACK comparison\n"
+        "                    over the --network profile\n"
+        "  --network NAME    link profile for the end-to-end modes\n"
+        "                    (default wifi)\n"
+        "  --mtu N           slice frame payloads into N-byte\n"
+        "                    chunks in the modes comparison\n"
+        "                    (default 1200)\n"
+        "  --fec-group K     XOR-parity group size: 1 parity chunk\n"
+        "                    per K data chunks (default 4)\n");
     return 2;
 }
 
@@ -422,6 +573,9 @@ main(int argc, char **argv)
     bool measure_overhead = false;
     double loss_rate = -1.0;
     std::uint64_t channel_seed = 1;
+    std::string network_name = "wifi";
+    std::size_t mtu_payload = 1200;
+    int fec_group = 4;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -476,6 +630,21 @@ main(int argc, char **argv)
                 return usage();
             channel_seed =
                 static_cast<std::uint64_t>(std::atoll(v));
+        } else if (arg == "--network") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            network_name = v;
+        } else if (arg == "--mtu") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            mtu_payload = static_cast<std::size_t>(std::atoll(v));
+        } else if (arg == "--fec-group") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            fec_group = std::atoi(v);
         } else {
             return usage();
         }
@@ -484,6 +653,19 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "bench_runner: --loss must be in [0, 1]\n");
         return 2;
+    }
+    if (fec_group < 1) {
+        std::fprintf(stderr,
+                     "bench_runner: --fec-group must be >= 1\n");
+        return 2;
+    }
+    bool network_ok = false;
+    NetworkSpec network = networkByName(network_name, &network_ok);
+    if (!network_ok) {
+        std::fprintf(stderr,
+                     "bench_runner: unknown network '%s'\n",
+                     network_name.c_str());
+        return usage();
     }
     if (frames < 1 || points < 1) {
         std::fprintf(stderr,
@@ -621,6 +803,45 @@ main(int argc, char **argv)
             resilience.stats.frames_concealed,
             resilience.stats.frames_skipped,
             resilience.stats.retransmits);
+
+        // Fig.-9-style end-to-end comparison: the same network
+        // profile at the requested loss rate, with and without
+        // FEC. Recovery latency (NACK RTTs + backoff) is part of
+        // the reported per-frame total.
+        network.packet_loss_rate = loss_rate;
+        resilience.network_name = network.name;
+        resilience.mtu_payload = mtu_payload;
+        resilience.fec_group_size = fec_group;
+        auto nack_mode =
+            runMode(cloud_frames, config, network, mtu_payload,
+                    /*fec_enabled=*/false, fec_group,
+                    channel_seed);
+        auto fec_mode =
+            runMode(cloud_frames, config, network, mtu_payload,
+                    /*fec_enabled=*/true, fec_group, channel_seed);
+        if (!nack_mode || !fec_mode) {
+            std::fprintf(stderr, "bench_runner: %s\n",
+                         (!nack_mode ? nack_mode.status()
+                                     : fec_mode.status())
+                             .message()
+                             .c_str());
+            return 1;
+        }
+        resilience.nack = *nack_mode;
+        resilience.fec = *fec_mode;
+        std::fprintf(
+            stderr,
+            "end-to-end over %s at loss %.3g: nack p50 %.1f ms "
+            "(%zu retransmits), fec p50 %.1f ms (%zu retransmits, "
+            "%zu chunks recovered, single-loss recovery %.0f%%)\n",
+            network.name.c_str(), loss_rate,
+            resilience.nack.e2e_latency_s.p50 * 1e3,
+            resilience.nack.retransmits,
+            resilience.fec.e2e_latency_s.p50 * 1e3,
+            resilience.fec.retransmits,
+            resilience.fec.fec_recovered_chunks,
+            resilience.fec.fec_single_loss_recovered_fraction *
+                100.0);
     }
 
     const int rc = writeResults(out_path, config, spec, frames,

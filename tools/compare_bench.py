@@ -129,6 +129,27 @@ def compare(old, new, latency_tol, ratio_tol, check_host):
             f"{-drop:>+8.1f}dB{note}"
         )
 
+    # Network-aware end-to-end latency (resilience "modes"):
+    # capture..render including loss recovery, per transport mode.
+    # Present only when both runs used --loss; modes that exist in
+    # just one run are reported but not gated.
+    old_modes = old.get("resilience", {}).get("modes", {})
+    new_modes = new.get("resilience", {}).get("modes", {})
+    for mode in sorted(new_modes):
+        if mode not in old_modes:
+            lines.append(f"  mode {mode}: new (no baseline)")
+            continue
+        check_latency(
+            f"resilience.{mode} e2e p50",
+            old_modes[mode]["e2e_latency_s"]["p50"],
+            new_modes[mode]["e2e_latency_s"]["p50"],
+        )
+        check_latency(
+            f"resilience.{mode} recovery mean",
+            old_modes[mode]["recovery_s_mean"],
+            new_modes[mode]["recovery_s_mean"],
+        )
+
     return regressions, lines
 
 
@@ -149,6 +170,18 @@ def self_test():
             {"name": "geom.morton", "model_s": {"p50": 0.004}},
             {"name": "attr.segment", "model_s": {"p50": 0.006}},
         ],
+        "resilience": {
+            "modes": {
+                "nack": {
+                    "e2e_latency_s": {"p50": 0.063},
+                    "recovery_s_mean": 0.0079,
+                },
+                "fec": {
+                    "e2e_latency_s": {"p50": 0.050},
+                    "recovery_s_mean": 0.0009,
+                },
+            },
+        },
     }
     identical, _ = compare(base, base, 0.10, 0.02, True)
     assert not identical, "identical runs must not regress"
@@ -172,6 +205,26 @@ def self_test():
     within_tol["end_to_end"]["encode_model_s"]["p50"] *= 1.05
     found, _ = compare(base, within_tol, 0.10, 0.02, False)
     assert not found, "5% slowdown is within the 10% tolerance"
+
+    e2e_slow = copy.deepcopy(base)
+    e2e_slow["resilience"]["modes"]["fec"]["e2e_latency_s"][
+        "p50"] *= 1.20
+    found, _ = compare(base, e2e_slow, 0.10, 0.02, False)
+    assert found, "20% FEC end-to-end slowdown must be flagged"
+
+    recovery_slow = copy.deepcopy(base)
+    recovery_slow["resilience"]["modes"]["nack"][
+        "recovery_s_mean"] *= 1.50
+    found, _ = compare(base, recovery_slow, 0.10, 0.02, False)
+    assert found, "50% recovery-time growth must be flagged"
+
+    no_resilience = copy.deepcopy(base)
+    del no_resilience["resilience"]
+    found, _ = compare(no_resilience, no_resilience, 0.10, 0.02,
+                       False)
+    assert not found, "runs without --loss must still compare"
+    found, _ = compare(no_resilience, base, 0.10, 0.02, False)
+    assert not found, "new modes without a baseline are not gated"
 
     print("compare_bench self-test: PASS")
     return 0
