@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fuzz target: transport framing scanner + resilient receiver.
+ * Unlike the pure decoders this layer never rejects: arbitrary wire
+ * bytes must scan without a crash and decodeAll() must return one
+ * validated, in-bounds outcome per expected frame.
+ */
+
+#include <set>
+
+#include "edgepcc/common/rng.h"
+#include "edgepcc/core/video_codec.h"
+#include "edgepcc/morton/morton.h"
+#include "edgepcc/stream/chunk_stream.h"
+#include "edgepcc/stream/stream_session.h"
+
+#include "fuzz_common.h"
+
+namespace edgepcc::fuzzing {
+
+namespace {
+constexpr std::uint32_t kExpectedFrames = 4;
+}  // namespace
+
+std::vector<std::uint8_t>
+seedPayload()
+{
+    VideoEncoder encoder(makeIntraInterV1Config());
+    std::vector<std::uint8_t> wire;
+    std::uint32_t gop_id = 0;
+    for (std::uint32_t f = 0; f < kExpectedFrames; ++f) {
+        Rng rng(61 + f);
+        const int bits = 6;
+        const std::uint32_t grid = 1u << bits;
+        std::set<std::uint64_t> codes;
+        while (codes.size() < 300) {
+            const auto x = static_cast<std::uint32_t>(
+                (rng.bounded(grid / 2) + f * 3) % grid);
+            const auto y =
+                static_cast<std::uint32_t>(rng.bounded(grid / 2));
+            const std::uint32_t z = (x * 2 + y) % grid;
+            codes.insert(mortonEncode(x, y, z));
+        }
+        VoxelCloud cloud(bits);
+        for (const std::uint64_t code : codes) {
+            const MortonXyz xyz = mortonDecode(code);
+            cloud.add(static_cast<std::uint16_t>(xyz.x),
+                      static_cast<std::uint16_t>(xyz.y),
+                      static_cast<std::uint16_t>(xyz.z),
+                      static_cast<std::uint8_t>(xyz.x * 3),
+                      static_cast<std::uint8_t>(xyz.y * 5),
+                      static_cast<std::uint8_t>(xyz.z * 7));
+        }
+        auto encoded = encoder.encode(cloud);
+        require(encoded.hasValue(), "seed payload must encode");
+        if (encoded->stats.type == Frame::Type::kIntra)
+            gop_id = f;
+        ChunkHeader header;
+        header.sequence = f;
+        header.frame_id = f;
+        header.gop_id = gop_id;
+        header.frame_type = encoded->stats.type;
+        const std::vector<std::uint8_t> chunk =
+            serializeChunk(header, encoded->bitstream);
+        wire.insert(wire.end(), chunk.begin(), chunk.end());
+    }
+    return wire;
+}
+
+}  // namespace edgepcc::fuzzing
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    using namespace edgepcc;
+    if (size > fuzzing::kMaxInputBytes)
+        return 0;
+    const std::vector<std::uint8_t> wire(data, data + size);
+    StreamReceiver receiver;
+    receiver.ingest(wire);
+    const std::vector<SessionFrame> frames =
+        receiver.decodeAll(fuzzing::kExpectedFrames);
+    fuzzing::require(frames.size() == fuzzing::kExpectedFrames,
+                     "receiver must report every expected frame");
+    for (const SessionFrame &frame : frames) {
+        const std::uint32_t grid = frame.cloud.gridSize();
+        for (std::size_t i = 0; i < frame.cloud.size(); ++i) {
+            fuzzing::require(frame.cloud.x()[i] < grid,
+                             "receiver x out of grid");
+            fuzzing::require(frame.cloud.y()[i] < grid,
+                             "receiver y out of grid");
+            fuzzing::require(frame.cloud.z()[i] < grid,
+                             "receiver z out of grid");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared scaffolding for the libFuzzer targets.
+ *
+ * Each target wraps one decoder entry point as the same DecodeFn
+ * shape the corruption harness uses (tests/corruption_harness.h):
+ * decode arbitrary bytes, validate any accepted output, and treat a
+ * contract violation (out-of-bounds coordinates, impossible sizes)
+ * as a crash via trap(). A clean Status failure is a normal,
+ * uninteresting outcome.
+ *
+ * Built two ways (fuzz/CMakeLists.txt):
+ *  - Clang: -fsanitize=fuzzer; libFuzzer drives
+ *    LLVMFuzzerTestOneInput.
+ *  - Other compilers (no libFuzzer runtime): a standalone driver
+ *    replays corpus files given as arguments, or — with no
+ *    arguments — runs the corruption-harness sweeps over the
+ *    target's pristine seed payload as a deterministic smoke.
+ */
+
+#ifndef EDGEPCC_FUZZ_FUZZ_COMMON_H
+#define EDGEPCC_FUZZ_FUZZ_COMMON_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "corruption_harness.h"
+
+namespace edgepcc::fuzzing {
+
+/** Inputs larger than this are ignored (decoders reject oversized
+ *  claims anyway; this just keeps per-input memory bounded). */
+inline constexpr std::size_t kMaxInputBytes = std::size_t{1} << 20;
+
+/** Hard-stops the process on an output-validation failure so the
+ *  fuzzer records the input. Sanitizer reports fire the same way. */
+[[noreturn]] inline void
+trap(const char *what)
+{
+    std::fprintf(stderr, "fuzz contract violation: %s\n", what);
+    std::abort();
+}
+
+inline void
+require(bool ok, const char *what)
+{
+    if (!ok)
+        trap(what);
+}
+
+/** Pristine payload for the target's decoder — the seed corpus and
+ *  the input to the no-argument smoke sweep. Defined per target. */
+std::vector<std::uint8_t> seedPayload();
+
+}  // namespace edgepcc::fuzzing
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t *data,
+                                      std::size_t size);
+
+#ifdef EDGEPCC_FUZZ_STANDALONE
+
+#include <fstream>
+#include <iterator>
+
+int
+main(int argc, char **argv)
+{
+    using namespace edgepcc;
+    const auto run = [](const std::vector<std::uint8_t> &bytes) {
+        (void)LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    };
+
+    if (argc > 1) {
+        for (int i = 1; i < argc; ++i) {
+            std::ifstream in(argv[i], std::ios::binary);
+            if (!in) {
+                std::fprintf(stderr, "fuzz: cannot read %s\n",
+                             argv[i]);
+                return 1;
+            }
+            const std::vector<std::uint8_t> bytes(
+                (std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+            run(bytes);
+        }
+        std::printf("fuzz: replayed %d input(s), no crash\n",
+                    argc - 1);
+        return 0;
+    }
+
+    // No corpus given: deterministic smoke. The corruption-harness
+    // sweeps (every truncation point, seeded bit flips, garbage
+    // runs) mutate the pristine payload; the target must survive
+    // every one.
+    const std::vector<std::uint8_t> seed = fuzzing::seedPayload();
+    const testing::DecodeFn decode =
+        [&run](const std::vector<std::uint8_t> &bytes) {
+            run(bytes);
+            return Status::ok();
+        };
+    const testing::SweepStats stats =
+        testing::fullSweep(seed, decode, 0xED6EFCC1u, 128);
+    std::printf("fuzz smoke: %zu mutated inputs, no crash\n",
+                stats.attempts);
+    return 0;
+}
+
+#endif  // EDGEPCC_FUZZ_STANDALONE
+
+#endif  // EDGEPCC_FUZZ_FUZZ_COMMON_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fuzz target: octree geometry decoder. A corrupt payload must
+ * either fail with a clean Status or decode to a cloud whose every
+ * coordinate is inside the declared grid.
+ */
+
+#include <set>
+
+#include "edgepcc/common/rng.h"
+#include "edgepcc/morton/morton.h"
+#include "edgepcc/octree/geometry_codec.h"
+
+#include "fuzz_common.h"
+
+namespace edgepcc::fuzzing {
+
+std::vector<std::uint8_t>
+seedPayload()
+{
+    // Small Morton-sorted surface cloud, entropy-coded so the
+    // fuzzer reaches the range-decoder paths too.
+    Rng rng(21);
+    const int bits = 6;
+    const std::uint32_t grid = 1u << bits;
+    std::set<std::uint64_t> codes;
+    while (codes.size() < 400) {
+        const auto x =
+            static_cast<std::uint32_t>(rng.bounded(grid / 2));
+        const auto y =
+            static_cast<std::uint32_t>(rng.bounded(grid / 2));
+        const std::uint32_t z = (x * 2 + y) % grid;
+        codes.insert(mortonEncode(x, y, z));
+    }
+    VoxelCloud cloud(bits);
+    for (const std::uint64_t code : codes) {
+        const MortonXyz xyz = mortonDecode(code);
+        cloud.add(static_cast<std::uint16_t>(xyz.x),
+                  static_cast<std::uint16_t>(xyz.y),
+                  static_cast<std::uint16_t>(xyz.z),
+                  static_cast<std::uint8_t>(xyz.x * 3),
+                  static_cast<std::uint8_t>(xyz.y * 5),
+                  static_cast<std::uint8_t>(xyz.z * 7));
+    }
+    GeometryConfig config;
+    config.builder = GeometryConfig::Builder::kParallelMorton;
+    config.entropy_coding = true;
+    auto encoded = encodeGeometry(cloud, config);
+    require(encoded.hasValue(), "seed payload must encode");
+    return encoded->payload;
+}
+
+}  // namespace edgepcc::fuzzing
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    using namespace edgepcc;
+    if (size > fuzzing::kMaxInputBytes)
+        return 0;
+    const std::vector<std::uint8_t> bytes(data, data + size);
+    auto decoded = decodeGeometry(bytes);
+    if (!decoded.hasValue())
+        return 0;  // clean rejection
+    const VoxelCloud &cloud = *decoded;
+    const std::uint32_t grid = cloud.gridSize();
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        fuzzing::require(cloud.x()[i] < grid,
+                         "geometry x out of grid");
+        fuzzing::require(cloud.y()[i] < grid,
+                         "geometry y out of grid");
+        fuzzing::require(cloud.z()[i] < grid,
+                         "geometry z out of grid");
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fuzz target: full frame decoder (container header, geometry and
+ * attribute payloads, I/P state machine). A corrupt bitstream must
+ * either fail with a clean Status or decode to an in-bounds cloud.
+ */
+
+#include <set>
+
+#include "edgepcc/common/rng.h"
+#include "edgepcc/core/video_codec.h"
+#include "edgepcc/morton/morton.h"
+
+#include "fuzz_common.h"
+
+namespace edgepcc::fuzzing {
+
+std::vector<std::uint8_t>
+seedPayload()
+{
+    Rng rng(31);
+    const int bits = 6;
+    const std::uint32_t grid = 1u << bits;
+    std::set<std::uint64_t> codes;
+    while (codes.size() < 400) {
+        const auto x =
+            static_cast<std::uint32_t>(rng.bounded(grid / 2));
+        const auto y =
+            static_cast<std::uint32_t>(rng.bounded(grid / 2));
+        const std::uint32_t z = (x * 2 + y) % grid;
+        codes.insert(mortonEncode(x, y, z));
+    }
+    VoxelCloud cloud(bits);
+    for (const std::uint64_t code : codes) {
+        const MortonXyz xyz = mortonDecode(code);
+        cloud.add(static_cast<std::uint16_t>(xyz.x),
+                  static_cast<std::uint16_t>(xyz.y),
+                  static_cast<std::uint16_t>(xyz.z),
+                  static_cast<std::uint8_t>(xyz.x * 3),
+                  static_cast<std::uint8_t>(xyz.y * 5),
+                  static_cast<std::uint8_t>(xyz.z * 7));
+    }
+    VideoEncoder encoder(makeIntraInterV1Config());
+    auto encoded = encoder.encode(cloud);
+    require(encoded.hasValue(), "seed payload must encode");
+    return encoded->bitstream;
+}
+
+}  // namespace edgepcc::fuzzing
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    using namespace edgepcc;
+    if (size > fuzzing::kMaxInputBytes)
+        return 0;
+    const std::vector<std::uint8_t> bytes(data, data + size);
+    // Fresh decoder per input: no reference state, so a P frame is
+    // cleanly rejected instead of decoding against stale data.
+    VideoDecoder decoder;
+    auto decoded = decoder.decode(bytes);
+    if (!decoded.hasValue())
+        return 0;  // clean rejection
+    const VoxelCloud &cloud = decoded->cloud;
+    const std::uint32_t grid = cloud.gridSize();
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        fuzzing::require(cloud.x()[i] < grid,
+                         "decoded x out of grid");
+        fuzzing::require(cloud.y()[i] < grid,
+                         "decoded y out of grid");
+        fuzzing::require(cloud.z()[i] < grid,
+                         "decoded z out of grid");
+    }
+    return 0;
+}

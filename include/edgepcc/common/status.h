@@ -28,6 +28,7 @@ enum class StatusCode {
     kInternal,
     kNotFound,
     kIoError,
+    kResourceExhausted,
 };
 
 /** Human-readable name for a StatusCode. */
@@ -75,6 +76,7 @@ Status unimplemented(std::string message);
 Status internalError(std::string message);
 Status notFound(std::string message);
 Status ioError(std::string message);
+Status resourceExhausted(std::string message);
 
 /**
  * Value-or-error wrapper for functions that produce a T.

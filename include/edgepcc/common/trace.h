@@ -160,6 +160,7 @@ struct PercentileStats {
     double mean = 0.0;
     double p50 = 0.0;
     double p95 = 0.0;
+    double p99 = 0.0;
     double max = 0.0;
     double total = 0.0;
 };

@@ -92,7 +92,18 @@ class VideoEncoder
      */
     void setGopSize(int gop_size);
 
+    /**
+     * Replaces the coding configuration without resetting the GOP
+     * phase or the prediction reference. The overload ladder swaps
+     * degraded configurations mid-stream with this; callers that
+     * change the voxel grid must also forceKeyframe() so the next
+     * reference matches the new grid.
+     */
+    void updateCoding(const CodecConfig &config);
+
   private:
+    Expected<EncodedFrame> encodeImpl(const VoxelCloud &cloud);
+
     CodecConfig config_;
     std::uint32_t frame_counter_ = 0;
     VoxelCloud reference_{10};
@@ -131,6 +142,12 @@ class VideoDecoder
     void reset();
 
   private:
+    Expected<DecodedFrame> decodeImpl(
+        const std::vector<std::uint8_t> &bitstream);
+    Expected<DecodedFrame> decodePromotedImpl(
+        const std::vector<std::uint8_t> &bitstream,
+        const VoxelCloud *conceal_source, bool *attr_concealed);
+
     VoxelCloud reference_{10};
     bool has_reference_ = false;
 };

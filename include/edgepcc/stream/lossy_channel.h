@@ -31,6 +31,12 @@ struct ChannelSpec {
     double reorder_rate = 0.0;    ///< chunk delayed past successors
     /** Max positions a reordered chunk can slip back. */
     int reorder_window = 3;
+    /** Probability a drop *burst* starts at any chunk; the burst
+     *  then swallows `burst_length` consecutive chunks. Models the
+     *  correlated loss of a fading radio link, where independent
+     *  per-chunk drops are too optimistic for FEC evaluation. */
+    double burst_rate = 0.0;
+    int burst_length = 4;
     std::uint64_t seed = 1;
 
     /** Perfect channel (the default). */
@@ -38,6 +44,10 @@ struct ChannelSpec {
     /** Uniform loss: drop/truncate/flip each at `loss_rate`/3. */
     static ChannelSpec lossy(double loss_rate,
                              std::uint64_t seed = 1);
+    /** Pure burst loss: bursts of `burst_length` drops starting
+     *  with probability `burst_rate` per chunk, nothing else. */
+    static ChannelSpec bursty(double burst_rate, int burst_length,
+                              std::uint64_t seed = 1);
     /** Derives fault rates from a NetworkSpec's loss/jitter. */
     static ChannelSpec fromNetwork(const NetworkSpec &network,
                                    std::uint64_t seed = 1);
@@ -47,7 +57,7 @@ struct ChannelSpec {
     {
         return drop_rate == 0.0 && truncate_rate == 0.0 &&
                bit_flip_rate == 0.0 && duplicate_rate == 0.0 &&
-               reorder_rate == 0.0;
+               reorder_rate == 0.0 && burst_rate == 0.0;
     }
 };
 
@@ -60,6 +70,8 @@ struct ChannelStats {
     std::size_t bit_flipped = 0;
     std::size_t duplicated = 0;
     std::size_t reordered = 0;
+    std::size_t burst_dropped = 0;  ///< drops owed to bursts
+    std::size_t bursts = 0;         ///< bursts started
 };
 
 /**
@@ -100,6 +112,8 @@ class LossyChannel
     ChannelSpec spec_;
     Rng rng_;
     ChannelStats stats_;
+    /** Chunks left to swallow in the current drop burst. */
+    int burst_remaining_ = 0;
     /** Chunks held back for reordering: (release_after, bytes). */
     std::vector<std::pair<int, std::vector<std::uint8_t>>> held_;
 };

@@ -106,6 +106,9 @@ struct PipelineReport {
     SessionStats session;
     WireScanStats wire;
     FecStats fec;
+    /** Deadline-ladder accounting (transport mode with
+     *  session.overload.enabled only). */
+    OverloadStats overload;
 
     double meanTotalSeconds() const;
     /** Sustainable FPS with stage-level pipelining. */

@@ -45,6 +45,7 @@
 #include "edgepcc/core/video_codec.h"
 #include "edgepcc/stream/chunk_stream.h"
 #include "edgepcc/stream/lossy_channel.h"
+#include "edgepcc/stream/overload_controller.h"
 #include "edgepcc/stream/rate_controller.h"
 
 namespace edgepcc {
@@ -141,6 +142,9 @@ struct SessionReport {
     SessionStats stats;
     WireScanStats wire;
     FecStats fec;
+    /** Deadline-ladder accounting; enabled == false (all zeros)
+     *  when no deadline was configured. */
+    OverloadStats overload;
 };
 
 /** Decoder-side reassembly + degradation ladder. */
@@ -233,12 +237,29 @@ struct SessionConfig {
      *  Recovery of any single lost chunk per group without a NACK
      *  round-trip; retransmission remains the fallback. */
     FecSpec fec{};
+    /** Interleave depth D: consecutive slices are striped across D
+     *  concurrently open FEC groups, so a drop burst of up to D
+     *  consecutive chunks costs each group at most one chunk (all
+     *  recoverable from parity) instead of wiping one group.
+     *  <= 1 keeps the contiguous grouping (and its exact wire
+     *  bytes). Requires fec.enabled. */
+    int fec_interleave = 1;
+    /** Drive the FEC group size from the EWMA loss estimate:
+     *  sustained loss shrinks groups (more parity exactly when
+     *  recovery matters), a clean channel grows them back.
+     *  Requires fec.enabled; fec.group_size seeds the controller. */
+    bool adaptive_fec = false;
+    AdaptiveFecConfig fec_adaptive{};
     /** Adaptive keyframe insertion under sustained loss. */
     bool adaptive_gop = true;
     AdaptiveGopConfig gop{};
     /** Force an I frame right after an unrecovered loss, so damage
      *  cannot propagate past the next frame. */
     bool keyframe_on_loss = true;
+    /** Deadline-aware encode ladder + admission control + watchdog
+     *  (see overload_controller.h). Disabled by default: the clean
+     *  path stays byte-identical with overload.enabled == false. */
+    OverloadConfig overload{};
 };
 
 /**

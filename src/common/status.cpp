@@ -16,6 +16,7 @@ statusCodeName(StatusCode code)
       case StatusCode::kInternal: return "INTERNAL";
       case StatusCode::kNotFound: return "NOT_FOUND";
       case StatusCode::kIoError: return "IO_ERROR";
+      case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     }
     return "UNKNOWN";
 }
@@ -85,6 +86,13 @@ Status
 ioError(std::string message)
 {
     return Status(StatusCode::kIoError, std::move(message));
+}
+
+Status
+resourceExhausted(std::string message)
+{
+    return Status(StatusCode::kResourceExhausted,
+                  std::move(message));
 }
 
 }  // namespace edgepcc

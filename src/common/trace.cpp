@@ -138,6 +138,7 @@ computePercentiles(std::vector<double> samples)
     };
     stats.p50 = at_quantile(0.50);
     stats.p95 = at_quantile(0.95);
+    stats.p99 = at_quantile(0.99);
     return stats;
 }
 

@@ -1,6 +1,7 @@
 #include "edgepcc/core/video_codec.h"
 
 #include <algorithm>
+#include <new>
 
 #include "edgepcc/common/trace.h"
 #include "edgepcc/entropy/bitstream.h"
@@ -187,8 +188,30 @@ VideoEncoder::setGopSize(int gop_size)
     config_.gop_size = gop_size < 1 ? 1 : gop_size;
 }
 
+void
+VideoEncoder::updateCoding(const CodecConfig &config)
+{
+    config_ = config;
+    if (config_.gop_size < 1)
+        config_.gop_size = 1;
+}
+
 Expected<EncodedFrame>
 VideoEncoder::encode(const VoxelCloud &cloud)
+{
+    // Encoding a frame allocates freely (octree levels, attribute
+    // buffers); under memory pressure that must surface as a
+    // Status, never an exception escaping the public API.
+    try {
+        return encodeImpl(cloud);
+    } catch (const std::bad_alloc &) {
+        return resourceExhausted(
+            "VideoEncoder::encode: allocation failed");
+    }
+}
+
+Expected<EncodedFrame>
+VideoEncoder::encodeImpl(const VoxelCloud &cloud)
 {
     if (cloud.empty())
         return invalidArgument("VideoEncoder::encode: empty cloud");
@@ -325,6 +348,17 @@ VideoDecoder::reset()
 Expected<DecodedFrame>
 VideoDecoder::decode(const std::vector<std::uint8_t> &bitstream)
 {
+    try {
+        return decodeImpl(bitstream);
+    } catch (const std::bad_alloc &) {
+        return resourceExhausted(
+            "VideoDecoder::decode: allocation failed");
+    }
+}
+
+Expected<DecodedFrame>
+VideoDecoder::decodeImpl(const std::vector<std::uint8_t> &bitstream)
+{
     ScopedTrace frame_trace("decode.frame");
     auto parsed = parseContainer(bitstream);
     if (!parsed)
@@ -383,6 +417,20 @@ VideoDecoder::decode(const std::vector<std::uint8_t> &bitstream)
 
 Expected<DecodedFrame>
 VideoDecoder::decodePromoted(
+    const std::vector<std::uint8_t> &bitstream,
+    const VoxelCloud *conceal_source, bool *attr_concealed)
+{
+    try {
+        return decodePromotedImpl(bitstream, conceal_source,
+                                  attr_concealed);
+    } catch (const std::bad_alloc &) {
+        return resourceExhausted(
+            "VideoDecoder::decodePromoted: allocation failed");
+    }
+}
+
+Expected<DecodedFrame>
+VideoDecoder::decodePromotedImpl(
     const std::vector<std::uint8_t> &bitstream,
     const VoxelCloud *conceal_source, bool *attr_concealed)
 {

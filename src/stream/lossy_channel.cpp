@@ -26,6 +26,17 @@ ChannelSpec::lossy(double loss_rate, std::uint64_t seed)
 }
 
 ChannelSpec
+ChannelSpec::bursty(double burst_rate, int burst_length,
+                    std::uint64_t seed)
+{
+    ChannelSpec spec;
+    spec.burst_rate = std::clamp(burst_rate, 0.0, 1.0);
+    spec.burst_length = std::max(burst_length, 1);
+    spec.seed = seed;
+    return spec;
+}
+
+ChannelSpec
 ChannelSpec::fromNetwork(const NetworkSpec &network,
                          std::uint64_t seed)
 {
@@ -52,6 +63,23 @@ LossyChannel::LossyChannel(ChannelSpec spec)
 bool
 LossyChannel::damage(std::vector<std::uint8_t> &chunk)
 {
+    // Correlated burst loss first: once a burst starts it swallows
+    // whole chunks unconditionally. The extra RNG draw only happens
+    // when bursts are configured, so existing seeded sequences are
+    // unchanged for burst-free specs.
+    if (spec_.burst_rate > 0.0) {
+        if (burst_remaining_ == 0 &&
+            rng_.uniform() < spec_.burst_rate) {
+            burst_remaining_ = std::max(spec_.burst_length, 1);
+            ++stats_.bursts;
+        }
+        if (burst_remaining_ > 0) {
+            --burst_remaining_;
+            ++stats_.dropped;
+            ++stats_.burst_dropped;
+            return false;
+        }
+    }
     if (rng_.uniform() < spec_.drop_rate) {
         ++stats_.dropped;
         return false;

@@ -70,6 +70,10 @@ evaluateTransport(const std::vector<VoxelCloud> &frames,
     SessionConfig session = config.session;
     session.channel = ChannelSpec::fromNetwork(
         config.network, config.transport_seed);
+    // The deadline ladder judges encode latency on the same device
+    // the pipeline prices the encode stage with.
+    if (session.overload.enabled)
+        session.overload.device = config.encoder_device;
     StreamSession stream(codec, session);
     auto run = stream.run(frames);
     if (!run)
@@ -80,6 +84,7 @@ evaluateTransport(const std::vector<VoxelCloud> &frames,
     report.session = run->stats;
     report.wire = run->wire;
     report.fec = run->fec;
+    report.overload = run->overload;
     report.frames.reserve(run->frames.size());
 
     const double rtt_s = config.network.rtt_ms / 1e3;
@@ -92,6 +97,12 @@ evaluateTransport(const std::vector<VoxelCloud> &frames,
         latency.encode_s =
             encoder_model.evaluate(frame.encode_profile)
                 .modelSeconds();
+        // Under the overload ladder the effective encode latency
+        // (LoadSpec-scaled) is the honest number.
+        if (run->overload.enabled &&
+            frame.frame_id < run->overload.ladder.size())
+            latency.encode_s =
+                run->overload.ladder[frame.frame_id].encode_s;
         latency.bytes = frame.payload_bytes;
         latency.wire_bytes = frame.wire_bytes;
         latency.transmit_s =

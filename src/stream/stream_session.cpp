@@ -1,10 +1,12 @@
 #include "edgepcc/stream/stream_session.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "edgepcc/common/trace.h"
 #include "edgepcc/interframe/block_matcher.h"
+#include "edgepcc/platform/device_model.h"
 
 namespace edgepcc {
 
@@ -311,9 +313,30 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
     LossyChannel channel(session_.channel);
     StreamReceiver receiver;
     AdaptiveGopController gop(session_.gop, codec_.gop_size);
+    AdaptiveFecController fec_ctrl(session_.fec_adaptive,
+                                   session_.fec.group_size);
 
     SessionReport report;
     report.stats = SessionStats{};
+
+    // Overload subsystem (inactive unless configured): the encode
+    // "latency" is the modelled edge-device time of the recorded
+    // profile scaled by the injected LoadSpec, so ladder walks are
+    // deterministic and wall-clock free.
+    const bool overload_on = session_.overload.enabled;
+    OverloadController ladder_ctrl(session_.overload);
+    const EdgeDeviceModel device_model(session_.overload.device);
+    const double budget_s = ladder_ctrl.budgetSeconds();
+    const double fps = session_.overload.target_fps;
+    const LoadSpec &load = session_.overload.load;
+    OverloadStats &overload = report.overload;
+    overload.enabled = overload_on;
+    overload.deadline_s = overload_on ? budget_s : 0.0;
+    double clock_s = 0.0;  ///< encoder-busy virtual time
+    int applied_drop_bits = 0;
+    OverloadRung applied_rung = OverloadRung::kFull;
+    bool applied_any_rung = false;
+    std::size_t consecutive_misses = 0;
 
     std::uint32_t next_sequence = 0;
     std::uint32_t gop_id = 0;
@@ -345,7 +368,104 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
     };
 
     for (std::size_t f = 0; f < frames.size(); ++f) {
-        if (session_.adaptive_gop)
+        const auto frame_id32 = static_cast<std::uint32_t>(f);
+        double queue_delay_s = 0.0;
+        int queue_depth = 0;
+
+        if (overload_on && fps > 0.0) {
+            // Admission control on virtual time. Frame f is
+            // captured at f/fps; the encoder serves frames in
+            // order, so the arrived-unserved window is exactly
+            // [f, last_arrived]. Oldest-drop backpressure keeps
+            // the newest queue_capacity + 1 of them (stale frames
+            // are worthless in telepresence).
+            const double arrival = static_cast<double>(f) / fps;
+            if (clock_s < arrival)
+                clock_s = arrival;  // encoder idle until capture
+            const std::size_t last_arrived = std::min(
+                frames.size() - 1,
+                static_cast<std::size_t>(clock_s * fps + 1e-9));
+            queue_depth = static_cast<int>(last_arrived - f);
+            queue_delay_s = clock_s - arrival;
+            const std::size_t admitted =
+                static_cast<std::size_t>(std::max(
+                    session_.overload.queue_capacity, 0)) +
+                1;
+            if (last_arrived - f + 1 > admitted) {
+                OverloadFrame record;
+                record.frame_id = frame_id32;
+                record.rung = ladder_ctrl.rung();
+                record.event = OverloadEvent::kQueueDrop;
+                record.queue_delay_s = queue_delay_s;
+                record.queue_depth = queue_depth;
+                overload.ladder.push_back(std::move(record));
+                ++overload.queue_drops;
+                continue;  // never encoded, never sent
+            }
+        }
+
+        OverloadRung rung = ladder_ctrl.rung();
+        if (overload_on && load.allocFailsAt(frame_id32)) {
+            // Injected allocation failure: the encode entry point
+            // reports resource exhaustion via Status and the
+            // session sheds the frame instead of dying.
+            OverloadFrame record;
+            record.frame_id = frame_id32;
+            record.rung = rung;
+            record.event = OverloadEvent::kAllocFailure;
+            record.queue_delay_s = queue_delay_s;
+            record.queue_depth = queue_depth;
+            overload.ladder.push_back(std::move(record));
+            ++overload.alloc_failures;
+            ++overload.rung_occupancy[static_cast<int>(rung)];
+            continue;
+        }
+        if (overload_on && rung == OverloadRung::kSkip) {
+            // Bottom rung: shed the whole frame. Zero encode cost
+            // counts as headroom, so hysteresis climbs back out.
+            const OverloadEvent event = ladder_ctrl.onFrame(0.0);
+            OverloadFrame record;
+            record.frame_id = frame_id32;
+            record.rung = rung;
+            record.event = event;
+            record.queue_delay_s = queue_delay_s;
+            record.queue_depth = queue_depth;
+            overload.ladder.push_back(std::move(record));
+            ++overload.rung_occupancy[static_cast<int>(rung)];
+            ++overload.frames_skipped;
+            if (ladder_ctrl.rung() != rung)
+                ++overload.rung_transitions;
+            consecutive_misses = 0;
+            continue;
+        }
+
+        const VoxelCloud *input = &frames[f];
+        VoxelCloud coarse{frames[f].gridBits()};
+        if (overload_on) {
+            if (!applied_any_rung || rung != applied_rung) {
+                encoder.updateCoding(OverloadController::configForRung(
+                    codec_, rung, session_.overload));
+                applied_rung = rung;
+                applied_any_rung = true;
+            }
+            const int drop_bits =
+                rung >= OverloadRung::kCoarseGeometry
+                    ? session_.overload.coarse_drop_bits
+                    : 0;
+            if (drop_bits != applied_drop_bits) {
+                // The voxel grid changed; the prediction reference
+                // lives on the old grid, so re-anchor.
+                encoder.forceKeyframe();
+                applied_drop_bits = drop_bits;
+            }
+            if (drop_bits > 0) {
+                coarse = coarsenCloud(frames[f], drop_bits);
+                input = &coarse;
+            }
+        }
+
+        if (session_.adaptive_gop &&
+            (!overload_on || rung < OverloadRung::kInterOnly))
             encoder.setGopSize(gop.gopSize());
         if (force_key) {
             encoder.forceKeyframe();
@@ -353,17 +473,78 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
             force_key = false;
         }
 
-        auto encoded = encoder.encode(frames[f]);
+        auto encoded = encoder.encode(*input);
         if (!encoded)
             return encoded.status();
 
         const Frame::Type type = encoded->stats.type;
         if (type == Frame::Type::kIntra)
-            gop_id = static_cast<std::uint32_t>(f);
+            gop_id = frame_id32;
 
         FrameSendInfo &info = sent[f];
         info.payload_bytes = encoded->bitstream.size();
         info.encode_profile = std::move(encoded->profile);
+
+        if (overload_on) {
+            // Effective encode latency: modelled device seconds per
+            // stage, scaled by the injected load. The watchdog
+            // checks each stage against its soft-timeout share of
+            // the deadline before the frame total is judged.
+            const PipelineTiming timing =
+                device_model.evaluate(info.encode_profile);
+            const double jitter = load.jitterFor(frame_id32);
+            double effective_s = 0.0;
+            double worst_stage_s = 0.0;
+            std::string worst_stage;
+            for (const StageTiming &stage : timing.stages) {
+                const double stage_s =
+                    stage.model_seconds *
+                    load.factorFor(frame_id32, stage.name) * jitter;
+                effective_s += stage_s;
+                if (stage_s > worst_stage_s) {
+                    worst_stage_s = stage_s;
+                    worst_stage = stage.name;
+                }
+            }
+            const bool stalled =
+                budget_s > 0.0 &&
+                worst_stage_s >
+                    budget_s *
+                        session_.overload.stage_soft_timeout_fraction;
+            const OverloadEvent event =
+                stalled ? ladder_ctrl.onStall(effective_s)
+                        : ladder_ctrl.onFrame(effective_s);
+            const bool missed =
+                budget_s > 0.0 && effective_s > budget_s;
+
+            OverloadFrame record;
+            record.frame_id = frame_id32;
+            record.rung = rung;
+            record.event = event;
+            record.encode_s = effective_s;
+            record.queue_delay_s = queue_delay_s;
+            record.deadline_missed = missed;
+            record.queue_depth = queue_depth;
+            if (stalled)
+                record.stalled_stage = worst_stage;
+            overload.ladder.push_back(std::move(record));
+            ++overload.rung_occupancy[static_cast<int>(rung)];
+            overload.encode_latency_s.push_back(effective_s);
+            if (missed) {
+                ++overload.deadline_misses;
+                ++consecutive_misses;
+                overload.max_consecutive_misses =
+                    std::max(overload.max_consecutive_misses,
+                             consecutive_misses);
+            } else {
+                consecutive_misses = 0;
+            }
+            if (stalled)
+                ++overload.watchdog_stalls;
+            if (ladder_ctrl.rung() != rung)
+                ++overload.rung_transitions;
+            clock_s += effective_s;
+        }
 
         ChunkHeader base;
         base.frame_id = static_cast<std::uint32_t>(f);
@@ -379,48 +560,119 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
         // XOR-parity FEC: every group_size data chunks emit one
         // parity chunk. Groups never span frames, so the receiver
         // can recover a loss before this frame's NACK check runs.
+        // The group size is fixed (fec.group_size) or driven by the
+        // EWMA loss estimate (adaptive_fec).
         const std::size_t group_size =
             session_.fec.enabled
-                ? static_cast<std::size_t>(
-                      std::max(session_.fec.group_size, 1))
+                ? static_cast<std::size_t>(std::max(
+                      session_.adaptive_fec
+                          ? fec_ctrl.groupSize()
+                          : session_.fec.group_size,
+                      1))
                 : 0;
-        for (std::size_t begin = 0; begin < slices.size();
-             begin += group_size == 0 ? slices.size()
-                                      : group_size) {
-            const std::size_t end =
-                group_size == 0
-                    ? slices.size()
-                    : std::min(begin + group_size,
-                               slices.size());
-            if (group_size != 0) {
-                const std::uint16_t group_id = next_fec_group++;
-                const std::uint8_t count =
-                    static_cast<std::uint8_t>(end - begin);
-                for (std::size_t i = begin; i < end; ++i) {
-                    slices[i].header.flags |= kChunkFlagFec;
-                    slices[i].header.fec_group = group_id;
-                    slices[i].header.fec_seq =
-                        static_cast<std::uint8_t>(i - begin);
-                    slices[i].header.fec_group_size = count;
+        const std::size_t lanes_cfg =
+            group_size != 0 && session_.fec_interleave > 1
+                ? static_cast<std::size_t>(session_.fec_interleave)
+                : 1;
+        if (lanes_cfg <= 1) {
+            for (std::size_t begin = 0; begin < slices.size();
+                 begin += group_size == 0 ? slices.size()
+                                          : group_size) {
+                const std::size_t end =
+                    group_size == 0
+                        ? slices.size()
+                        : std::min(begin + group_size,
+                                   slices.size());
+                if (group_size != 0) {
+                    const std::uint16_t group_id =
+                        next_fec_group++;
+                    const std::uint8_t count =
+                        static_cast<std::uint8_t>(end - begin);
+                    for (std::size_t i = begin; i < end; ++i) {
+                        slices[i].header.flags |= kChunkFlagFec;
+                        slices[i].header.fec_group = group_id;
+                        slices[i].header.fec_seq =
+                            static_cast<std::uint8_t>(i - begin);
+                        slices[i].header.fec_group_size = count;
+                    }
+                }
+                for (std::size_t i = begin; i < end; ++i)
+                    sendChunk(slices[i].header,
+                              slices[i].payload, info);
+                if (group_size != 0) {
+                    ChunkHeader parity = base;
+                    parity.flags =
+                        kChunkFlagParity | kChunkFlagFec;
+                    parity.fec_group =
+                        slices[begin].header.fec_group;
+                    parity.fec_seq = kFecParitySeq;
+                    parity.fec_group_size =
+                        slices[begin].header.fec_group_size;
+                    const std::vector<ParsedChunk> group(
+                        slices.begin() +
+                            static_cast<std::ptrdiff_t>(begin),
+                        slices.begin() +
+                            static_cast<std::ptrdiff_t>(end));
+                    sendChunk(parity, buildFecParity(group),
+                              info);
+                    ++report.stats.parity_sent;
                 }
             }
-            for (std::size_t i = begin; i < end; ++i)
-                sendChunk(slices[i].header, slices[i].payload,
-                          info);
-            if (group_size != 0) {
-                ChunkHeader parity = base;
-                parity.flags = kChunkFlagParity | kChunkFlagFec;
-                parity.fec_group = slices[begin].header.fec_group;
-                parity.fec_seq = kFecParitySeq;
-                parity.fec_group_size =
-                    slices[begin].header.fec_group_size;
-                const std::vector<ParsedChunk> group(
-                    slices.begin() +
-                        static_cast<std::ptrdiff_t>(begin),
-                    slices.begin() +
-                        static_cast<std::ptrdiff_t>(end));
-                sendChunk(parity, buildFecParity(group), info);
-                ++report.stats.parity_sent;
+        } else {
+            // Interleaved FEC: within each window of
+            // group_size * lanes slices, slice j joins group
+            // j % lanes. Consecutive wire chunks then belong to
+            // different groups, so a drop burst of up to `lanes`
+            // chunks costs each group at most one chunk — all
+            // recoverable from parity. The receiver is untouched:
+            // group membership travels in the chunk headers.
+            const std::size_t window = group_size * lanes_cfg;
+            for (std::size_t begin = 0; begin < slices.size();
+                 begin += window) {
+                const std::size_t end =
+                    std::min(begin + window, slices.size());
+                const std::size_t count = end - begin;
+                const std::size_t lanes =
+                    std::min(lanes_cfg, count);
+                const std::uint16_t base_group = next_fec_group;
+                next_fec_group = static_cast<std::uint16_t>(
+                    next_fec_group + lanes);
+                for (std::size_t i = begin; i < end; ++i) {
+                    const std::size_t j = i - begin;
+                    const std::size_t lane = j % lanes;
+                    const std::size_t lane_size =
+                        count / lanes +
+                        (lane < count % lanes ? 1 : 0);
+                    slices[i].header.flags |= kChunkFlagFec;
+                    slices[i].header.fec_group =
+                        static_cast<std::uint16_t>(base_group +
+                                                   lane);
+                    slices[i].header.fec_seq =
+                        static_cast<std::uint8_t>(j / lanes);
+                    slices[i].header.fec_group_size =
+                        static_cast<std::uint8_t>(lane_size);
+                }
+                for (std::size_t i = begin; i < end; ++i)
+                    sendChunk(slices[i].header,
+                              slices[i].payload, info);
+                for (std::size_t lane = 0; lane < lanes;
+                     ++lane) {
+                    std::vector<ParsedChunk> group;
+                    for (std::size_t j = lane; j < count;
+                         j += lanes)
+                        group.push_back(slices[begin + j]);
+                    ChunkHeader parity = base;
+                    parity.flags =
+                        kChunkFlagParity | kChunkFlagFec;
+                    parity.fec_group = static_cast<std::uint16_t>(
+                        base_group + lane);
+                    parity.fec_seq = kFecParitySeq;
+                    parity.fec_group_size =
+                        static_cast<std::uint8_t>(group.size());
+                    sendChunk(parity, buildFecParity(group),
+                              info);
+                    ++report.stats.parity_sent;
+                }
             }
         }
 
@@ -474,12 +726,17 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
             if (session_.keyframe_on_loss)
                 force_key = true;
         }
-        if (session_.adaptive_gop)
+        if (session_.adaptive_gop || session_.adaptive_fec)
             gop.onFrameDelivery(delivered);
+        if (session_.adaptive_fec)
+            fec_ctrl.onLossEstimate(gop.estimatedLoss(),
+                                    delivered);
     }
 
     for (const auto &arrival : channel.flush())
         receiver.ingest(arrival);
+
+    overload.frames = overload.ladder.size();
 
     report.frames = receiver.decodeAll(
         static_cast<std::uint32_t>(frames.size()));

@@ -507,6 +507,136 @@ TEST(SessionFec, CleanChannelNoRecoveryNeeded)
 }
 
 // -----------------------------------------------------------------
+// Burst loss and FEC interleaving
+// -----------------------------------------------------------------
+
+/** The bursty channel drops runs of consecutive chunks — the loss
+ *  pattern XOR parity is weakest against without interleaving. */
+TEST(Fec, BurstChannelDropsConsecutiveRuns)
+{
+    const ChannelSpec spec = ChannelSpec::bursty(0.04, 4, 11);
+    EXPECT_FALSE(spec.isClean());
+    LossyChannel channel(spec);
+
+    // 200 distinguishable chunks; record which survive.
+    std::vector<bool> arrived(200, false);
+    for (std::uint32_t i = 0; i < 200; ++i) {
+        ChunkHeader header;
+        header.sequence = i;
+        header.frame_id = i;
+        const auto wire =
+            serializeChunk(header, patternPayload(32, 1));
+        for (const auto &out : channel.transmit(wire)) {
+            WireScanStats stats;
+            const auto parsed = scanWire(out, &stats);
+            ASSERT_EQ(parsed.size(), 1u);
+            arrived[parsed[0].header.frame_id] = true;
+        }
+    }
+    for (const auto &out : channel.flush())
+        (void)out;  // pure burst spec never reorders
+
+    const ChannelStats &stats = channel.stats();
+    EXPECT_GT(stats.bursts, 0u);
+    EXPECT_EQ(stats.dropped, stats.burst_dropped);
+    EXPECT_EQ(stats.burst_dropped, stats.bursts * 4);
+
+    // Every loss run is a whole burst (or back-to-back bursts):
+    // a multiple of burst_length consecutive chunks.
+    std::size_t run = 0;
+    std::size_t lost = 0;
+    for (std::size_t i = 0; i <= arrived.size(); ++i) {
+        if (i < arrived.size() && !arrived[i]) {
+            ++run;
+            ++lost;
+            continue;
+        }
+        EXPECT_EQ(run % 4, 0u) << "run ending at chunk " << i;
+        run = 0;
+    }
+    EXPECT_EQ(lost, stats.dropped);
+}
+
+/**
+ * ISSUE-5 satellite: interleaving spreads a drop burst across FEC
+ * groups. With contiguous grouping a 3-chunk burst lands 2+ losses
+ * in one XOR group (unrecoverable without NACK); with interleave
+ * depth 4 the same burst costs 3 different groups one chunk each —
+ * all parity-recoverable. Same channel, same codec, FEC-only
+ * recovery (no retransmission rounds).
+ */
+TEST(SessionFec, InterleaveSpreadsBurstAcrossGroups)
+{
+    const auto frames = testVideo(16, 91, 4000);
+    SessionConfig contiguous;
+    contiguous.channel = ChannelSpec::bursty(0.025, 3, 29);
+    contiguous.mtu_payload = 400;
+    contiguous.fec.enabled = true;
+    contiguous.fec.group_size = 4;
+    contiguous.max_retransmits = 0;
+    contiguous.adaptive_gop = false;
+
+    SessionConfig interleaved = contiguous;
+    interleaved.fec_interleave = 4;
+
+    auto flat = StreamSession(makeIntraInterV1Config(),
+                              contiguous)
+                    .run(frames);
+    auto striped = StreamSession(makeIntraInterV1Config(),
+                                 interleaved)
+                       .run(frames);
+    ASSERT_TRUE(flat.hasValue());
+    ASSERT_TRUE(striped.hasValue());
+
+    // Both runs saw bursts; only the interleaved one turns them
+    // into single losses per group.
+    EXPECT_GT(flat->fec.unrecovered_groups, 0u);
+    EXPECT_LT(striped->fec.unrecovered_groups,
+              flat->fec.unrecovered_groups);
+    EXPECT_GT(striped->stats.frames_ok, flat->stats.frames_ok);
+    EXPECT_GT(striped->fec.recovered_chunks, 0u);
+}
+
+/** Interleave depth 1 must keep the contiguous wire bytes exactly
+ *  (it is the documented no-op default). */
+TEST(SessionFec, InterleaveDepthOneIsByteIdentical)
+{
+    const auto frames = testVideo(6);
+    SessionConfig base = fecSessionConfig(0.0, 1);
+    base.channel = ChannelSpec::clean();
+    SessionConfig depth_one = base;
+    depth_one.fec_interleave = 1;
+
+    auto a = StreamSession(makeIntraInterV1Config(), base)
+                 .run(frames);
+    auto b = StreamSession(makeIntraInterV1Config(), depth_one)
+                 .run(frames);
+    ASSERT_TRUE(a.hasValue());
+    ASSERT_TRUE(b.hasValue());
+    EXPECT_EQ(a->stats.wire_bytes, b->stats.wire_bytes);
+    EXPECT_EQ(a->stats.chunks_sent, b->stats.chunks_sent);
+    EXPECT_EQ(a->stats.parity_sent, b->stats.parity_sent);
+}
+
+/** Interleaved groups still recover on a clean channel (the
+ *  receiver is header-driven, so striping must be transparent). */
+TEST(SessionFec, InterleavedCleanChannelAllOk)
+{
+    const auto frames = testVideo(6);
+    SessionConfig session = fecSessionConfig(0.0, 1);
+    session.channel = ChannelSpec::clean();
+    session.fec_interleave = 4;
+    auto report =
+        StreamSession(makeIntraInterV1Config(), session)
+            .run(frames);
+    ASSERT_TRUE(report.hasValue());
+    EXPECT_EQ(report->stats.frames_ok, frames.size());
+    EXPECT_EQ(report->stats.retransmits, 0u);
+    EXPECT_GT(report->stats.parity_sent, 0u);
+    EXPECT_EQ(report->fec.unrecovered_groups, 0u);
+}
+
+// -----------------------------------------------------------------
 // Network-aware pipeline evaluation
 // -----------------------------------------------------------------
 

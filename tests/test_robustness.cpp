@@ -3,18 +3,108 @@
  * Failure-injection tests: randomized corruption of valid
  * bitstreams must never crash, hang or read out of bounds — every
  * decode either fails cleanly or returns a structurally valid
- * cloud.
+ * cloud. Also the resource-exhaustion contract: the public codec
+ * entry points return RESOURCE_EXHAUSTED (never throw) when an
+ * allocation fails mid-encode/decode, and degenerate inputs (empty
+ * or all-duplicate clouds) round-trip or fail cleanly.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
+#include <new>
 #include <string>
 
 #include "edgepcc/common/rng.h"
 #include "edgepcc/core/video_codec.h"
 #include "edgepcc/dataset/synthetic_human.h"
 #include "edgepcc/stream/stream_file.h"
+
+// -----------------------------------------------------------------
+// Allocation-failure injection
+//
+// Global operator new replacement with a thread-local single-shot
+// countdown: the N-th allocation on the *armed thread* throws
+// std::bad_alloc, then the hook disarms itself (so the error path —
+// Status strings and all — allocates freely). Worker threads of the
+// codec's thread pool are never armed; only the caller-thread
+// allocation stream is attacked, which is exactly the path the
+// Status-returning wrappers must cover.
+// -----------------------------------------------------------------
+
+namespace {
+/** Allocations left before the injected failure; -1 = disarmed. */
+thread_local std::int64_t g_alloc_countdown = -1;
+
+struct ScopedAllocFailure {
+    explicit ScopedAllocFailure(std::int64_t after)
+    {
+        g_alloc_countdown = after;
+    }
+    ~ScopedAllocFailure() { g_alloc_countdown = -1; }
+    /** True when the injected failure actually fired. */
+    bool
+    fired() const
+    {
+        return g_alloc_countdown == -1;
+    }
+};
+
+void *
+countdownAlloc(std::size_t size)
+{
+    if (g_alloc_countdown >= 0) {
+        if (g_alloc_countdown == 0) {
+            g_alloc_countdown = -1;  // single shot, then disarm
+            throw std::bad_alloc();
+        }
+        --g_alloc_countdown;
+    }
+    if (size == 0)
+        size = 1;
+    void *ptr = std::malloc(size);
+    if (ptr == nullptr)
+        throw std::bad_alloc();
+    return ptr;
+}
+}  // namespace
+
+void *
+operator new(std::size_t size)
+{
+    return countdownAlloc(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return countdownAlloc(size);
+}
+
+void
+operator delete(void *ptr) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete(void *ptr, std::size_t) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr, std::size_t) noexcept
+{
+    std::free(ptr);
+}
 
 namespace edgepcc {
 namespace {
@@ -190,6 +280,173 @@ TEST_F(RobustnessTest, ReferenceFromDifferentVideoIsSafe)
     VideoDecoder decoder;
     ASSERT_TRUE(decoder.decode(ib->bitstream).hasValue());
     decodeMustNotMisbehave(decoder, pa->bitstream);
+}
+
+// -----------------------------------------------------------------
+// Resource exhaustion: Status, not exceptions
+// -----------------------------------------------------------------
+
+TEST_F(RobustnessTest, EncodeReturnsStatusOnAllocFailure)
+{
+    for (const CodecConfig &config : allPaperConfigs()) {
+        bool saw_exhausted = false;
+        for (const std::int64_t after :
+             {std::int64_t{0}, std::int64_t{1}, std::int64_t{7},
+              std::int64_t{40}, std::int64_t{200},
+              std::int64_t{1000}}) {
+            VideoEncoder encoder(config);
+            bool fired = false;
+            auto encoded = [&] {
+                ScopedAllocFailure arm(after);
+                auto result = encoder.encode(frames_[0]);
+                fired = arm.fired();
+                return result;
+            }();
+            if (fired) {
+                saw_exhausted = true;
+                ASSERT_FALSE(encoded.hasValue())
+                    << config.name << " after=" << after;
+                EXPECT_EQ(encoded.status().code(),
+                          StatusCode::kResourceExhausted)
+                    << config.name << " after=" << after;
+            } else {
+                EXPECT_TRUE(encoded.hasValue())
+                    << config.name << " after=" << after;
+            }
+        }
+        EXPECT_TRUE(saw_exhausted) << config.name;
+
+        // The encoder survives the failures: a fresh clean encode
+        // still succeeds on the same instance path.
+        VideoEncoder encoder(config);
+        {
+            ScopedAllocFailure arm(0);
+            (void)encoder.encode(frames_[0]);
+        }
+        EXPECT_TRUE(encoder.encode(frames_[0]).hasValue())
+            << config.name;
+    }
+}
+
+TEST_F(RobustnessTest, DecodeReturnsStatusOnAllocFailure)
+{
+    VideoEncoder encoder(makeIntraInterV1Config());
+    auto i_frame = encoder.encode(frames_[0]);
+    auto p_frame = encoder.encode(frames_[1]);
+    ASSERT_TRUE(i_frame.hasValue());
+    ASSERT_TRUE(p_frame.hasValue());
+
+    bool saw_exhausted = false;
+    for (const std::int64_t after :
+         {std::int64_t{0}, std::int64_t{1}, std::int64_t{7},
+          std::int64_t{40}, std::int64_t{200},
+          std::int64_t{1000}}) {
+        VideoDecoder decoder;
+        bool fired = false;
+        auto decoded = [&] {
+            ScopedAllocFailure arm(after);
+            auto result = decoder.decode(i_frame->bitstream);
+            fired = arm.fired();
+            return result;
+        }();
+        if (fired) {
+            saw_exhausted = true;
+            ASSERT_FALSE(decoded.hasValue()) << "after=" << after;
+            EXPECT_EQ(decoded.status().code(),
+                      StatusCode::kResourceExhausted)
+                << "after=" << after;
+            // The decoder is still usable after the failure.
+            EXPECT_TRUE(
+                decoder.decode(i_frame->bitstream).hasValue());
+        } else {
+            EXPECT_TRUE(decoded.hasValue()) << "after=" << after;
+        }
+    }
+    EXPECT_TRUE(saw_exhausted);
+}
+
+TEST_F(RobustnessTest, DecodePromotedReturnsStatusOnAllocFailure)
+{
+    VideoEncoder encoder(makeIntraInterV1Config());
+    auto i_frame = encoder.encode(frames_[0]);
+    auto p_frame = encoder.encode(frames_[1]);
+    ASSERT_TRUE(i_frame.hasValue());
+    ASSERT_TRUE(p_frame.hasValue());
+
+    bool saw_exhausted = false;
+    for (const std::int64_t after :
+         {std::int64_t{0}, std::int64_t{7}, std::int64_t{40},
+          std::int64_t{200}, std::int64_t{1000}}) {
+        VideoDecoder decoder;  // no reference: promoted path
+        bool fired = false;
+        bool concealed = false;
+        auto promoted = [&] {
+            ScopedAllocFailure arm(after);
+            auto result = decoder.decodePromoted(
+                p_frame->bitstream, &frames_[0], &concealed);
+            fired = arm.fired();
+            return result;
+        }();
+        if (fired) {
+            saw_exhausted = true;
+            ASSERT_FALSE(promoted.hasValue()) << "after=" << after;
+            EXPECT_EQ(promoted.status().code(),
+                      StatusCode::kResourceExhausted)
+                << "after=" << after;
+        } else {
+            EXPECT_TRUE(promoted.hasValue()) << "after=" << after;
+        }
+    }
+    EXPECT_TRUE(saw_exhausted);
+}
+
+// -----------------------------------------------------------------
+// Degenerate inputs
+// -----------------------------------------------------------------
+
+TEST_F(RobustnessTest, EmptyCloudReturnsCleanlyEverywhere)
+{
+    const VoxelCloud empty(frames_[0].gridBits());
+    for (const CodecConfig &config : allPaperConfigs()) {
+        VideoEncoder encoder(config);
+        auto encoded = encoder.encode(empty);
+        if (!encoded.hasValue()) {
+            // A clean rejection is acceptable — but it must be a
+            // Status, which reaching this line proves.
+            continue;
+        }
+        VideoDecoder decoder;
+        auto decoded = decoder.decode(encoded->bitstream);
+        if (decoded.hasValue()) {
+            EXPECT_TRUE(decoded->cloud.checkInvariants())
+                << config.name;
+            EXPECT_EQ(decoded->cloud.size(), 0u) << config.name;
+        }
+    }
+}
+
+TEST_F(RobustnessTest, AllDuplicatePointsRoundTrip)
+{
+    // 64 copies of one voxel: the degenerate cloud every dedup,
+    // segmentation and block-match path must survive.
+    VoxelCloud dupes(frames_[0].gridBits());
+    for (int i = 0; i < 64; ++i)
+        dupes.add(100, 200, 50, 10, 20, 30);
+
+    for (const CodecConfig &config : allPaperConfigs()) {
+        VideoEncoder encoder(config);
+        auto encoded = encoder.encode(dupes);
+        ASSERT_TRUE(encoded.hasValue()) << config.name;
+        VideoDecoder decoder;
+        auto decoded = decoder.decode(encoded->bitstream);
+        ASSERT_TRUE(decoded.hasValue()) << config.name;
+        EXPECT_TRUE(decoded->cloud.checkInvariants())
+            << config.name;
+        ASSERT_EQ(decoded->cloud.size(), 1u) << config.name;
+        EXPECT_EQ(decoded->cloud.x()[0], 100) << config.name;
+        EXPECT_EQ(decoded->cloud.y()[0], 200) << config.name;
+        EXPECT_EQ(decoded->cloud.z()[0], 50) << config.name;
+    }
 }
 
 #ifdef EDGEPCC_CLI_BINARY

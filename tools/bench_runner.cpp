@@ -16,6 +16,7 @@
  *                [--out FILE] [--trace FILE] [--measure-overhead]
  *                [--loss R] [--channel-seed N]
  *                [--network wifi|lte|5g] [--mtu N] [--fec-group K]
+ *                [--deadline-ms MS] [--load-spec SPEC]
  *
  * With --loss R the same workload additionally runs through the
  * loss-resilient StreamSession over a ChannelSpec::lossy(R) channel
@@ -27,6 +28,13 @@
  * NACK/retransmission and once with XOR-parity FEC enabled, over a
  * channel derived from the selected --network profile at the given
  * loss rate.
+ *
+ * With --deadline-ms MS the workload additionally runs through the
+ * deadline-aware overload ladder (stream/overload_controller.h)
+ * under the synthetic load of --load-spec, and an "overload" JSON
+ * section (rung occupancy, deadline-miss rate, modelled encode
+ * latency percentiles incl. p99) is added. Fully deterministic:
+ * the ladder walks modelled Jetson seconds, not host time.
  */
 
 #include <cinttypes>
@@ -47,6 +55,7 @@
 #include "edgepcc/metrics/quality.h"
 #include "edgepcc/parallel/thread_pool.h"
 #include "edgepcc/platform/device_model.h"
+#include "edgepcc/stream/overload_controller.h"
 #include "edgepcc/stream/pipeline.h"
 #include "edgepcc/stream/stream_session.h"
 
@@ -211,6 +220,51 @@ runResilience(const std::vector<VoxelCloud> &frames,
     return metrics;
 }
 
+/** Deadline-ladder results (present only with --deadline-ms). */
+struct OverloadBenchMetrics {
+    bool enabled = false;
+    double deadline_ms = 0.0;
+    std::string load_spec;
+    OverloadStats stats;
+    /** Modelled encode latency of non-dropped frames. */
+    PercentileStats encode_latency;
+};
+
+/**
+ * Runs the workload through the overload-armed session on a clean
+ * channel: the only stressor is the injected LoadSpec, so the rung
+ * walk and miss rate are deterministic and comparable across runs.
+ */
+Expected<OverloadBenchMetrics>
+runOverload(const std::vector<VoxelCloud> &frames,
+            const CodecConfig &config, double deadline_ms,
+            const std::string &load_spec)
+{
+    auto load = LoadSpec::parse(load_spec);
+    if (!load)
+        return load.status();
+
+    SessionConfig session;
+    session.adaptive_gop = false;  // isolate the deadline ladder
+    session.overload.enabled = true;
+    session.overload.deadline_s = deadline_ms * 1e-3;
+    session.overload.load = *load;
+
+    StreamSession stream(config, session);
+    auto report = stream.run(frames);
+    if (!report)
+        return report.status();
+
+    OverloadBenchMetrics metrics;
+    metrics.enabled = true;
+    metrics.deadline_ms = deadline_ms;
+    metrics.load_spec = load_spec;
+    metrics.stats = report->overload;
+    metrics.encode_latency =
+        computePercentiles(report->overload.encode_latency_s);
+    return metrics;
+}
+
 Expected<RunMetrics>
 runWorkload(const std::vector<VoxelCloud> &frames,
             const CodecConfig &config, const EdgeDeviceModel &model,
@@ -286,9 +340,9 @@ writeStats(std::FILE *out, const char *key,
 {
     std::fprintf(out,
                  "    \"%s\": {\"mean\": %.9g, \"p50\": %.9g, "
-                 "\"p95\": %.9g, \"max\": %.9g}%s\n",
-                 key, stats.mean, stats.p50, stats.p95, stats.max,
-                 trailer);
+                 "\"p95\": %.9g, \"p99\": %.9g, \"max\": %.9g}%s\n",
+                 key, stats.mean, stats.p50, stats.p95, stats.p99,
+                 stats.max, trailer);
 }
 
 int
@@ -296,7 +350,8 @@ writeResults(const std::string &path, const CodecConfig &config,
              const VideoSpec &spec, int frames, std::size_t threads,
              const RunMetrics &metrics, double overhead_fraction,
              std::size_t trace_events,
-             const ResilienceMetrics &resilience)
+             const ResilienceMetrics &resilience,
+             const OverloadBenchMetrics &overload)
 {
     std::FILE *out = std::fopen(path.c_str(), "w");
     if (out == nullptr) {
@@ -483,6 +538,43 @@ writeResults(const std::string &path, const CodecConfig &config,
                 out, "    \"concealed_attr_psnr_db\": null\n");
         std::fprintf(out, "  },\n");
     }
+    if (overload.enabled) {
+        const OverloadStats &s = overload.stats;
+        std::fprintf(out, "  \"overload\": {\n");
+        std::fprintf(out, "    \"deadline_ms\": %.9g,\n",
+                     overload.deadline_ms);
+        std::fprintf(out, "    \"load_spec\": \"%s\",\n",
+                     overload.load_spec.c_str());
+        std::fprintf(out, "    \"frames\": %zu,\n", s.frames);
+        std::fprintf(out, "    \"deadline_misses\": %zu,\n",
+                     s.deadline_misses);
+        std::fprintf(out, "    \"deadline_miss_rate\": %.9g,\n",
+                     s.deadlineMissRate());
+        std::fprintf(out,
+                     "    \"max_consecutive_misses\": %zu,\n",
+                     s.max_consecutive_misses);
+        std::fprintf(out, "    \"watchdog_stalls\": %zu,\n",
+                     s.watchdog_stalls);
+        std::fprintf(out, "    \"queue_drops\": %zu,\n",
+                     s.queue_drops);
+        std::fprintf(out, "    \"frames_skipped\": %zu,\n",
+                     s.frames_skipped);
+        std::fprintf(out, "    \"alloc_failures\": %zu,\n",
+                     s.alloc_failures);
+        std::fprintf(out, "    \"rung_transitions\": %zu,\n",
+                     s.rung_transitions);
+        std::fprintf(out, "    \"rung_occupancy\": {");
+        for (int r = 0; r < kOverloadRungCount; ++r)
+            std::fprintf(
+                out, "\"%s\": %zu%s",
+                overloadRungName(static_cast<OverloadRung>(r)),
+                s.rung_occupancy[r],
+                r + 1 < kOverloadRungCount ? ", " : "");
+        std::fprintf(out, "},\n");
+        writeStats(out, "encode_latency_s",
+                   overload.encode_latency, "");
+        std::fprintf(out, "  },\n");
+    }
     std::fprintf(out, "  \"trace\": {\n");
     std::fprintf(out, "    \"events\": %zu,\n", trace_events);
     // NaN = measurement failed; slightly negative values are real
@@ -541,7 +633,8 @@ usage()
         "                    [--trace FILE] [--measure-overhead]\n"
         "                    [--loss R] [--channel-seed N]\n"
         "                    [--network wifi|lte|5g] [--mtu N]\n"
-        "                    [--fec-group K]\n"
+        "                    [--fec-group K] [--deadline-ms MS]\n"
+        "                    [--load-spec SPEC]\n"
         "\n"
         "  --loss R          run the loss-resilient session at\n"
         "                    chunk-loss rate R and add a\n"
@@ -554,7 +647,14 @@ usage()
         "                    chunks in the modes comparison\n"
         "                    (default 1200)\n"
         "  --fec-group K     XOR-parity group size: 1 parity chunk\n"
-        "                    per K data chunks (default 4)\n");
+        "                    per K data chunks (default 4)\n"
+        "  --deadline-ms MS  run the deadline-aware overload ladder\n"
+        "                    with a per-frame encode budget of MS\n"
+        "                    milliseconds and add an \"overload\"\n"
+        "                    JSON section\n"
+        "  --load-spec SPEC  synthetic load for the overload run: a\n"
+        "                    preset (none|burst2x|stall-geometry) or\n"
+        "                    key=value pairs (default none)\n");
     return 2;
 }
 
@@ -576,6 +676,8 @@ main(int argc, char **argv)
     std::string network_name = "wifi";
     std::size_t mtu_payload = 1200;
     int fec_group = 4;
+    double deadline_ms = -1.0;
+    std::string load_spec = "none";
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -645,6 +747,16 @@ main(int argc, char **argv)
             if (!v)
                 return usage();
             fec_group = std::atoi(v);
+        } else if (arg == "--deadline-ms") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            deadline_ms = std::atof(v);
+        } else if (arg == "--load-spec") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            load_spec = v;
         } else {
             return usage();
         }
@@ -658,6 +770,26 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "bench_runner: --fec-group must be >= 1\n");
         return 2;
+    }
+    if (deadline_ms != -1.0 && deadline_ms <= 0.0) {
+        std::fprintf(stderr,
+                     "bench_runner: --deadline-ms must be > 0\n");
+        return 2;
+    }
+    if (load_spec != "none" && deadline_ms < 0.0) {
+        std::fprintf(stderr,
+                     "bench_runner: --load-spec requires "
+                     "--deadline-ms\n");
+        return 2;
+    }
+    if (deadline_ms > 0.0) {
+        // Reject a malformed spec before the bench runs, not after.
+        auto parsed = LoadSpec::parse(load_spec);
+        if (!parsed) {
+            std::fprintf(stderr, "bench_runner: %s\n",
+                         parsed.status().message().c_str());
+            return 2;
+        }
     }
     bool network_ok = false;
     NetworkSpec network = networkByName(network_name, &network_ok);
@@ -844,10 +976,31 @@ main(int argc, char **argv)
                 100.0);
     }
 
+    OverloadBenchMetrics overload;
+    if (deadline_ms > 0.0) {
+        auto run = runOverload(cloud_frames, config, deadline_ms,
+                               load_spec);
+        if (!run) {
+            std::fprintf(stderr, "bench_runner: %s\n",
+                         run.status().message().c_str());
+            return 1;
+        }
+        overload = *run;
+        const OverloadStats &s = overload.stats;
+        std::fprintf(
+            stderr,
+            "overload at %.3g ms deadline (%s): miss rate %.3g "
+            "(max %zu consecutive), %zu queue drops, %zu skipped, "
+            "encode p99 %.2f ms\n",
+            deadline_ms, load_spec.c_str(), s.deadlineMissRate(),
+            s.max_consecutive_misses, s.queue_drops,
+            s.frames_skipped, overload.encode_latency.p99 * 1e3);
+    }
+
     const int rc = writeResults(out_path, config, spec, frames,
                                 worker_count, *metrics,
                                 overhead_fraction, trace_events,
-                                resilience);
+                                resilience, overload);
     if (rc == 0)
         std::fprintf(stderr, "wrote %s (%d frames, config %s)\n",
                      out_path.c_str(), frames,

@@ -23,6 +23,11 @@ import sys
 
 SCHEMA = "edgepcc-bench-v1"
 
+# Deadline-miss rate is gated on an absolute increase (a baseline
+# rate of 0 has no meaningful relative change): more than 5 points
+# of extra misses under the same load spec is a regression.
+MISS_RATE_TOL = 0.05
+
 
 def load(path):
     try:
@@ -150,6 +155,37 @@ def compare(old, new, latency_tol, ratio_tol, check_host):
             new_modes[mode]["recovery_s_mean"],
         )
 
+    # Overload ladder (--deadline-ms runs): modelled p99 encode
+    # latency under injected load, plus the deadline-miss rate.
+    # Present only when both runs used --deadline-ms; a section in
+    # just one run is reported but not gated.
+    old_ol = old.get("overload", {})
+    new_ol = new.get("overload", {})
+    if old_ol and new_ol:
+        check_latency(
+            "overload encode p99",
+            old_ol["encode_latency_s"]["p99"],
+            new_ol["encode_latency_s"]["p99"],
+        )
+        old_rate = old_ol["deadline_miss_rate"]
+        new_rate = new_ol["deadline_miss_rate"]
+        delta = new_rate - old_rate
+        mark = ""
+        if delta > MISS_RATE_TOL:
+            mark = "  << REGRESSION"
+            regressions.append(
+                f"overload deadline_miss_rate: {old_rate:.4g} -> "
+                f"{new_rate:.4g} (+{delta:.4g} absolute, tol "
+                f"{MISS_RATE_TOL:.2g})"
+            )
+        lines.append(
+            f"  {'overload deadline_miss_rate':<34} "
+            f"{old_rate:>12.6g} {new_rate:>12.6g} "
+            f"{delta:>+8.4f} {mark}"
+        )
+    elif new_ol:
+        lines.append("  overload: new (no baseline)")
+
     return regressions, lines
 
 
@@ -181,6 +217,10 @@ def self_test():
                     "recovery_s_mean": 0.0009,
                 },
             },
+        },
+        "overload": {
+            "deadline_miss_rate": 0.10,
+            "encode_latency_s": {"p99": 0.0042},
         },
     }
     identical, _ = compare(base, base, 0.10, 0.02, True)
@@ -225,6 +265,26 @@ def self_test():
     assert not found, "runs without --loss must still compare"
     found, _ = compare(no_resilience, base, 0.10, 0.02, False)
     assert not found, "new modes without a baseline are not gated"
+
+    missier = copy.deepcopy(base)
+    missier["overload"]["deadline_miss_rate"] = 0.20
+    found, _ = compare(base, missier, 0.10, 0.02, False)
+    assert found, "+10pt deadline-miss rate must be flagged"
+
+    slightly_missier = copy.deepcopy(base)
+    slightly_missier["overload"]["deadline_miss_rate"] = 0.13
+    found, _ = compare(base, slightly_missier, 0.10, 0.02, False)
+    assert not found, "+3pt miss rate is within the 5pt tolerance"
+
+    p99_slow = copy.deepcopy(base)
+    p99_slow["overload"]["encode_latency_s"]["p99"] *= 1.20
+    found, _ = compare(base, p99_slow, 0.10, 0.02, False)
+    assert found, "20% overload p99 slowdown must be flagged"
+
+    no_overload = copy.deepcopy(base)
+    del no_overload["overload"]
+    found, _ = compare(no_overload, base, 0.10, 0.02, False)
+    assert not found, "overload without a baseline is not gated"
 
     print("compare_bench self-test: PASS")
     return 0
