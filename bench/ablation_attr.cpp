@@ -25,10 +25,10 @@ main()
     const VideoSpec spec =
         makeVideoSpec(paperCatalogue()[0], scale);  // Redandblack
 
-    std::printf("Ablation: attribute codec family "
+    (void)std::printf("Ablation: attribute codec family "
                 "(video=%s, scale=%.2f)\n\n",
                 spec.name.c_str(), scale);
-    std::printf("%-26s %12s %12s %12s\n", "Attribute codec",
+    (void)std::printf("%-26s %12s %12s %12s\n", "Attribute codec",
                 "attr [ms]", "attr [MB]", "aPSNR [dB]");
     bench::printRule(68);
 
@@ -48,13 +48,13 @@ main()
     for (const CodecConfig &config : {raht, predicting, segment}) {
         const bench::VideoRunResult r =
             bench::runVideo(spec, config, 1, model);
-        std::printf("%-26s %12.1f %12.4f %12.1f\n",
+        (void)std::printf("%-26s %12.1f %12.4f %12.1f\n",
                     config.name.c_str(),
                     r.enc_attr_model_s * 1e3, r.attr_mb,
                     r.attr_psnr_db);
     }
     bench::printRule(68);
-    std::printf("\nExpected shape: the sequential transforms "
+    (void)std::printf("\nExpected shape: the sequential transforms "
                 "(RAHT / Predicting) compress the\nattributes "
                 "hardest; the proposed data-parallel segment codec "
                 "trades a larger\nstream for a ~49x attribute "

@@ -25,10 +25,10 @@ main()
     const std::size_t points =
         bench::framesFor(spec, 1)[0].size();
 
-    std::printf("Ablation: intra segment count "
+    (void)std::printf("Ablation: intra segment count "
                 "(video=%s, points=%zu)\n\n",
                 spec.name.c_str(), points);
-    std::printf("%12s %12s %12s %14s %12s\n", "segments",
+    (void)std::printf("%12s %12s %12s %14s %12s\n", "segments",
                 "pts/block", "attr [MB]", "attr [ms]",
                 "aPSNR [dB]");
     bench::printRule(68);
@@ -41,13 +41,13 @@ main()
             static_cast<double>(points) / per_block);
         const bench::VideoRunResult r =
             bench::runVideo(spec, config, 1, model);
-        std::printf("%12u %12.0f %12.4f %14.1f %12.1f\n",
+        (void)std::printf("%12u %12.0f %12.4f %14.1f %12.1f\n",
                     config.segment.num_segments, per_block,
                     r.attr_mb, r.enc_attr_model_s * 1e3,
                     r.attr_psnr_db);
     }
     bench::printRule(68);
-    std::printf("\nPaper design point: 30000 blocks per ~727k-pt "
+    (void)std::printf("\nPaper design point: 30000 blocks per ~727k-pt "
                 "frame (~24 pts/block) balances\ncompressed size "
                 "against quality (Sec. VI-B fn. 7).\n");
     return 0;

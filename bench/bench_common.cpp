@@ -64,7 +64,7 @@ runVideo(const VideoSpec &spec, const CodecConfig &config,
         auto encoded = encoder.encode(frame);
         const double enc_host = enc_timer.seconds();
         if (!encoded) {
-            std::fprintf(stderr, "encode failed (%s/%s): %s\n",
+            (void)std::fprintf(stderr, "encode failed (%s/%s): %s\n",
                          spec.name.c_str(), config.name.c_str(),
                          encoded.status().toString().c_str());
             return result;
@@ -74,7 +74,7 @@ runVideo(const VideoSpec &spec, const CodecConfig &config,
         auto decoded = decoder.decode(encoded->bitstream);
         const double dec_host = dec_timer.seconds();
         if (!decoded) {
-            std::fprintf(stderr, "decode failed (%s/%s): %s\n",
+            (void)std::fprintf(stderr, "decode failed (%s/%s): %s\n",
                          spec.name.c_str(), config.name.c_str(),
                          decoded.status().toString().c_str());
             return result;

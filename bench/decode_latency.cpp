@@ -20,21 +20,21 @@ main()
     const VideoSpec spec =
         makeVideoSpec(paperCatalogue()[0], scale);  // Redandblack
 
-    std::printf("Decode latency per frame "
+    (void)std::printf("Decode latency per frame "
                 "(video=%s, scale=%.2f)\n\n",
                 spec.name.c_str(), scale);
-    std::printf("%-15s %14s %14s %16s\n", "Design",
+    (void)std::printf("%-15s %14s %14s %16s\n", "Design",
                 "decode [ms]", "host [ms]", "encode [ms]");
     bench::printRule(64);
     for (const CodecConfig &config : allPaperConfigs()) {
         const bench::VideoRunResult r =
             bench::runVideo(spec, config, frames, model);
-        std::printf("%-15s %14.1f %14.1f %16.1f\n",
+        (void)std::printf("%-15s %14.1f %14.1f %16.1f\n",
                     r.config.c_str(), r.dec_model_s * 1e3,
                     r.dec_host_s * 1e3, r.enc_model_s * 1e3);
     }
     bench::printRule(64);
-    std::printf("\nPaper anchor: ~70 ms/frame decode for the "
+    (void)std::printf("\nPaper anchor: ~70 ms/frame decode for the "
                 "proposed stream at full scale\n(Redandblack), "
                 "i.e. decode is faster than encode and supports "
                 "~10 FPS\nend-to-end.\n");

@@ -29,18 +29,18 @@ main()
     // Motivation numbers (paper Sec. II-A).
     const double raw_bits =
         static_cast<double>(cloud_frames[0].rawBytes()) * 8.0;
-    std::printf("End-to-end pipeline (video=%s, scale=%.2f, "
+    (void)std::printf("End-to-end pipeline (video=%s, scale=%.2f, "
                 "network=%s)\n",
                 spec.name.c_str(), scale,
                 pipe.network.name.c_str());
-    std::printf("raw frame: %.1f Mbit -> %.0f ms on this link "
+    (void)std::printf("raw frame: %.1f Mbit -> %.0f ms on this link "
                 "(30 fps needs <33 ms)\n\n",
                 raw_bits / 1e6,
                 pipe.network.transferSeconds(
                     cloud_frames[0].rawBytes()) *
                     1e3);
 
-    std::printf("%-15s %9s %9s %9s %9s %10s %8s\n", "Design",
+    (void)std::printf("%-15s %9s %9s %9s %9s %10s %8s\n", "Design",
                 "enc[ms]", "tx[ms]", "dec[ms]", "e2e[ms]",
                 "Mbit/s@30", "FPS");
     bench::printRule(78);
@@ -48,7 +48,7 @@ main()
         auto report =
             evaluatePipeline(cloud_frames, config, pipe);
         if (!report) {
-            std::fprintf(stderr, "%s failed: %s\n",
+            (void)std::fprintf(stderr, "%s failed: %s\n",
                          config.name.c_str(),
                          report.status().toString().c_str());
             continue;
@@ -61,7 +61,7 @@ main()
         }
         const double inv =
             1.0 / static_cast<double>(report->frames.size());
-        std::printf("%-15s %9.1f %9.1f %9.1f %9.1f %10.2f %8.2f\n",
+        (void)std::printf("%-15s %9.1f %9.1f %9.1f %9.1f %10.2f %8.2f\n",
                     config.name.c_str(), enc * inv * 1e3,
                     tx * inv * 1e3, dec * inv * 1e3,
                     report->meanTotalSeconds() * 1e3,
@@ -69,7 +69,7 @@ main()
                     report->pipelinedFps());
     }
     bench::printRule(78);
-    std::printf("\nPaper anchors at full scale: proposed decode "
+    (void)std::printf("\nPaper anchors at full scale: proposed decode "
                 "~70 ms -> ~10 FPS end-to-end;\nbaselines need "
                 "seconds per frame. Encode latency is the "
                 "bottleneck stage for\nevery design.\n");

@@ -22,11 +22,11 @@ main()
     const VideoSpec spec =
         makeVideoSpec(paperCatalogue()[0], scale);  // Redandblack
 
-    std::printf("Fig. 10b: PSNR vs compression ratio as the "
+    (void)std::printf("Fig. 10b: PSNR vs compression ratio as the "
                 "direct-reuse fraction grows\n");
-    std::printf("video=%s scale=%.2f frames=%d\n\n",
+    (void)std::printf("video=%s scale=%.2f frames=%d\n\n",
                 spec.name.c_str(), scale, frames);
-    std::printf("%12s %12s %14s %12s %12s\n",
+    (void)std::printf("%12s %12s %14s %12s %12s\n",
                 "threshold", "reuse [%]", "ratio (raw/out)",
                 "aPSNR [dB]", "enc [ms]");
     bench::printRule(68);
@@ -41,7 +41,7 @@ main()
         config.block_match.reuse_threshold = threshold;
         const bench::VideoRunResult r =
             bench::runVideo(spec, config, frames, model);
-        std::printf("%12.0f %12.1f %14.2f %12.1f %12.1f\n",
+        (void)std::printf("%12.0f %12.1f %14.2f %12.1f %12.1f\n",
                     threshold, 100.0 * r.reuse_fraction,
                     r.compressionRatio(), r.attr_psnr_db,
                     r.enc_model_s * 1e3);
@@ -49,7 +49,7 @@ main()
     }
     (void)last_ratio;
     bench::printRule(68);
-    std::printf("\nExpected shape (paper): compression ratio "
+    (void)std::printf("\nExpected shape (paper): compression ratio "
                 "rises and PSNR falls as the reuse\nfraction "
                 "grows (31%% -> 83%% reuse, PSNR down to ~38 "
                 "dB).\n");

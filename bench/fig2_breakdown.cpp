@@ -28,37 +28,37 @@ main()
     VideoEncoder encoder(makeTmc13LikeConfig());
     auto encoded = encoder.encode(frame);
     if (!encoded) {
-        std::fprintf(stderr, "encode failed: %s\n",
+        (void)std::fprintf(stderr, "encode failed: %s\n",
                      encoded.status().toString().c_str());
         return 1;
     }
     const PipelineTiming timing = model.evaluate(encoded->profile);
 
-    std::printf("Fig. 2: latency breakdown of the prior PCC "
+    (void)std::printf("Fig. 2: latency breakdown of the prior PCC "
                 "pipeline (TMC13-like)\n");
-    std::printf("video=%s  points=%zu  scale=%.2f  device=%s\n\n",
+    (void)std::printf("video=%s  points=%zu  scale=%.2f  device=%s\n\n",
                 spec.name.c_str(), frame.size(), scale,
                 model.spec().name.c_str());
     bench::printRule(74);
-    std::printf("%-28s %14s %14s\n", "Stage", "model [ms]",
+    (void)std::printf("%-28s %14s %14s\n", "Stage", "model [ms]",
                 "host [ms]");
     bench::printRule(74);
     for (const StageTiming &stage : timing.stages) {
-        std::printf("%-28s %14.1f %14.1f\n", stage.name.c_str(),
+        (void)std::printf("%-28s %14.1f %14.1f\n", stage.name.c_str(),
                     stage.model_seconds * 1e3,
                     stage.host_seconds * 1e3);
     }
     bench::printRule(74);
-    std::printf("%-28s %14.1f %14.1f\n", "total",
+    (void)std::printf("%-28s %14.1f %14.1f\n", "total",
                 timing.modelSeconds() * 1e3,
                 timing.hostSeconds() * 1e3);
-    std::printf("%-28s %14.1f\n", "geometry subtotal",
+    (void)std::printf("%-28s %14.1f\n", "geometry subtotal",
                 timing.modelSecondsWithPrefix("geom.") * 1e3);
-    std::printf("%-28s %14.1f\n", "attribute subtotal",
+    (void)std::printf("%-28s %14.1f\n", "attribute subtotal",
                 (timing.modelSeconds() -
                  timing.modelSecondsWithPrefix("geom.")) *
                     1e3);
-    std::printf("\nPaper anchors at full scale: octree build ~1000 "
+    (void)std::printf("\nPaper anchors at full scale: octree build ~1000 "
                 "ms, serialization ~500 ms,\nRAHT+quant+entropy "
                 "~2600 ms, total ~4100 ms. Model values scale "
                 "~linearly with\npoint count (current scale %.2f "

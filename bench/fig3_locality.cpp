@@ -65,10 +65,10 @@ blockDelta(const VoxelCloud &p, std::size_t p_lo, std::size_t p_hi,
 void
 printCdfRow(const char *label, const EmpiricalCdf &cdf)
 {
-    std::printf("%-26s", label);
+    (void)std::printf("%-26s", label);
     for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0})
-        std::printf(" %8.1f", cdf.quantile(q));
-    std::printf("\n");
+        (void)std::printf(" %8.1f", cdf.quantile(q));
+    (void)std::printf("\n");
 }
 
 }  // namespace
@@ -86,14 +86,14 @@ main()
     const MortonOrder order1 = computeMortonOrder(frames[1]);
     const VoxelCloud p_frame = applyOrder(frames[1], order1);
 
-    std::printf("Fig. 3a: CDF of per-segment attribute range "
+    (void)std::printf("Fig. 3a: CDF of per-segment attribute range "
                 "(red channel, Morton-sorted frame)\n");
-    std::printf("video=%s points=%zu\n\n", spec.name.c_str(),
+    (void)std::printf("video=%s points=%zu\n\n", spec.name.c_str(),
                 i_frame.size());
-    std::printf("%-26s", "segments \\ quantile");
+    (void)std::printf("%-26s", "segments \\ quantile");
     for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0})
-        std::printf(" %7.0f%%", q * 100);
-    std::printf("\n");
+        (void)std::printf(" %7.0f%%", q * 100);
+    (void)std::printf("\n");
     bench::printRule(82);
     for (const std::size_t segments :
          {std::size_t{10}, std::size_t{100}, std::size_t{10000},
@@ -102,21 +102,21 @@ main()
             std::min(segments, i_frame.size());
         EmpiricalCdf cdf(segmentRanges(i_frame, clamped));
         char label[64];
-        std::snprintf(label, sizeof(label), "%zu blocks",
+        (void)std::snprintf(label, sizeof(label), "%zu blocks",
                       segments);
         printCdfRow(label, cdf);
     }
-    std::printf("\nExpected shape (paper): more/finer segments "
+    (void)std::printf("\nExpected shape (paper): more/finer segments "
                 "push the CDF toward the y-axis\n(smaller "
                 "per-block delta = richer spatial locality).\n\n");
 
     // ---- Fig. 3b: temporal locality -----------------------------
-    std::printf("Fig. 3b: best/worst matched-block deltas between "
+    (void)std::printf("Fig. 3b: best/worst matched-block deltas between "
                 "I and P frames\n\n");
-    std::printf("%-26s", "partition / statistic");
+    (void)std::printf("%-26s", "partition / statistic");
     for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0})
-        std::printf(" %7.0f%%", q * 100);
-    std::printf("\n");
+        (void)std::printf(" %7.0f%%", q * 100);
+    (void)std::printf("\n");
     bench::printRule(82);
 
     for (const std::size_t blocks :
@@ -150,14 +150,14 @@ main()
             worst.push_back(worst_delta);
         }
         char label[64];
-        std::snprintf(label, sizeof(label), "%zu blocks (best)",
+        (void)std::snprintf(label, sizeof(label), "%zu blocks (best)",
                       blocks);
         printCdfRow(label, EmpiricalCdf(std::move(best)));
-        std::snprintf(label, sizeof(label), "%zu blocks (worst)",
+        (void)std::snprintf(label, sizeof(label), "%zu blocks (worst)",
                       blocks);
         printCdfRow(label, EmpiricalCdf(std::move(worst)));
     }
-    std::printf("\nExpected shape (paper): 1000-block partitions "
+    (void)std::printf("\nExpected shape (paper): 1000-block partitions "
                 "sit left of 20-block ones, and\ntheir best/worst "
                 "gap is narrower. Blocks left of a chosen x=alpha "
                 "threshold are\ndirect-reuse candidates (Sec. "

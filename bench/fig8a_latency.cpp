@@ -22,10 +22,10 @@ main()
     const int frames = bench::defaultFrames();
     const EdgeDeviceModel model;
 
-    std::printf("Fig. 8a: encode latency per frame "
+    (void)std::printf("Fig. 8a: encode latency per frame "
                 "(scale=%.2f, frames=%d, device=%s)\n\n",
                 scale, frames, model.spec().name.c_str());
-    std::printf("%-13s %-15s %11s %11s %11s %12s\n", "Video",
+    (void)std::printf("%-13s %-15s %11s %11s %11s %12s\n", "Video",
                 "Design", "geom [ms]", "attr [ms]", "total [ms]",
                 "host [ms]");
     bench::printRule(80);
@@ -38,7 +38,7 @@ main()
         for (const CodecConfig &config : allPaperConfigs()) {
             const bench::VideoRunResult r =
                 bench::runVideo(spec, config, frames, model);
-            std::printf("%-13s %-15s %11.1f %11.1f %11.1f %12.1f\n",
+            (void)std::printf("%-13s %-15s %11.1f %11.1f %11.1f %12.1f\n",
                         r.video.c_str(), r.config.c_str(),
                         r.enc_geom_model_s * 1e3,
                         r.enc_attr_model_s * 1e3,
@@ -59,16 +59,16 @@ main()
     }
 
     if (videos > 0 && intra_total > 0.0) {
-        std::printf("\nGeomean-free summary (mean over %d "
+        (void)std::printf("\nGeomean-free summary (mean over %d "
                     "videos):\n",
                     videos);
-        std::printf("  Intra-Only speedup vs TMC13 : %6.1fx "
+        (void)std::printf("  Intra-Only speedup vs TMC13 : %6.1fx "
                     "(paper: 43.7x)\n",
                     tmc13_total / intra_total);
-        std::printf("  V1 speedup vs CWIPC         : %6.1fx "
+        (void)std::printf("  V1 speedup vs CWIPC         : %6.1fx "
                     "(paper: ~34x)\n",
                     cwipc_total / v1_total);
-        std::printf("  V2 speedup vs CWIPC         : %6.1fx "
+        (void)std::printf("  V2 speedup vs CWIPC         : %6.1fx "
                     "(paper: ~35x)\n",
                     cwipc_total / v2_total);
     }

@@ -21,10 +21,10 @@ main()
     const int frames = bench::defaultFrames();
     const EdgeDeviceModel model;
 
-    std::printf("Fig. 8b: energy per frame (scale=%.2f, "
+    (void)std::printf("Fig. 8b: energy per frame (scale=%.2f, "
                 "frames=%d, device=%s)\n\n",
                 scale, frames, model.spec().name.c_str());
-    std::printf("%-13s %-15s %13s %14s\n", "Video", "Design",
+    (void)std::printf("%-13s %-15s %13s %14s\n", "Video", "Design",
                 "energy [J]", "avg power [W]");
     bench::printRule(60);
 
@@ -35,7 +35,7 @@ main()
         for (const CodecConfig &config : allPaperConfigs()) {
             const bench::VideoRunResult r =
                 bench::runVideo(spec, config, frames, model);
-            std::printf("%-13s %-15s %13.3f %14.2f\n",
+            (void)std::printf("%-13s %-15s %13.3f %14.2f\n",
                         r.video.c_str(), r.config.c_str(),
                         r.enc_energy_j,
                         r.enc_model_s > 0.0
@@ -54,15 +54,15 @@ main()
         ++videos;
     }
     if (videos > 0 && tmc13 > 0.0 && cwipc > 0.0) {
-        std::printf("\nEnergy savings (mean over %d videos):\n",
+        (void)std::printf("\nEnergy savings (mean over %d videos):\n",
                     videos);
-        std::printf("  Intra-Only vs TMC13 : %5.1f%%  (paper: "
+        (void)std::printf("  Intra-Only vs TMC13 : %5.1f%%  (paper: "
                     "96.6%%)\n",
                     100.0 * (1.0 - intra / tmc13));
-        std::printf("  V1 vs CWIPC         : %5.1f%%  (paper: "
+        (void)std::printf("  V1 vs CWIPC         : %5.1f%%  (paper: "
                     "~97%%)\n",
                     100.0 * (1.0 - v1 / cwipc));
-        std::printf("  V2 vs CWIPC         : %5.1f%%  (paper: "
+        (void)std::printf("  V2 vs CWIPC         : %5.1f%%  (paper: "
                     "~97%%)\n",
                     100.0 * (1.0 - v2 / cwipc));
     }

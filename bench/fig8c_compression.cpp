@@ -22,10 +22,10 @@ main()
     const int frames = bench::defaultFrames();
     const EdgeDeviceModel model;
 
-    std::printf("Fig. 8c: compression efficiency "
+    (void)std::printf("Fig. 8c: compression efficiency "
                 "(scale=%.2f, frames=%d)\n\n",
                 scale, frames);
-    std::printf("%-13s %-15s %10s %9s %9s %10s %10s %10s\n",
+    (void)std::printf("%-13s %-15s %10s %9s %9s %10s %10s %10s\n",
                 "Video", "Design", "size [MB]", "of raw",
                 "geom%%", "attr%%", "aPSNR dB", "gPSNR dB");
     bench::printRule(94);
@@ -38,7 +38,7 @@ main()
                 r.raw_mb > 0.0 ? r.compressed_mb / r.raw_mb : 0.0;
             const double payload =
                 r.geometry_mb + r.attr_mb;
-            std::printf(
+            (void)std::printf(
                 "%-13s %-15s %10.3f %8.1f%% %8.1f%% %9.1f%% "
                 "%10.1f %10.1f\n",
                 r.video.c_str(), r.config.c_str(),
@@ -50,7 +50,7 @@ main()
         }
         bench::printRule(94);
     }
-    std::printf("\nPaper anchors: TMC13 ~8%% of raw @55 dB | "
+    (void)std::printf("\nPaper anchors: TMC13 ~8%% of raw @55 dB | "
                 "CWIPC ~14%% @47.8 dB | Intra-Only ~17%%\n@48.5 dB "
                 "(19%%/81%% geom/attr split) | V1 ~12%% @42.4 dB | "
                 "V2 ~10%% @39.5 dB.\nCompression ratio: intra 5.95 "

@@ -27,12 +27,12 @@ main()
     VideoEncoder encoder(makeIntraInterV1Config());
     auto i_frame = encoder.encode(frames[0]);
     if (!i_frame) {
-        std::fprintf(stderr, "I-frame encode failed\n");
+        (void)std::fprintf(stderr, "I-frame encode failed\n");
         return 1;
     }
     auto p_frame = encoder.encode(frames[1]);
     if (!p_frame) {
-        std::fprintf(stderr, "P-frame encode failed\n");
+        (void)std::fprintf(stderr, "P-frame encode failed\n");
         return 1;
     }
 
@@ -65,11 +65,11 @@ main()
     for (const auto &[name, joules] : kernel_energy)
         buckets[category(name)] += joules;
 
-    std::printf("Fig. 9: energy breakdown of inter-frame "
+    (void)std::printf("Fig. 9: energy breakdown of inter-frame "
                 "attribute compression\n");
-    std::printf("video=%s (P frame), scale=%.2f, total=%.3f J\n\n",
+    (void)std::printf("video=%s (P frame), scale=%.2f, total=%.3f J\n\n",
                 spec.name.c_str(), scale, total);
-    std::printf("%-36s %10s %8s %16s\n", "Category", "energy [J]",
+    (void)std::printf("%-36s %10s %8s %16s\n", "Category", "energy [J]",
                 "share", "paper share");
     bench::printRule(76);
     const std::map<std::string, const char *> paper = {
@@ -80,14 +80,14 @@ main()
     };
     for (const auto &[name, joules] : buckets) {
         const auto it = paper.find(name);
-        std::printf("%-36s %10.4f %7.1f%% %16s\n", name.c_str(),
+        (void)std::printf("%-36s %10.4f %7.1f%% %16s\n", name.c_str(),
                     joules, 100.0 * joules / total,
                     it != paper.end() ? it->second : "-");
     }
     bench::printRule(76);
-    std::printf("\nPer-kernel detail:\n");
+    (void)std::printf("\nPer-kernel detail:\n");
     for (const auto &[name, joules] : kernel_energy) {
-        std::printf("  %-28s %10.4f J (%5.1f%%)\n", name.c_str(),
+        (void)std::printf("  %-28s %10.4f J (%5.1f%%)\n", name.c_str(),
                     joules, 100.0 * joules / total);
     }
     return 0;

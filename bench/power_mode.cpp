@@ -22,9 +22,9 @@ main()
     const EdgeDeviceModel mode15(DeviceSpec::jetsonXavier15W());
     const EdgeDeviceModel mode10(DeviceSpec::jetsonXavier10W());
 
-    std::printf("Power-mode study (video=%s, scale=%.2f)\n\n",
+    (void)std::printf("Power-mode study (video=%s, scale=%.2f)\n\n",
                 spec.name.c_str(), scale);
-    std::printf("%-15s %12s %12s %8s %12s %12s\n", "Design",
+    (void)std::printf("%-15s %12s %12s %8s %12s %12s\n", "Design",
                 "15W [ms]", "10W [ms]", "ratio", "15W [W]",
                 "10W [W]");
     bench::printRule(78);
@@ -33,7 +33,7 @@ main()
             bench::runVideo(spec, config, frames, mode15);
         const bench::VideoRunResult slow =
             bench::runVideo(spec, config, frames, mode10);
-        std::printf(
+        (void)std::printf(
             "%-15s %12.1f %12.1f %8.2f %12.2f %12.2f\n",
             config.name.c_str(), fast.enc_model_s * 1e3,
             slow.enc_model_s * 1e3,
@@ -48,7 +48,7 @@ main()
                 : 0.0);
     }
     bench::printRule(78);
-    std::printf("\nPaper anchor: 10 W mode latency = 1.29x the "
+    (void)std::printf("\nPaper anchor: 10 W mode latency = 1.29x the "
                 "15 W latency; the proposal's ~4 W\naverage draw "
                 "fits a smartphone's 10 W peak discharge power.\n");
     return 0;

@@ -17,11 +17,11 @@ main()
     using namespace edgepcc;
     const double scale = bench::defaultScale();
 
-    std::printf("Table I: videos in the 8iVFB and MVUB datasets "
+    (void)std::printf("Table I: videos in the 8iVFB and MVUB datasets "
                 "(synthetic stand-ins, scale=%.2f)\n",
                 scale);
     bench::printRule(86);
-    std::printf("%-14s %8s %15s %15s %15s %8s\n", "Video",
+    (void)std::printf("%-14s %8s %15s %15s %15s %8s\n", "Video",
                 "#Frames", "#Points(paper)", "#Points(target)",
                 "#Points(built)", "family");
     bench::printRule(86);
@@ -30,14 +30,14 @@ main()
         const VideoSpec spec = makeVideoSpec(entry, scale);
         const SyntheticHumanVideo video(spec);
         const VoxelCloud frame = video.frame(0);
-        std::printf("%-14s %8d %15zu %15zu %15zu %8s\n",
+        (void)std::printf("%-14s %8d %15zu %15zu %15zu %8s\n",
                     entry.name, entry.num_frames,
                     entry.points_per_frame, spec.target_points,
                     frame.size(),
                     entry.upper_body_only ? "MVUB" : "8iVFB");
     }
     bench::printRule(86);
-    std::printf("All videos captured at 30 fps, voxelized to "
+    (void)std::printf("All videos captured at 30 fps, voxelized to "
                 "1024^3 (paper Sec. VI-A2).\n");
     return 0;
 }

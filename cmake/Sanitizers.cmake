@@ -30,6 +30,15 @@ if(EDGEPCC_SANITIZE)
         -fno-omit-frame-pointer
         -fno-sanitize-recover=all
         -g)
+    if("memory" IN_LIST EDGEPCC_SANITIZE)
+        # Best-effort MSan (see docs/STATIC_ANALYSIS.md): without an
+        # MSan-instrumented libc++ the standard library is a
+        # false-positive source, so the preset is for targeted runs,
+        # not the CI gate. Origin tracking makes those reports
+        # actionable.
+        target_compile_options(edgepcc_sanitizers INTERFACE
+            -fsanitize-memory-track-origins=2)
+    endif()
     target_link_options(edgepcc_sanitizers INTERFACE
         -fsanitize=${_edgepcc_san_flags})
     target_compile_definitions(edgepcc_sanitizers INTERFACE

@@ -40,29 +40,29 @@ main(int argc, char **argv)
         VideoEncoder encoder(config);
         auto encoded = encoder.encode(frame);
         if (!encoded) {
-            std::fprintf(stderr, "encode failed: %s\n",
+            (void)std::fprintf(stderr, "encode failed: %s\n",
                          encoded.status().toString().c_str());
             return 1;
         }
-        std::printf("=== %s (%zu points) ===\n",
+        (void)std::printf("=== %s (%zu points) ===\n",
                     config.name.c_str(), frame.size());
         for (const EdgeDeviceModel &device : devices) {
             const PipelineTiming timing =
                 device.evaluate(encoded->profile);
-            std::printf("%s: %.1f ms, %.3f J\n",
+            (void)std::printf("%s: %.1f ms, %.3f J\n",
                         device.spec().name.c_str(),
                         timing.modelSeconds() * 1e3,
                         timing.joules());
             for (const StageTiming &stage : timing.stages) {
-                std::printf("    %-22s %9.2f ms %9.4f J\n",
+                (void)std::printf("    %-22s %9.2f ms %9.4f J\n",
                             stage.name.c_str(),
                             stage.model_seconds * 1e3,
                             stage.joules);
             }
         }
-        std::printf("\n");
+        (void)std::printf("\n");
     }
-    std::printf("A smartphone budget check: the proposed design "
+    (void)std::printf("A smartphone budget check: the proposed design "
                 "draws ~4 W average on the\n15 W Xavier — below "
                 "the ~10 W peak discharge of a modern phone "
                 "(paper Sec. VI-C).\n");

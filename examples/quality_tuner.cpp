@@ -43,9 +43,9 @@ main(int argc, char **argv)
     const VoxelCloud frame2 = video.frame(2);
     const EdgeDeviceModel model;
 
-    std::printf("Quality tuner: IPP group over ~%zu points\n\n",
+    (void)std::printf("Quality tuner: IPP group over ~%zu points\n\n",
                 points);
-    std::printf("%10s %7s %10s %10s %10s %9s\n", "threshold",
+    (void)std::printf("%10s %7s %10s %10s %10s %9s\n", "threshold",
                 "qstep", "ratio", "PSNR [dB]", "enc [ms]",
                 "reuse%");
 
@@ -67,14 +67,14 @@ main(int argc, char **argv)
              {&frame0, &frame1, &frame2}) {
             auto encoded = encoder.encode(*frame);
             if (!encoded) {
-                std::fprintf(
+                (void)std::fprintf(
                     stderr, "encode failed: %s\n",
                     encoded.status().toString().c_str());
                 return 1;
             }
             auto decoded = decoder.decode(encoded->bitstream);
             if (!decoded) {
-                std::fprintf(
+                (void)std::fprintf(
                     stderr, "decode failed: %s\n",
                     decoded.status().toString().c_str());
                 return 1;
@@ -94,13 +94,13 @@ main(int argc, char **argv)
                 ++p_frames;
             }
         }
-        std::printf("%10.0f %7u %10.2f %10.1f %10.1f %8.0f%%\n",
+        (void)std::printf("%10.0f %7u %10.2f %10.1f %10.1f %8.0f%%\n",
                     point.threshold, point.quant_step,
                     raw / bytes, psnr / 3.0, enc_ms / 3.0,
                     p_frames > 0 ? 100.0 * reuse / p_frames
                                  : 0.0);
     }
-    std::printf("\nPick small thresholds/qsteps for quality "
+    (void)std::printf("\nPick small thresholds/qsteps for quality "
                 "(telemedicine) and large ones for\nbandwidth "
                 "(virtual tourism); the paper ships V1 "
                 "(threshold 300 per ~20-pt block)\nand V2 "

@@ -30,7 +30,7 @@ main(int argc, char **argv)
                  : 100000;
     SyntheticHumanVideo video(spec);
     const VoxelCloud frame = video.frame(0);
-    std::printf("input: %zu points on a %u^3 grid (%.2f MB raw)\n",
+    (void)std::printf("input: %zu points on a %u^3 grid (%.2f MB raw)\n",
                 frame.size(), frame.gridSize(),
                 static_cast<double>(frame.rawBytes()) / 1e6);
 
@@ -39,11 +39,11 @@ main(int argc, char **argv)
     VideoEncoder encoder(makeIntraOnlyConfig());
     auto encoded = encoder.encode(frame);
     if (!encoded) {
-        std::fprintf(stderr, "encode failed: %s\n",
+        (void)std::fprintf(stderr, "encode failed: %s\n",
                      encoded.status().toString().c_str());
         return 1;
     }
-    std::printf("compressed: %.3f MB (%.1fx, geometry %.3f MB + "
+    (void)std::printf("compressed: %.3f MB (%.1fx, geometry %.3f MB + "
                 "attributes %.3f MB)\n",
                 static_cast<double>(encoded->stats.total_bytes) /
                     1e6,
@@ -58,21 +58,21 @@ main(int argc, char **argv)
     VideoDecoder decoder;
     auto decoded = decoder.decode(encoded->bitstream);
     if (!decoded) {
-        std::fprintf(stderr, "decode failed: %s\n",
+        (void)std::fprintf(stderr, "decode failed: %s\n",
                      decoded.status().toString().c_str());
         return 1;
     }
     const AttrQuality attr = attributePsnr(frame, decoded->cloud);
     const GeometryQuality geom =
         geometryPsnrD1(frame, decoded->cloud);
-    std::printf("quality: attribute PSNR %.1f dB, geometry PSNR "
+    (void)std::printf("quality: attribute PSNR %.1f dB, geometry PSNR "
                 "%.1f dB\n",
                 attr.psnr, geom.psnr);
 
     // 4. What would this cost on the paper's edge board?
     const EdgeDeviceModel model;  // Jetson AGX Xavier, 15 W
     const PipelineTiming timing = model.evaluate(encoded->profile);
-    std::printf("modelled %s encode: %.1f ms (%.1f geometry + "
+    (void)std::printf("modelled %s encode: %.1f ms (%.1f geometry + "
                 "%.1f attributes), %.3f J\n",
                 model.spec().name.c_str(),
                 timing.modelSeconds() * 1e3,

@@ -36,11 +36,11 @@ main(int argc, char **argv)
     rc.gain = 0.7;
     ReuseRateController controller(rc);
 
-    std::printf("Target: %.0f kbit/frame (%.2f Mbit/s at 30 fps), "
+    (void)std::printf("Target: %.0f kbit/frame (%.2f Mbit/s at 30 fps), "
                 "%d frames of ~%zu points\n\n",
                 target_kbit, target_kbit * 30.0 / 1e3, frames,
                 spec.target_points);
-    std::printf("%5s %5s %10s %11s %10s %10s\n", "frame", "type",
+    (void)std::printf("%5s %5s %10s %11s %10s %10s\n", "frame", "type",
                 "kbit", "threshold", "reuse [%]", "PSNR [dB]");
 
     VideoDecoder decoder;
@@ -57,19 +57,19 @@ main(int argc, char **argv)
         const VoxelCloud frame = video.frame(f);
         auto encoded = encoder.encode(frame);
         if (!encoded) {
-            std::fprintf(stderr, "encode failed: %s\n",
+            (void)std::fprintf(stderr, "encode failed: %s\n",
                          encoded.status().toString().c_str());
             return 1;
         }
         auto decoded = decoder.decode(encoded->bitstream);
         if (!decoded) {
-            std::fprintf(stderr, "decode failed: %s\n",
+            (void)std::fprintf(stderr, "decode failed: %s\n",
                          decoded.status().toString().c_str());
             return 1;
         }
         controller.onFrame(encoded->stats.type,
                            encoded->stats.total_bytes);
-        std::printf(
+        (void)std::printf(
             "%5d %5s %10.0f %11.1f %10.0f %10.1f\n", f,
             encoded->stats.type == Frame::Type::kPredicted ? "P"
                                                            : "I",
@@ -79,7 +79,7 @@ main(int argc, char **argv)
             100.0 * encoded->stats.block_match.reuseFraction(),
             attributePsnr(frame, decoded->cloud).psnr);
     }
-    std::printf("\nThe controller trades PSNR for bitrate by "
+    (void)std::printf("\nThe controller trades PSNR for bitrate by "
                 "raising the reuse threshold until\nP frames fit "
                 "the budget (I frames are bounded by the intra "
                 "codec).\n");

@@ -37,10 +37,10 @@ main(int argc, char **argv)
     VideoDecoder decoder;
     const EdgeDeviceModel model;
 
-    std::printf("Streaming %d frames (~%zu pts each) with "
+    (void)std::printf("Streaming %d frames (~%zu pts each) with "
                 "Intra-Inter-V1 on %s\n\n",
                 frames, points, model.spec().name.c_str());
-    std::printf("%5s %5s %10s %10s %10s %10s %8s\n", "frame",
+    (void)std::printf("%5s %5s %10s %10s %10s %10s %8s\n", "frame",
                 "type", "kbits", "enc [ms]", "dec [ms]",
                 "PSNR [dB]", "reuse%");
     double total_bits = 0.0, total_enc = 0.0;
@@ -50,13 +50,13 @@ main(int argc, char **argv)
         const VoxelCloud frame = video.frame(f);
         auto encoded = encoder.encode(frame);
         if (!encoded) {
-            std::fprintf(stderr, "encode failed at frame %d: %s\n",
+            (void)std::fprintf(stderr, "encode failed at frame %d: %s\n",
                          f, encoded.status().toString().c_str());
             return 1;
         }
         auto decoded = decoder.decode(encoded->bitstream);
         if (!decoded) {
-            std::fprintf(stderr, "decode failed at frame %d: %s\n",
+            (void)std::fprintf(stderr, "decode failed at frame %d: %s\n",
                          f, decoded.status().toString().c_str());
             return 1;
         }
@@ -69,7 +69,7 @@ main(int argc, char **argv)
 
         const bool is_p =
             encoded->stats.type == Frame::Type::kPredicted;
-        std::printf("%5d %5s %10.0f %10.1f %10.1f %10.1f %7.0f%%\n",
+        (void)std::printf("%5d %5s %10.0f %10.1f %10.1f %10.1f %7.0f%%\n",
                     f, is_p ? "P" : "I",
                     static_cast<double>(
                         encoded->stats.total_bytes) *
@@ -86,11 +86,11 @@ main(int argc, char **argv)
             ++over_budget;
     }
 
-    std::printf("\nstream: %.2f Mbit over %d frames "
+    (void)std::printf("\nstream: %.2f Mbit over %d frames "
                 "(%.2f Mbit/s at 30 fps)\n",
                 total_bits / 1e6, frames,
                 total_bits / 1e6 / frames * 30.0);
-    std::printf("mean encode %.1f ms/frame; %d/%d frames over "
+    (void)std::printf("mean encode %.1f ms/frame; %d/%d frames over "
                 "the 100 ms real-time bar\n",
                 total_enc / frames * 1e3, over_budget, frames);
     return 0;

@@ -40,7 +40,7 @@ const char *statusCodeName(StatusCode code);
  * A default-constructed Status is OK. Statuses are cheap to copy when
  * OK (no message allocation).
  */
-class Status
+class [[nodiscard]] Status
 {
   public:
     Status() = default;
@@ -85,7 +85,7 @@ Status resourceExhausted(std::string message);
  * toolchain's standard library at C++20).
  */
 template <typename T>
-class Expected
+class [[nodiscard]] Expected
 {
   public:
     Expected(T value) : value_(std::move(value)) {}

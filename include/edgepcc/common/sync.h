@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Annotated synchronization primitives + Clang Thread Safety
+ * Analysis macros.
+ *
+ * Every locking site in EdgePCC goes through the `Mutex`/`MutexLock`/
+ * `CondVar` wrappers below so that Clang's `-Wthread-safety` analysis
+ * (enabled by the `thread-safety` CMake preset / `EDGEPCC_THREAD_SAFETY`
+ * option) can prove, at compile time, that shared state is only
+ * touched under its lock:
+ *
+ *   class Queue {
+ *     public:
+ *       void push(Item item) {
+ *           MutexLock lock(mutex_);
+ *           items_.push_back(std::move(item));   // OK: lock held
+ *       }
+ *     private:
+ *       void drainLocked() EDGEPCC_REQUIRES(mutex_);
+ *       Mutex mutex_;
+ *       std::deque<Item> items_ EDGEPCC_GUARDED_BY(mutex_);
+ *   };
+ *
+ * On non-clang compilers (and clang without the analysis) all macros
+ * expand to nothing and the wrappers compile to the underlying
+ * std::mutex / std::condition_variable_any operations.
+ *
+ * Conventions (see docs/STATIC_ANALYSIS.md for the full catalog):
+ *  - shared fields carry `EDGEPCC_GUARDED_BY(mutex_)`;
+ *  - internal helpers that assume the lock carry
+ *    `EDGEPCC_REQUIRES(mutex_)` and a `Locked` name suffix;
+ *  - public methods take `MutexLock` and never call other public
+ *    locking methods of the same object (no recursive locking);
+ *  - `EDGEPCC_NO_THREAD_SAFETY_ANALYSIS` is an escape hatch of last
+ *    resort and is banned in `parallel/`, `common/` and `stream/`.
+ */
+
+#ifndef EDGEPCC_COMMON_SYNC_H
+#define EDGEPCC_COMMON_SYNC_H
+
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------
+// Thread-safety annotation macros (no-ops outside clang).
+// ---------------------------------------------------------------
+
+#if defined(__clang__) && (!defined(SWIG))
+#define EDGEPCC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define EDGEPCC_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+/** Marks a class as a lockable capability ("mutex"). */
+#define EDGEPCC_CAPABILITY(x) EDGEPCC_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII class that acquires in its constructor and
+ *  releases in its destructor. */
+#define EDGEPCC_SCOPED_CAPABILITY \
+    EDGEPCC_THREAD_ANNOTATION(scoped_lockable)
+
+/** Field may only be read/written while holding `x`. */
+#define EDGEPCC_GUARDED_BY(x) EDGEPCC_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointee may only be dereferenced while holding `x`. */
+#define EDGEPCC_PT_GUARDED_BY(x) \
+    EDGEPCC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Lock-ordering declarations (deadlock prevention). */
+#define EDGEPCC_ACQUIRED_BEFORE(...) \
+    EDGEPCC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define EDGEPCC_ACQUIRED_AFTER(...) \
+    EDGEPCC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/** Caller must hold the capability (exclusive / shared). */
+#define EDGEPCC_REQUIRES(...) \
+    EDGEPCC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define EDGEPCC_REQUIRES_SHARED(...) \
+    EDGEPCC_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/** Function acquires the capability and does not release it. */
+#define EDGEPCC_ACQUIRE(...) \
+    EDGEPCC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define EDGEPCC_ACQUIRE_SHARED(...) \
+    EDGEPCC_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/** Function releases a held capability. */
+#define EDGEPCC_RELEASE(...) \
+    EDGEPCC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define EDGEPCC_RELEASE_SHARED(...) \
+    EDGEPCC_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/** Function acquires the capability iff it returns `b`. */
+#define EDGEPCC_TRY_ACQUIRE(...) \
+    EDGEPCC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the capability (non-reentrancy). */
+#define EDGEPCC_EXCLUDES(...) \
+    EDGEPCC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Runtime assertion that the capability is held. */
+#define EDGEPCC_ASSERT_CAPABILITY(x) \
+    EDGEPCC_THREAD_ANNOTATION(assert_capability(x))
+
+/** Function returns a reference to the capability guarding it. */
+#define EDGEPCC_RETURN_CAPABILITY(x) \
+    EDGEPCC_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: disables the analysis for one function. Banned in
+ *  parallel/, common/ and stream/ (enforced by edgepcc-lint). */
+#define EDGEPCC_NO_THREAD_SAFETY_ANALYSIS \
+    EDGEPCC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace edgepcc {
+
+/**
+ * Annotated exclusive mutex over std::mutex.
+ *
+ * Prefer `MutexLock` for scoped locking; the raw lock()/unlock()
+ * pair exists for the rare hand-over-hand pattern and for the
+ * condition-variable wait loop.
+ */
+class EDGEPCC_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void
+    lock() EDGEPCC_ACQUIRE()
+    {
+        mutex_.lock();
+    }
+
+    void
+    unlock() EDGEPCC_RELEASE()
+    {
+        mutex_.unlock();
+    }
+
+    /** @return true when the lock was acquired. */
+    bool
+    tryLock() EDGEPCC_TRY_ACQUIRE(true)
+    {
+        return mutex_.try_lock();
+    }
+
+  private:
+    friend class CondVar;
+    std::mutex mutex_;
+};
+
+/**
+ * RAII scoped lock on a Mutex (the workhorse). Analysis-visible:
+ * guarded fields are accessible for exactly the lifetime of the
+ * MutexLock.
+ */
+class EDGEPCC_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) EDGEPCC_ACQUIRE(mutex)
+        : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+
+    ~MutexLock() EDGEPCC_RELEASE() { mutex_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mutex_;
+};
+
+/**
+ * Condition variable bound to the annotated Mutex.
+ *
+ * wait() requires the mutex held (the analysis models the atomic
+ * unlock-sleep-relock as "held throughout", which is sound for
+ * guarded-field access: the caller re-checks its predicate under the
+ * lock). Use an explicit predicate loop rather than a predicate
+ * lambda — lambdas do not inherit the enclosing function's lock set:
+ *
+ *     MutexLock lock(mutex_);
+ *     while (!ready_)
+ *         cond_.wait(mutex_);
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** Atomically releases `mutex`, sleeps, reacquires. Spurious
+     *  wakeups happen: always wait in a predicate loop. */
+    void
+    wait(Mutex &mutex) EDGEPCC_REQUIRES(mutex)
+    {
+        cv_.wait(mutex.mutex_);
+    }
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    // condition_variable_any waits on any BasicLockable, so the
+    // annotated Mutex's std::mutex is used directly (no unique_lock
+    // adoption dance).
+    std::condition_variable_any cv_;
+};
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_COMMON_SYNC_H

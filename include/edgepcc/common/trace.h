@@ -21,13 +21,14 @@
 #define EDGEPCC_COMMON_TRACE_H
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "edgepcc/common/sync.h"
 #include "edgepcc/common/work_counters.h"
 
 namespace edgepcc {
@@ -89,8 +90,8 @@ class Tracer
   private:
     Tracer() = default;
 
-    mutable std::mutex mutex_;
-    std::vector<TraceEvent> events_;
+    mutable Mutex mutex_;
+    std::vector<TraceEvent> events_ EDGEPCC_GUARDED_BY(mutex_);
     std::atomic<bool> enabled_{false};
 };
 
@@ -174,6 +175,12 @@ PercentileStats computePercentiles(std::vector<double> samples);
  * Feed it one addProfile() (or addStage()) call per encoded/decoded
  * frame; modelled Jetson seconds are supplied by the caller because
  * the device model lives above this module (src/platform).
+ *
+ * Thread-safe: concurrent sessions may feed one aggregator (the
+ * multi-tenant bench does); samples interleave but per-stage
+ * accumulation is race-free. First-seen stage order then depends on
+ * the interleaving — aggregate from one thread when a stable order
+ * matters.
  */
 class StageStatsAggregator
 {
@@ -187,6 +194,19 @@ class StageStatsAggregator
         std::uint64_t total_bytes = 0;
     };
 
+    StageStatsAggregator() = default;
+
+    /** Movable so result structs can carry one by value. Locks the
+     *  source; the destination is under construction and private. */
+    StageStatsAggregator(StageStatsAggregator &&other) noexcept
+    {
+        MutexLock lock(other.mutex_);
+        stages_ = std::move(other.stages_);
+        order_ = std::move(other.order_);
+    }
+    StageStatsAggregator &
+    operator=(StageStatsAggregator &&) = delete;
+
     /** Adds one stage sample. model_s < 0 means "not modelled". */
     void addStage(const std::string &name, double host_s,
                   double model_s, std::uint64_t ops,
@@ -198,7 +218,12 @@ class StageStatsAggregator
     /** Summaries in first-seen stage order. */
     std::vector<StageSummary> summaries() const;
 
-    bool empty() const { return stages_.empty(); }
+    bool
+    empty() const
+    {
+        MutexLock lock(mutex_);
+        return stages_.empty();
+    }
 
   private:
     struct Accum {
@@ -208,8 +233,16 @@ class StageStatsAggregator
         std::uint64_t bytes = 0;
     };
 
-    std::map<std::string, Accum> stages_;
-    std::vector<std::string> order_;  ///< first-seen insertion order
+    void addStageLocked(const std::string &name, double host_s,
+                        double model_s, std::uint64_t ops,
+                        std::uint64_t bytes)
+        EDGEPCC_REQUIRES(mutex_);
+
+    mutable Mutex mutex_;
+    std::map<std::string, Accum> stages_
+        EDGEPCC_GUARDED_BY(mutex_);
+    /** First-seen insertion order. */
+    std::vector<std::string> order_ EDGEPCC_GUARDED_BY(mutex_);
 };
 
 }  // namespace edgepcc

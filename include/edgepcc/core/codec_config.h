@@ -18,7 +18,9 @@
 #ifndef EDGEPCC_CORE_CODEC_CONFIG_H
 #define EDGEPCC_CORE_CODEC_CONFIG_H
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "edgepcc/attr/predicting_transform.h"
 #include "edgepcc/attr/raht.h"

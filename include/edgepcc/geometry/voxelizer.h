@@ -6,6 +6,8 @@
 #ifndef EDGEPCC_GEOMETRY_VOXELIZER_H
 #define EDGEPCC_GEOMETRY_VOXELIZER_H
 
+#include <cstdint>
+
 #include "edgepcc/common/status.h"
 #include "edgepcc/geometry/point_cloud.h"
 

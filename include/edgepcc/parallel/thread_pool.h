@@ -13,13 +13,13 @@
 #ifndef EDGEPCC_PARALLEL_THREAD_POOL_H
 #define EDGEPCC_PARALLEL_THREAD_POOL_H
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "edgepcc/common/sync.h"
 
 namespace edgepcc {
 
@@ -84,13 +84,23 @@ class ThreadPool
   private:
     void workerLoop();
 
+    /** Pops the next task; returns false when the queue is empty. */
+    bool popTaskLocked(std::function<void()> &task)
+        EDGEPCC_REQUIRES(mutex_);
+
+    /** Marks one task finished, waking waiters at zero. */
+    void finishTask();
+
+    /** Immutable after construction (no guard needed). */
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable task_available_;
-    std::condition_variable all_done_;
-    std::size_t in_flight_ = 0;
-    bool shutting_down_ = false;
+
+    Mutex mutex_;
+    CondVar task_available_;
+    CondVar all_done_;
+    std::deque<std::function<void()>> queue_
+        EDGEPCC_GUARDED_BY(mutex_);
+    std::size_t in_flight_ EDGEPCC_GUARDED_BY(mutex_) = 0;
+    bool shutting_down_ EDGEPCC_GUARDED_BY(mutex_) = false;
 };
 
 /** RAII global-pool redirect: builds a pool of `num_threads` workers

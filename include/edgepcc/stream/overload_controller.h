@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "edgepcc/common/status.h"
+#include "edgepcc/common/sync.h"
 #include "edgepcc/core/codec_config.h"
 #include "edgepcc/platform/device_model.h"
 
@@ -230,15 +231,31 @@ struct OverloadStats {
 /**
  * The deadline ladder's state machine. Deterministic: state depends
  * only on the sequence of onFrame()/onStall() calls.
+ *
+ * Thread-safe: the fleet scheduler (ROADMAP item 1) feeds one
+ * controller from concurrent session threads; the ladder state is
+ * mutex-guarded, so each onFrame()/onStall() is an atomic
+ * transition. Ordering across threads is the caller's concern.
  */
 class OverloadController
 {
   public:
     explicit OverloadController(OverloadConfig config);
 
-    OverloadRung rung() const { return rung_; }
+    OverloadRung
+    rung() const
+    {
+        MutexLock lock(mutex_);
+        return rung_;
+    }
+    /** Immutable after construction (no lock). */
     double budgetSeconds() const { return budget_s_; }
-    double utilization() const { return ewma_utilization_; }
+    double
+    utilization() const
+    {
+        MutexLock lock(mutex_);
+        return ewma_utilization_;
+    }
 
     /**
      * Records one frame's effective encode latency. Returns the
@@ -262,13 +279,18 @@ class OverloadController
                                      const OverloadConfig &config);
 
   private:
-    OverloadEvent descend(OverloadEvent cause);
+    OverloadEvent descendLocked(OverloadEvent cause)
+        EDGEPCC_REQUIRES(mutex_);
 
+    /** config_ and budget_s_ are immutable after construction. */
     OverloadConfig config_;
     double budget_s_ = 0.0;
-    OverloadRung rung_ = OverloadRung::kFull;
-    double ewma_utilization_ = 0.0;
-    int headroom_streak_ = 0;
+
+    mutable Mutex mutex_;
+    OverloadRung rung_ EDGEPCC_GUARDED_BY(mutex_) =
+        OverloadRung::kFull;
+    double ewma_utilization_ EDGEPCC_GUARDED_BY(mutex_) = 0.0;
+    int headroom_streak_ EDGEPCC_GUARDED_BY(mutex_) = 0;
 };
 
 /**

@@ -13,6 +13,7 @@
 #ifndef EDGEPCC_STREAM_PIPELINE_H
 #define EDGEPCC_STREAM_PIPELINE_H
 
+#include <cstdint>
 #include <vector>
 
 #include "edgepcc/common/status.h"

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "edgepcc/common/sync.h"
 #include "edgepcc/geometry/point_cloud.h"
 
 namespace edgepcc {
@@ -87,6 +88,11 @@ struct AdaptiveGopConfig {
  * how many P frames one lost I frame can invalidate); a clean
  * channel grows it back toward max_gop_size for compression ratio.
  * Deterministic: state depends only on the feedback sequence.
+ *
+ * Thread-safe: the EWMA state is mutex-guarded so delivery feedback
+ * may arrive from a receiver thread while the encode loop polls
+ * gopSize(). Feedback ordering across threads is the caller's
+ * concern.
  */
 class AdaptiveGopController
 {
@@ -97,14 +103,25 @@ class AdaptiveGopController
     /** Records one frame's delivery outcome (post-retransmission). */
     void onFrameDelivery(bool delivered);
 
-    int gopSize() const { return gop_size_; }
-    double estimatedLoss() const { return ewma_loss_; }
+    int
+    gopSize() const
+    {
+        MutexLock lock(mutex_);
+        return gop_size_;
+    }
+    double
+    estimatedLoss() const
+    {
+        MutexLock lock(mutex_);
+        return ewma_loss_;
+    }
 
   private:
     AdaptiveGopConfig config_;
-    int gop_size_;
-    double ewma_loss_ = 0.0;
-    int clean_streak_ = 0;
+    mutable Mutex mutex_;
+    int gop_size_ EDGEPCC_GUARDED_BY(mutex_);
+    double ewma_loss_ EDGEPCC_GUARDED_BY(mutex_) = 0.0;
+    int clean_streak_ EDGEPCC_GUARDED_BY(mutex_) = 0;
 };
 
 /** Adaptive FEC group-size parameters. */
@@ -132,6 +149,8 @@ struct AdaptiveFecConfig {
  * parity exactly when retransmission round-trips are most likely —
  * and a clean channel grows them back. Deterministic: state depends
  * only on the (loss estimate, delivered) sequence.
+ *
+ * Thread-safe: mutex-guarded like AdaptiveGopController.
  */
 class AdaptiveFecController
 {
@@ -143,12 +162,18 @@ class AdaptiveFecController
      *  with the current smoothed loss estimate. */
     void onLossEstimate(double ewma_loss, bool delivered);
 
-    int groupSize() const { return group_size_; }
+    int
+    groupSize() const
+    {
+        MutexLock lock(mutex_);
+        return group_size_;
+    }
 
   private:
     AdaptiveFecConfig config_;
-    int group_size_;
-    int clean_streak_ = 0;
+    mutable Mutex mutex_;
+    int group_size_ EDGEPCC_GUARDED_BY(mutex_);
+    int clean_streak_ EDGEPCC_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace edgepcc

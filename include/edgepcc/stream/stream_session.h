@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "edgepcc/common/status.h"
+#include "edgepcc/common/sync.h"
 #include "edgepcc/common/work_counters.h"
 #include "edgepcc/core/video_codec.h"
 #include "edgepcc/stream/chunk_stream.h"
@@ -50,8 +51,9 @@
 
 namespace edgepcc {
 
-/** Per-frame result of the degradation ladder. */
-enum class FrameOutcome : std::uint8_t {
+/** Per-frame result of the degradation ladder. Ignoring it hides
+ *  concealed/skipped frames, so returns of this type must be read. */
+enum class [[nodiscard]] FrameOutcome : std::uint8_t {
     kOk = 0,
     kResynced = 1,
     kConcealed = 2,
@@ -147,7 +149,16 @@ struct SessionReport {
     OverloadStats overload;
 };
 
-/** Decoder-side reassembly + degradation ladder. */
+/**
+ * Decoder-side reassembly + degradation ladder.
+ *
+ * Thread-safe: ingest() may run on a network thread while the
+ * session thread polls hasFrame()/hasSlice()/missingFrames(). All
+ * reassembly state is guarded by one internal mutex (a receiver
+ * handles one stream; cross-stream parallelism uses one receiver
+ * per session). decodeAll() consumes the decoder state and is
+ * called once, but is serialized like everything else.
+ */
 class StreamReceiver
 {
   public:
@@ -180,8 +191,9 @@ class StreamReceiver
     std::vector<SessionFrame> decodeAll(
         std::uint32_t expected_frames);
 
-    /** Cumulative scan stats over every ingest() call. */
-    const WireScanStats &wireStats() const { return wire_; }
+    /** Cumulative scan stats over every ingest() call (copied out;
+     *  a reference would escape the lock). */
+    WireScanStats wireStats() const;
 
     /** FEC accounting over everything ingested so far. */
     FecStats fecStats() const;
@@ -211,14 +223,21 @@ class StreamReceiver
         std::map<std::uint8_t, ParsedChunk> data;
     };
 
-    void bufferSlice(const ParsedChunk &chunk);
-    void tryRecover(FecGroup &group);
+    void bufferSliceLocked(const ParsedChunk &chunk)
+        EDGEPCC_REQUIRES(mutex_);
+    void tryRecoverLocked(FecGroup &group)
+        EDGEPCC_REQUIRES(mutex_);
+    bool frameCompleteLocked(std::uint32_t frame_id) const
+        EDGEPCC_REQUIRES(mutex_);
 
-    std::map<std::uint32_t, SliceBuffer> by_frame_;
-    std::map<std::uint16_t, FecGroup> groups_;
-    std::size_t recovered_chunks_ = 0;
-    VideoDecoder decoder_;
-    WireScanStats wire_;
+    mutable Mutex mutex_;
+    std::map<std::uint32_t, SliceBuffer> by_frame_
+        EDGEPCC_GUARDED_BY(mutex_);
+    std::map<std::uint16_t, FecGroup> groups_
+        EDGEPCC_GUARDED_BY(mutex_);
+    std::size_t recovered_chunks_ EDGEPCC_GUARDED_BY(mutex_) = 0;
+    VideoDecoder decoder_ EDGEPCC_GUARDED_BY(mutex_);
+    WireScanStats wire_ EDGEPCC_GUARDED_BY(mutex_);
 };
 
 /** Session knobs. */

@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "edgepcc/common/trace.h"
 #include "edgepcc/entropy/bitstream.h"
 #include "edgepcc/entropy/range_coder.h"
 
@@ -139,6 +140,7 @@ encodePredicting(const VoxelCloud &sorted_cloud,
                  const PredictingConfig &config,
                  WorkRecorder *recorder)
 {
+    ScopedTrace trace("attr.pred.encode");
     const std::size_t n = sorted_cloud.size();
     if (n == 0)
         return invalidArgument("encodePredicting: empty cloud");
@@ -234,6 +236,7 @@ Status
 decodePredictingInto(const std::vector<std::uint8_t> &payload,
                      VoxelCloud &cloud, WorkRecorder *recorder)
 {
+    ScopedTrace trace("attr.pred.decode");
     const std::size_t n = cloud.size();
     if (n == 0)
         return invalidArgument("decodePredictingInto: empty cloud");

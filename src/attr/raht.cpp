@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "edgepcc/common/trace.h"
 #include "edgepcc/entropy/bitstream.h"
 #include "edgepcc/entropy/range_coder.h"
 #include "edgepcc/morton/morton.h"
@@ -90,6 +91,7 @@ Expected<std::vector<std::uint8_t>>
 encodeRaht(const VoxelCloud &sorted_cloud, const RahtConfig &config,
            WorkRecorder *recorder)
 {
+    ScopedTrace trace("attr.raht.encode");
     const std::size_t n = sorted_cloud.size();
     if (n == 0)
         return invalidArgument("encodeRaht: empty cloud");
@@ -228,6 +230,7 @@ Status
 decodeRahtInto(const std::vector<std::uint8_t> &payload,
                VoxelCloud &cloud, WorkRecorder *recorder)
 {
+    ScopedTrace trace("attr.raht.decode");
     const std::size_t n = cloud.size();
     if (n == 0)
         return invalidArgument("decodeRahtInto: empty cloud");

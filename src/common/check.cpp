@@ -23,9 +23,9 @@ checkMessage(const char *file, int line, const char *message)
 void
 dcheckFail(const char *file, int line, const char *condition)
 {
-    std::fprintf(stderr, "%s:%d: DCHECK failed: %s\n", file, line,
+    (void)std::fprintf(stderr, "%s:%d: DCHECK failed: %s\n", file, line,
                  condition);
-    std::fflush(stderr);
+    (void)std::fflush(stderr);
     std::abort();
 }
 

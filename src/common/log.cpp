@@ -2,14 +2,17 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "edgepcc/common/sync.h"
 
 namespace edgepcc {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_log_mutex;
+/** Serializes whole lines onto stderr (no field to GUARDED_BY —
+ *  the protected resource is the stream itself). */
+Mutex g_log_mutex;
 
 const char *
 levelTag(LogLevel level)
@@ -42,9 +45,9 @@ logMessage(LogLevel level, const std::string &message)
 {
     if (static_cast<int>(level) < static_cast<int>(logLevel()))
         return;
-    std::lock_guard<std::mutex> lock(g_log_mutex);
-    std::fprintf(stderr, "[edgepcc %s] %s\n", levelTag(level),
-                 message.c_str());
+    MutexLock lock(g_log_mutex);
+    (void)std::fprintf(stderr, "[edgepcc %s] %s\n", levelTag(level),
+                       message.c_str());
 }
 
 }  // namespace edgepcc

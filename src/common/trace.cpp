@@ -71,28 +71,28 @@ Tracer::record(const char *name, double start_s, double dur_s)
     event.start_s = start_s;
     event.dur_s = dur_s;
     event.tid = currentThreadId();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     events_.push_back(event);
 }
 
 std::vector<TraceEvent>
 Tracer::events() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return events_;
 }
 
 void
 Tracer::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     events_.clear();
 }
 
 std::size_t
 Tracer::eventCount() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return events_.size();
 }
 
@@ -143,9 +143,10 @@ computePercentiles(std::vector<double> samples)
 }
 
 void
-StageStatsAggregator::addStage(const std::string &name, double host_s,
-                               double model_s, std::uint64_t ops,
-                               std::uint64_t bytes)
+StageStatsAggregator::addStageLocked(const std::string &name,
+                                     double host_s, double model_s,
+                                     std::uint64_t ops,
+                                     std::uint64_t bytes)
 {
     auto it = stages_.find(name);
     if (it == stages_.end()) {
@@ -161,17 +162,30 @@ StageStatsAggregator::addStage(const std::string &name, double host_s,
 }
 
 void
+StageStatsAggregator::addStage(const std::string &name, double host_s,
+                               double model_s, std::uint64_t ops,
+                               std::uint64_t bytes)
+{
+    MutexLock lock(mutex_);
+    addStageLocked(name, host_s, model_s, ops, bytes);
+}
+
+void
 StageStatsAggregator::addProfile(const PipelineProfile &profile)
 {
+    // One lock for the whole frame so its stages land adjacently
+    // even when several sessions aggregate concurrently.
+    MutexLock lock(mutex_);
     for (const StageProfile &stage : profile.stages) {
-        addStage(stage.name, stage.host_seconds, -1.0,
-                 stage.totalOps(), stage.totalBytes());
+        addStageLocked(stage.name, stage.host_seconds, -1.0,
+                       stage.totalOps(), stage.totalBytes());
     }
 }
 
 std::vector<StageStatsAggregator::StageSummary>
 StageStatsAggregator::summaries() const
 {
+    MutexLock lock(mutex_);
     std::vector<StageSummary> out;
     out.reserve(order_.size());
     for (const std::string &name : order_) {

@@ -1,5 +1,6 @@
 #include "edgepcc/morton/morton_order.h"
 
+#include "edgepcc/common/trace.h"
 #include "edgepcc/morton/morton.h"
 #include "edgepcc/parallel/parallel_for.h"
 #include "edgepcc/parallel/radix_sort.h"
@@ -9,6 +10,7 @@ namespace edgepcc {
 MortonOrder
 computeMortonOrder(const VoxelCloud &cloud, WorkRecorder *recorder)
 {
+    ScopedTrace trace("morton.order");
     const std::size_t n = cloud.size();
     MortonOrder order;
     order.depth = cloud.gridBits();
@@ -56,6 +58,7 @@ VoxelCloud
 applyOrder(const VoxelCloud &cloud, const MortonOrder &order,
            WorkRecorder *recorder)
 {
+    ScopedTrace trace("morton.gather");
     const std::size_t n = cloud.size();
     VoxelCloud out(cloud.gridBits());
     out.resize(n);

@@ -5,6 +5,7 @@
 #include <cassert>
 
 #include "edgepcc/common/check.h"
+#include "edgepcc/common/trace.h"
 
 #include "edgepcc/entropy/bitstream.h"
 #include "edgepcc/entropy/range_coder.h"
@@ -145,6 +146,7 @@ Expected<GeometryEncoded>
 encodeGeometry(const VoxelCloud &cloud, const GeometryConfig &config,
                WorkRecorder *recorder)
 {
+    ScopedTrace trace("geometry.encode");
     if (cloud.empty())
         return invalidArgument("encodeGeometry: empty cloud");
 
@@ -577,6 +579,7 @@ Expected<VoxelCloud>
 decodeGeometry(const std::vector<std::uint8_t> &payload,
                WorkRecorder *recorder)
 {
+    ScopedTrace trace("geometry.decode");
     ScopedStage parse_stage(recorder, "geomdec.parse");
     auto header = parsePayload(payload);
     if (!header)

@@ -1,5 +1,6 @@
 #include "edgepcc/octree/sequential_builder.h"
 
+#include "edgepcc/common/trace.h"
 #include "edgepcc/morton/morton.h"
 
 namespace edgepcc {
@@ -36,6 +37,7 @@ PointerOctree::insert(std::uint16_t x, std::uint16_t y,
 PointerOctree
 buildSequentialOctree(const VoxelCloud &cloud, WorkRecorder *recorder)
 {
+    ScopedTrace trace("octree.sequential_build");
     PointerOctree tree(cloud.gridBits());
     std::uint64_t walked_total = 0;
     for (std::size_t i = 0; i < cloud.size(); ++i) {

@@ -1,6 +1,7 @@
 #include "edgepcc/parallel/thread_pool.h"
 
 #include <atomic>
+#include <utility>
 
 namespace edgepcc {
 
@@ -14,12 +15,30 @@ ThreadPool::ThreadPool(std::size_t num_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         shutting_down_ = true;
     }
-    task_available_.notify_all();
+    task_available_.notifyAll();
     for (auto &worker : workers_)
         worker.join();
+}
+
+bool
+ThreadPool::popTaskLocked(std::function<void()> &task)
+{
+    if (queue_.empty())
+        return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+}
+
+void
+ThreadPool::finishTask()
+{
+    MutexLock lock(mutex_);
+    if (--in_flight_ == 0)
+        all_done_.notifyAll();
 }
 
 void
@@ -30,11 +49,11 @@ ThreadPool::submit(std::function<void()> task)
         return;
     }
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         queue_.push_back(std::move(task));
         ++in_flight_;
     }
-    task_available_.notify_one();
+    task_available_.notifyOne();
 }
 
 void
@@ -42,26 +61,20 @@ ThreadPool::wait()
 {
     if (workers_.empty())
         return;
-    std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-        if (!queue_.empty()) {
+        std::function<void()> task;
+        {
+            MutexLock lock(mutex_);
             // Help drain instead of sleeping: the waiter often
             // submitted this work and owns the captures it uses.
-            std::function<void()> task =
-                std::move(queue_.front());
-            queue_.pop_front();
-            lock.unlock();
-            task();
-            lock.lock();
-            if (--in_flight_ == 0)
-                all_done_.notify_all();
-            continue;
+            while (!popTaskLocked(task)) {
+                if (in_flight_ == 0)
+                    return;
+                all_done_.wait(mutex_);
+            }
         }
-        if (in_flight_ == 0)
-            return;
-        all_done_.wait(lock, [this] {
-            return in_flight_ == 0 || !queue_.empty();
-        });
+        task();
+        finishTask();
     }
 }
 
@@ -70,18 +83,12 @@ ThreadPool::tryRunOne()
 {
     std::function<void()> task;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (queue_.empty())
+        MutexLock lock(mutex_);
+        if (!popTaskLocked(task))
             return false;
-        task = std::move(queue_.front());
-        queue_.pop_front();
     }
     task();
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (--in_flight_ == 0)
-            all_done_.notify_all();
-    }
+    finishTask();
     return true;
 }
 
@@ -91,25 +98,16 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            task_available_.wait(lock, [this] {
-                return shutting_down_ || !queue_.empty();
-            });
-            if (queue_.empty()) {
-                if (shutting_down_)
-                    return;
-                continue;
+            MutexLock lock(mutex_);
+            while (!shutting_down_ && queue_.empty())
+                task_available_.wait(mutex_);
+            if (!popTaskLocked(task)) {
+                // Queue drained during shutdown: exit.
+                return;
             }
-            task = std::move(queue_.front());
-            queue_.pop_front();
         }
         task();
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            --in_flight_;
-            if (in_flight_ == 0)
-                all_done_.notify_all();
-        }
+        finishTask();
     }
 }
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "edgepcc/common/crc32c.h"
+#include "edgepcc/common/trace.h"
 
 namespace edgepcc {
 
@@ -121,6 +122,7 @@ std::vector<ParsedChunk>
 scanWire(const std::vector<std::uint8_t> &wire,
          WireScanStats *stats)
 {
+    ScopedTrace trace("stream.scan_wire");
     std::vector<ParsedChunk> chunks;
     WireScanStats local;
     WireScanStats &s = stats != nullptr ? *stats : local;
@@ -210,6 +212,7 @@ sliceFramePayload(const ChunkHeader &base,
                   const std::vector<std::uint8_t> &payload,
                   std::size_t mtu_payload)
 {
+    ScopedTrace trace("stream.slice");
     std::vector<ParsedChunk> slices;
     if (mtu_payload == 0 || payload.size() <= mtu_payload) {
         ParsedChunk whole;

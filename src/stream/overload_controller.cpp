@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <map>
 
+#include "edgepcc/common/trace.h"
+
 namespace edgepcc {
 
 namespace {
@@ -239,7 +241,7 @@ OverloadController::OverloadController(OverloadConfig config)
 }
 
 OverloadEvent
-OverloadController::descend(OverloadEvent cause)
+OverloadController::descendLocked(OverloadEvent cause)
 {
     headroom_streak_ = 0;
     if (rung_ != OverloadRung::kSkip) {
@@ -254,12 +256,13 @@ OverloadController::onFrame(double encode_s)
 {
     if (budget_s_ <= 0.0)
         return OverloadEvent::kNone;
+    MutexLock lock(mutex_);
     const double utilization = encode_s / budget_s_;
     ewma_utilization_ =
         (1.0 - config_.ewma_alpha) * ewma_utilization_ +
         config_.ewma_alpha * utilization;
     if (encode_s > budget_s_)
-        return descend(OverloadEvent::kDeadlineMiss);
+        return descendLocked(OverloadEvent::kDeadlineMiss);
     if (rung_ == OverloadRung::kFull ||
         ewma_utilization_ >= config_.recover_headroom) {
         headroom_streak_ = 0;
@@ -277,10 +280,11 @@ OverloadController::onStall(double encode_s)
 {
     if (budget_s_ <= 0.0)
         return OverloadEvent::kNone;
+    MutexLock lock(mutex_);
     ewma_utilization_ =
         (1.0 - config_.ewma_alpha) * ewma_utilization_ +
         config_.ewma_alpha * (encode_s / budget_s_);
-    return descend(OverloadEvent::kStageStall);
+    return descendLocked(OverloadEvent::kStageStall);
 }
 
 CodecConfig
@@ -322,6 +326,7 @@ OverloadController::configForRung(const CodecConfig &base,
 VoxelCloud
 coarsenCloud(const VoxelCloud &cloud, int drop_bits)
 {
+    ScopedTrace trace("overload.coarsen");
     const int bits =
         std::clamp(drop_bits, 0, std::max(cloud.gridBits() - 1, 0));
     if (bits == 0)

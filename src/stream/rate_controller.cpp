@@ -48,6 +48,7 @@ AdaptiveGopController::AdaptiveGopController(
 void
 AdaptiveGopController::onFrameDelivery(bool delivered)
 {
+    MutexLock lock(mutex_);
     ewma_loss_ = (1.0 - config_.ewma_alpha) * ewma_loss_ +
                  config_.ewma_alpha * (delivered ? 0.0 : 1.0);
     if (!delivered) {
@@ -80,6 +81,7 @@ void
 AdaptiveFecController::onLossEstimate(double ewma_loss,
                                       bool delivered)
 {
+    MutexLock lock(mutex_);
     if (!delivered) {
         clean_streak_ = 0;
         if (ewma_loss > config_.high_loss) {

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "edgepcc/common/trace.h"
 #include "edgepcc/entropy/bitstream.h"
 
 namespace edgepcc {
@@ -66,6 +67,7 @@ Status
 writeStreamFile(const std::string &path,
                 const std::vector<std::vector<std::uint8_t>> &frames)
 {
+    ScopedTrace trace("stream.file.write");
     const std::vector<std::uint8_t> bytes = packStream(frames);
     std::ofstream file(path, std::ios::binary);
     if (!file)
@@ -80,6 +82,7 @@ writeStreamFile(const std::string &path,
 Expected<std::vector<std::vector<std::uint8_t>>>
 readStreamFile(const std::string &path)
 {
+    ScopedTrace trace("stream.file.read");
     std::ifstream file(path,
                        std::ios::binary | std::ios::ate);
     if (!file)

@@ -50,7 +50,7 @@ FecStats::singleLossRecoveredFraction() const
 // -----------------------------------------------------------------
 
 void
-StreamReceiver::bufferSlice(const ParsedChunk &chunk)
+StreamReceiver::bufferSliceLocked(const ParsedChunk &chunk)
 {
     SliceBuffer &buf = by_frame_[chunk.header.frame_id];
     if (buf.slice_count == 0) {
@@ -68,7 +68,7 @@ StreamReceiver::bufferSlice(const ParsedChunk &chunk)
 }
 
 void
-StreamReceiver::tryRecover(FecGroup &group)
+StreamReceiver::tryRecoverLocked(FecGroup &group)
 {
     if (group.recovered || !group.parity_present ||
         group.expected == 0 ||
@@ -85,7 +85,7 @@ StreamReceiver::tryRecover(FecGroup &group)
         return;
     group.recovered = true;
     ++recovered_chunks_;
-    bufferSlice(*rebuilt);
+    bufferSliceLocked(*rebuilt);
 }
 
 WireScanStats
@@ -93,6 +93,7 @@ StreamReceiver::ingest(const std::vector<std::uint8_t> &wire)
 {
     WireScanStats stats;
     std::vector<ParsedChunk> chunks = scanWire(wire, &stats);
+    MutexLock lock(mutex_);
     for (ParsedChunk &chunk : chunks) {
         if (chunk.header.isParity()) {
             FecGroup &group = groups_[chunk.header.fec_group];
@@ -102,17 +103,17 @@ StreamReceiver::ingest(const std::vector<std::uint8_t> &wire)
             }
             if (group.expected == 0)
                 group.expected = chunk.header.fec_group_size;
-            tryRecover(group);
+            tryRecoverLocked(group);
             continue;
         }
-        bufferSlice(chunk);
+        bufferSliceLocked(chunk);
         if ((chunk.header.flags & kChunkFlagFec) != 0) {
             FecGroup &group = groups_[chunk.header.fec_group];
             if (group.expected == 0)
                 group.expected = chunk.header.fec_group_size;
             group.data.emplace(chunk.header.fec_seq,
                                std::move(chunk));
-            tryRecover(group);
+            tryRecoverLocked(group);
         }
     }
     wire_.bytes_scanned += stats.bytes_scanned;
@@ -124,16 +125,24 @@ StreamReceiver::ingest(const std::vector<std::uint8_t> &wire)
 }
 
 bool
-StreamReceiver::hasFrame(std::uint32_t frame_id) const
+StreamReceiver::frameCompleteLocked(std::uint32_t frame_id) const
 {
     const auto it = by_frame_.find(frame_id);
     return it != by_frame_.end() && it->second.complete();
 }
 
 bool
+StreamReceiver::hasFrame(std::uint32_t frame_id) const
+{
+    MutexLock lock(mutex_);
+    return frameCompleteLocked(frame_id);
+}
+
+bool
 StreamReceiver::hasSlice(std::uint32_t frame_id,
                          std::uint16_t slice_index) const
 {
+    MutexLock lock(mutex_);
     const auto it = by_frame_.find(frame_id);
     return it != by_frame_.end() &&
            it->second.slices.count(slice_index) != 0;
@@ -142,17 +151,26 @@ StreamReceiver::hasSlice(std::uint32_t frame_id,
 std::vector<std::uint32_t>
 StreamReceiver::missingFrames(std::uint32_t expected_frames) const
 {
+    MutexLock lock(mutex_);
     std::vector<std::uint32_t> missing;
     for (std::uint32_t id = 0; id < expected_frames; ++id) {
-        if (!hasFrame(id))
+        if (!frameCompleteLocked(id))
             missing.push_back(id);
     }
     return missing;
 }
 
+WireScanStats
+StreamReceiver::wireStats() const
+{
+    MutexLock lock(mutex_);
+    return wire_;
+}
+
 FecStats
 StreamReceiver::fecStats() const
 {
+    MutexLock lock(mutex_);
     FecStats stats;
     stats.recovered_chunks = recovered_chunks_;
     for (const auto &[id, group] : groups_) {
@@ -181,6 +199,7 @@ std::vector<SessionFrame>
 StreamReceiver::decodeAll(std::uint32_t expected_frames)
 {
     ScopedTrace trace("session.decode");
+    MutexLock lock(mutex_);
     std::vector<SessionFrame> results;
     results.reserve(expected_frames);
 

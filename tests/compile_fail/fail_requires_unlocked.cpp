@@ -1,0 +1,33 @@
+// Compile-fail case: calling an EDGEPCC_REQUIRES(mutex) helper
+// without holding the mutex must be rejected by
+// -Werror=thread-safety. Driven by tests/compile_fail/CMakeLists.txt
+// via try_compile; this file is never part of any build target.
+#include "edgepcc/common/sync.h"
+
+namespace {
+
+class Counter
+{
+  public:
+    void
+    bump()
+    {
+        bumpLocked();  // BAD: mutex_ not held
+    }
+
+  private:
+    void bumpLocked() EDGEPCC_REQUIRES(mutex_) { ++value_; }
+
+    edgepcc::Mutex mutex_;
+    int value_ EDGEPCC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int
+main()
+{
+    Counter counter;
+    counter.bump();
+    return 0;
+}

@@ -1,0 +1,30 @@
+// Compile-fail case: reading an EDGEPCC_GUARDED_BY field without
+// holding its mutex must be rejected by -Werror=thread-safety.
+// Driven by tests/compile_fail/CMakeLists.txt via try_compile; this
+// file is never part of any build target.
+#include "edgepcc/common/sync.h"
+
+namespace {
+
+class Counter
+{
+  public:
+    int
+    read() const
+    {
+        return value_;  // BAD: mutex_ not held
+    }
+
+  private:
+    mutable edgepcc::Mutex mutex_;
+    int value_ EDGEPCC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int
+main()
+{
+    Counter counter;
+    return counter.read();
+}

@@ -1,0 +1,41 @@
+// Control case: correctly guarded access must compile cleanly under
+// -Werror=thread-safety. If this file fails, the harness flags the
+// toolchain (or sync.h) as broken rather than any real violation.
+// Driven by tests/compile_fail/CMakeLists.txt via try_compile.
+#include "edgepcc/common/sync.h"
+
+namespace {
+
+class Counter
+{
+  public:
+    int
+    read() const
+    {
+        edgepcc::MutexLock lock(mutex_);
+        return value_;
+    }
+
+    void
+    bump()
+    {
+        edgepcc::MutexLock lock(mutex_);
+        bumpLocked();
+    }
+
+  private:
+    void bumpLocked() EDGEPCC_REQUIRES(mutex_) { ++value_; }
+
+    mutable edgepcc::Mutex mutex_;
+    int value_ EDGEPCC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int
+main()
+{
+    Counter counter;
+    counter.bump();
+    return counter.read();
+}

@@ -207,7 +207,7 @@ TEST_P(PlyRoundtrip, WriteReadPreservesData)
                         cloud.positions()[i].z);
         EXPECT_EQ(loaded->colors()[i], cloud.colors()[i]);
     }
-    std::remove(path.c_str());
+    (void)std::remove(path.c_str());
 }
 
 INSTANTIATE_TEST_SUITE_P(Formats, PlyRoundtrip,
@@ -233,7 +233,7 @@ TEST(PlyIo, VoxelCloudExportReimport)
     ASSERT_TRUE(loaded.hasValue());
     EXPECT_EQ(loaded->size(), cloud.size());
     EXPECT_TRUE(loaded->checkInvariants());
-    std::remove(path.c_str());
+    (void)std::remove(path.c_str());
 }
 
 TEST(WorkloadEnv, ScaleParsing)

@@ -215,7 +215,7 @@ TEST(StreamFile, FileRoundtrip)
     auto loaded = readStreamFile(path);
     ASSERT_TRUE(loaded.hasValue());
     EXPECT_EQ(*loaded, frames);
-    std::remove(path.c_str());
+    (void)std::remove(path.c_str());
 }
 
 TEST(StreamFile, MissingFileReported)

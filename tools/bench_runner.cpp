@@ -338,7 +338,7 @@ void
 writeStats(std::FILE *out, const char *key,
            const PercentileStats &stats, const char *trailer)
 {
-    std::fprintf(out,
+    (void)std::fprintf(out,
                  "    \"%s\": {\"mean\": %.9g, \"p50\": %.9g, "
                  "\"p95\": %.9g, \"p99\": %.9g, \"max\": %.9g}%s\n",
                  key, stats.mean, stats.p50, stats.p95, stats.p99,
@@ -355,7 +355,7 @@ writeResults(const std::string &path, const CodecConfig &config,
 {
     std::FILE *out = std::fopen(path.c_str(), "w");
     if (out == nullptr) {
-        std::fprintf(stderr, "bench_runner: cannot write %s\n",
+        (void)std::fprintf(stderr, "bench_runner: cannot write %s\n",
                      path.c_str());
         return 1;
     }
@@ -382,210 +382,210 @@ writeResults(const std::string &path, const CodecConfig &config,
     const double model_fps =
         model_bottleneck > 0.0 ? 1.0 / model_bottleneck : 0.0;
 
-    std::fprintf(out, "{\n");
-    std::fprintf(out, "  \"schema\": \"edgepcc-bench-v1\",\n");
-    std::fprintf(out, "  \"workload\": {\n");
-    std::fprintf(out, "    \"config\": \"%s\",\n",
+    (void)std::fprintf(out, "{\n");
+    (void)std::fprintf(out, "  \"schema\": \"edgepcc-bench-v1\",\n");
+    (void)std::fprintf(out, "  \"workload\": {\n");
+    (void)std::fprintf(out, "    \"config\": \"%s\",\n",
                  config.name.c_str());
-    std::fprintf(out, "    \"frames\": %d,\n", frames);
-    std::fprintf(out, "    \"target_points\": %zu,\n",
+    (void)std::fprintf(out, "    \"frames\": %d,\n", frames);
+    (void)std::fprintf(out, "    \"target_points\": %zu,\n",
                  spec.target_points);
-    std::fprintf(out, "    \"seed\": %" PRIu64 ",\n", spec.seed);
-    std::fprintf(out, "    \"grid_bits\": %d,\n", spec.grid_bits);
-    std::fprintf(out, "    \"threads\": %zu\n", threads);
-    std::fprintf(out, "  },\n");
-    std::fprintf(out, "  \"end_to_end\": {\n");
+    (void)std::fprintf(out, "    \"seed\": %" PRIu64 ",\n", spec.seed);
+    (void)std::fprintf(out, "    \"grid_bits\": %d,\n", spec.grid_bits);
+    (void)std::fprintf(out, "    \"threads\": %zu\n", threads);
+    (void)std::fprintf(out, "  },\n");
+    (void)std::fprintf(out, "  \"end_to_end\": {\n");
     writeStats(out, "encode_host_s",
                computePercentiles(metrics.enc_host_s), ",");
     writeStats(out, "decode_host_s",
                computePercentiles(metrics.dec_host_s), ",");
     writeStats(out, "encode_model_s", enc_model, ",");
     writeStats(out, "decode_model_s", dec_model, ",");
-    std::fprintf(out, "    \"host_fps\": %.9g,\n", host_fps);
-    std::fprintf(out, "    \"model_fps\": %.9g,\n", model_fps);
-    std::fprintf(out, "    \"points\": %" PRIu64 ",\n",
+    (void)std::fprintf(out, "    \"host_fps\": %.9g,\n", host_fps);
+    (void)std::fprintf(out, "    \"model_fps\": %.9g,\n", model_fps);
+    (void)std::fprintf(out, "    \"points\": %" PRIu64 ",\n",
                  metrics.points);
-    std::fprintf(out, "    \"raw_bytes\": %" PRIu64 ",\n",
+    (void)std::fprintf(out, "    \"raw_bytes\": %" PRIu64 ",\n",
                  metrics.raw_bytes);
-    std::fprintf(out, "    \"compressed_bytes\": %" PRIu64 ",\n",
+    (void)std::fprintf(out, "    \"compressed_bytes\": %" PRIu64 ",\n",
                  metrics.compressed_bytes);
-    std::fprintf(out, "    \"bytes_per_point\": %.9g,\n",
+    (void)std::fprintf(out, "    \"bytes_per_point\": %.9g,\n",
                  metrics.points > 0
                      ? static_cast<double>(
                            metrics.compressed_bytes) /
                            static_cast<double>(metrics.points)
                      : 0.0);
-    std::fprintf(out, "    \"compression_ratio\": %.9g,\n",
+    (void)std::fprintf(out, "    \"compression_ratio\": %.9g,\n",
                  metrics.compressed_bytes > 0
                      ? static_cast<double>(metrics.raw_bytes) /
                            static_cast<double>(
                                metrics.compressed_bytes)
                      : 0.0);
-    std::fprintf(out, "    \"attr_psnr_db\": %.9g,\n",
+    (void)std::fprintf(out, "    \"attr_psnr_db\": %.9g,\n",
                  jsonPsnr(metrics.attr_psnr_db));
-    std::fprintf(out, "    \"geom_psnr_db\": %.9g\n",
+    (void)std::fprintf(out, "    \"geom_psnr_db\": %.9g\n",
                  jsonPsnr(metrics.geom_psnr_db));
-    std::fprintf(out, "  },\n");
+    (void)std::fprintf(out, "  },\n");
 
-    std::fprintf(out, "  \"stages\": [\n");
+    (void)std::fprintf(out, "  \"stages\": [\n");
     const auto summaries = metrics.stages.summaries();
     for (std::size_t i = 0; i < summaries.size(); ++i) {
         const auto &stage = summaries[i];
-        std::fprintf(out, "    {\"name\": \"%s\", \"frames\": %zu,",
+        (void)std::fprintf(out, "    {\"name\": \"%s\", \"frames\": %zu,",
                      stage.name.c_str(), stage.frames);
-        std::fprintf(out,
+        (void)std::fprintf(out,
                      " \"host_s\": {\"mean\": %.9g, \"p50\": %.9g,"
                      " \"p95\": %.9g, \"max\": %.9g},",
                      stage.host_s.mean, stage.host_s.p50,
                      stage.host_s.p95, stage.host_s.max);
-        std::fprintf(out,
+        (void)std::fprintf(out,
                      " \"model_s\": {\"mean\": %.9g, \"p50\": %.9g,"
                      " \"p95\": %.9g, \"max\": %.9g},",
                      stage.model_s.mean, stage.model_s.p50,
                      stage.model_s.p95, stage.model_s.max);
-        std::fprintf(out,
+        (void)std::fprintf(out,
                      " \"ops\": %" PRIu64 ", \"bytes\": %" PRIu64
                      "}%s\n",
                      stage.total_ops, stage.total_bytes,
                      i + 1 < summaries.size() ? "," : "");
     }
-    std::fprintf(out, "  ],\n");
+    (void)std::fprintf(out, "  ],\n");
     if (resilience.enabled) {
         const SessionStats &s = resilience.stats;
-        std::fprintf(out, "  \"resilience\": {\n");
-        std::fprintf(out, "    \"loss_rate\": %.9g,\n",
+        (void)std::fprintf(out, "  \"resilience\": {\n");
+        (void)std::fprintf(out, "    \"loss_rate\": %.9g,\n",
                      resilience.loss_rate);
-        std::fprintf(out, "    \"channel_seed\": %" PRIu64 ",\n",
+        (void)std::fprintf(out, "    \"channel_seed\": %" PRIu64 ",\n",
                      resilience.channel_seed);
-        std::fprintf(out, "    \"frames_ok\": %zu,\n",
+        (void)std::fprintf(out, "    \"frames_ok\": %zu,\n",
                      s.frames_ok);
-        std::fprintf(out, "    \"frames_resynced\": %zu,\n",
+        (void)std::fprintf(out, "    \"frames_resynced\": %zu,\n",
                      s.frames_resynced);
-        std::fprintf(out, "    \"frames_concealed\": %zu,\n",
+        (void)std::fprintf(out, "    \"frames_concealed\": %zu,\n",
                      s.frames_concealed);
-        std::fprintf(out, "    \"frames_skipped\": %zu,\n",
+        (void)std::fprintf(out, "    \"frames_skipped\": %zu,\n",
                      s.frames_skipped);
-        std::fprintf(out,
+        (void)std::fprintf(out,
                      "    \"ok_or_concealed_fraction\": %.9g,\n",
                      s.okOrConcealedFraction());
-        std::fprintf(out, "    \"frames_lost\": %zu,\n",
+        (void)std::fprintf(out, "    \"frames_lost\": %zu,\n",
                      s.frames_lost);
-        std::fprintf(out, "    \"retransmits\": %zu,\n",
+        (void)std::fprintf(out, "    \"retransmits\": %zu,\n",
                      s.retransmits);
-        std::fprintf(out, "    \"keyframes_forced\": %zu,\n",
+        (void)std::fprintf(out, "    \"keyframes_forced\": %zu,\n",
                      s.keyframes_forced);
-        std::fprintf(out, "    \"backoff_s\": %.9g,\n",
+        (void)std::fprintf(out, "    \"backoff_s\": %.9g,\n",
                      s.backoff_s);
-        std::fprintf(out, "    \"chunks_bad_crc\": %zu,\n",
+        (void)std::fprintf(out, "    \"chunks_bad_crc\": %zu,\n",
                      resilience.wire.chunks_bad_crc);
-        std::fprintf(out, "    \"chunks_truncated\": %zu,\n",
+        (void)std::fprintf(out, "    \"chunks_truncated\": %zu,\n",
                      resilience.wire.chunks_truncated);
-        std::fprintf(out, "    \"wire_bytes_skipped\": %zu,\n",
+        (void)std::fprintf(out, "    \"wire_bytes_skipped\": %zu,\n",
                      resilience.wire.bytes_skipped);
-        std::fprintf(out, "    \"network\": \"%s\",\n",
+        (void)std::fprintf(out, "    \"network\": \"%s\",\n",
                      resilience.network_name.c_str());
-        std::fprintf(out, "    \"mtu_payload\": %zu,\n",
+        (void)std::fprintf(out, "    \"mtu_payload\": %zu,\n",
                      resilience.mtu_payload);
-        std::fprintf(out, "    \"fec_group_size\": %d,\n",
+        (void)std::fprintf(out, "    \"fec_group_size\": %d,\n",
                      resilience.fec_group_size);
-        std::fprintf(out, "    \"modes\": {\n");
+        (void)std::fprintf(out, "    \"modes\": {\n");
         const auto write_mode = [out](const char *name,
                                       const ModeMetrics &m,
                                       const char *trailer) {
-            std::fprintf(out, "      \"%s\": {\n", name);
-            std::fprintf(
+            (void)std::fprintf(out, "      \"%s\": {\n", name);
+            (void)std::fprintf(
                 out,
                 "        \"e2e_latency_s\": {\"mean\": %.9g, "
                 "\"p50\": %.9g, \"p95\": %.9g, \"max\": %.9g},\n",
                 m.e2e_latency_s.mean, m.e2e_latency_s.p50,
                 m.e2e_latency_s.p95, m.e2e_latency_s.max);
-            std::fprintf(out,
+            (void)std::fprintf(out,
                          "        \"transmit_s_mean\": %.9g,\n",
                          m.transmit_s_mean);
-            std::fprintf(out,
+            (void)std::fprintf(out,
                          "        \"recovery_s_mean\": %.9g,\n",
                          m.recovery_s_mean);
-            std::fprintf(out,
+            (void)std::fprintf(out,
                          "        \"wire_bytes\": %" PRIu64 ",\n",
                          m.wire_bytes);
-            std::fprintf(out, "        \"retransmits\": %zu,\n",
+            (void)std::fprintf(out, "        \"retransmits\": %zu,\n",
                          m.retransmits);
-            std::fprintf(out, "        \"parity_sent\": %zu,\n",
+            (void)std::fprintf(out, "        \"parity_sent\": %zu,\n",
                          m.parity_sent);
-            std::fprintf(out,
+            (void)std::fprintf(out,
                          "        \"fec_recovered_chunks\": %zu,\n",
                          m.fec_recovered_chunks);
-            std::fprintf(
+            (void)std::fprintf(
                 out,
                 "        \"fec_single_loss_recovered_fraction\": "
                 "%.9g,\n",
                 m.fec_single_loss_recovered_fraction);
-            std::fprintf(
+            (void)std::fprintf(
                 out,
                 "        \"ok_or_concealed_fraction\": %.9g\n",
                 m.ok_or_concealed_fraction);
-            std::fprintf(out, "      }%s\n", trailer);
+            (void)std::fprintf(out, "      }%s\n", trailer);
         };
         write_mode("nack", resilience.nack, ",");
         write_mode("fec", resilience.fec, "");
-        std::fprintf(out, "    },\n");
+        (void)std::fprintf(out, "    },\n");
         if (resilience.concealed_attr_psnr_db >= 0.0)
-            std::fprintf(
+            (void)std::fprintf(
                 out, "    \"concealed_attr_psnr_db\": %.9g\n",
                 jsonPsnr(resilience.concealed_attr_psnr_db));
         else
-            std::fprintf(
+            (void)std::fprintf(
                 out, "    \"concealed_attr_psnr_db\": null\n");
-        std::fprintf(out, "  },\n");
+        (void)std::fprintf(out, "  },\n");
     }
     if (overload.enabled) {
         const OverloadStats &s = overload.stats;
-        std::fprintf(out, "  \"overload\": {\n");
-        std::fprintf(out, "    \"deadline_ms\": %.9g,\n",
+        (void)std::fprintf(out, "  \"overload\": {\n");
+        (void)std::fprintf(out, "    \"deadline_ms\": %.9g,\n",
                      overload.deadline_ms);
-        std::fprintf(out, "    \"load_spec\": \"%s\",\n",
+        (void)std::fprintf(out, "    \"load_spec\": \"%s\",\n",
                      overload.load_spec.c_str());
-        std::fprintf(out, "    \"frames\": %zu,\n", s.frames);
-        std::fprintf(out, "    \"deadline_misses\": %zu,\n",
+        (void)std::fprintf(out, "    \"frames\": %zu,\n", s.frames);
+        (void)std::fprintf(out, "    \"deadline_misses\": %zu,\n",
                      s.deadline_misses);
-        std::fprintf(out, "    \"deadline_miss_rate\": %.9g,\n",
+        (void)std::fprintf(out, "    \"deadline_miss_rate\": %.9g,\n",
                      s.deadlineMissRate());
-        std::fprintf(out,
+        (void)std::fprintf(out,
                      "    \"max_consecutive_misses\": %zu,\n",
                      s.max_consecutive_misses);
-        std::fprintf(out, "    \"watchdog_stalls\": %zu,\n",
+        (void)std::fprintf(out, "    \"watchdog_stalls\": %zu,\n",
                      s.watchdog_stalls);
-        std::fprintf(out, "    \"queue_drops\": %zu,\n",
+        (void)std::fprintf(out, "    \"queue_drops\": %zu,\n",
                      s.queue_drops);
-        std::fprintf(out, "    \"frames_skipped\": %zu,\n",
+        (void)std::fprintf(out, "    \"frames_skipped\": %zu,\n",
                      s.frames_skipped);
-        std::fprintf(out, "    \"alloc_failures\": %zu,\n",
+        (void)std::fprintf(out, "    \"alloc_failures\": %zu,\n",
                      s.alloc_failures);
-        std::fprintf(out, "    \"rung_transitions\": %zu,\n",
+        (void)std::fprintf(out, "    \"rung_transitions\": %zu,\n",
                      s.rung_transitions);
-        std::fprintf(out, "    \"rung_occupancy\": {");
+        (void)std::fprintf(out, "    \"rung_occupancy\": {");
         for (int r = 0; r < kOverloadRungCount; ++r)
-            std::fprintf(
+            (void)std::fprintf(
                 out, "\"%s\": %zu%s",
                 overloadRungName(static_cast<OverloadRung>(r)),
                 s.rung_occupancy[r],
                 r + 1 < kOverloadRungCount ? ", " : "");
-        std::fprintf(out, "},\n");
+        (void)std::fprintf(out, "},\n");
         writeStats(out, "encode_latency_s",
                    overload.encode_latency, "");
-        std::fprintf(out, "  },\n");
+        (void)std::fprintf(out, "  },\n");
     }
-    std::fprintf(out, "  \"trace\": {\n");
-    std::fprintf(out, "    \"events\": %zu,\n", trace_events);
+    (void)std::fprintf(out, "  \"trace\": {\n");
+    (void)std::fprintf(out, "    \"events\": %zu,\n", trace_events);
     // NaN = measurement failed; slightly negative values are real
     // (noise around zero overhead) and worth keeping.
     if (std::isnan(overhead_fraction))
-        std::fprintf(out, "    \"overhead_fraction\": null\n");
+        (void)std::fprintf(out, "    \"overhead_fraction\": null\n");
     else
-        std::fprintf(out, "    \"overhead_fraction\": %.9g\n",
+        (void)std::fprintf(out, "    \"overhead_fraction\": %.9g\n",
                      overhead_fraction);
-    std::fprintf(out, "  }\n");
-    std::fprintf(out, "}\n");
+    (void)std::fprintf(out, "  }\n");
+    (void)std::fprintf(out, "}\n");
     std::fclose(out);
     return 0;
 }
@@ -625,7 +625,7 @@ networkByName(const std::string &name, bool *ok)
 int
 usage()
 {
-    std::fprintf(
+    (void)std::fprintf(
         stderr,
         "usage: bench_runner [--config tmc13|cwipc|intra|v1|v2]\n"
         "                    [--frames N] [--points N] [--seed N]\n"
@@ -762,22 +762,22 @@ main(int argc, char **argv)
         }
     }
     if (loss_rate > 1.0) {
-        std::fprintf(stderr,
+        (void)std::fprintf(stderr,
                      "bench_runner: --loss must be in [0, 1]\n");
         return 2;
     }
     if (fec_group < 1) {
-        std::fprintf(stderr,
+        (void)std::fprintf(stderr,
                      "bench_runner: --fec-group must be >= 1\n");
         return 2;
     }
     if (deadline_ms != -1.0 && deadline_ms <= 0.0) {
-        std::fprintf(stderr,
+        (void)std::fprintf(stderr,
                      "bench_runner: --deadline-ms must be > 0\n");
         return 2;
     }
     if (load_spec != "none" && deadline_ms < 0.0) {
-        std::fprintf(stderr,
+        (void)std::fprintf(stderr,
                      "bench_runner: --load-spec requires "
                      "--deadline-ms\n");
         return 2;
@@ -786,7 +786,7 @@ main(int argc, char **argv)
         // Reject a malformed spec before the bench runs, not after.
         auto parsed = LoadSpec::parse(load_spec);
         if (!parsed) {
-            std::fprintf(stderr, "bench_runner: %s\n",
+            (void)std::fprintf(stderr, "bench_runner: %s\n",
                          parsed.status().message().c_str());
             return 2;
         }
@@ -794,13 +794,13 @@ main(int argc, char **argv)
     bool network_ok = false;
     NetworkSpec network = networkByName(network_name, &network_ok);
     if (!network_ok) {
-        std::fprintf(stderr,
+        (void)std::fprintf(stderr,
                      "bench_runner: unknown network '%s'\n",
                      network_name.c_str());
         return usage();
     }
     if (frames < 1 || points < 1) {
-        std::fprintf(stderr,
+        (void)std::fprintf(stderr,
                      "bench_runner: --frames and --points must be "
                      "positive\n");
         return 2;
@@ -809,7 +809,7 @@ main(int argc, char **argv)
     bool config_ok = false;
     const CodecConfig config = configByName(config_name, &config_ok);
     if (!config_ok) {
-        std::fprintf(stderr, "bench_runner: unknown config '%s'\n",
+        (void)std::fprintf(stderr, "bench_runner: unknown config '%s'\n",
                      config_name.c_str());
         return usage();
     }
@@ -842,7 +842,7 @@ main(int argc, char **argv)
         auto warm = runWorkload({cloud_frames.front()}, config,
                                 model, false);
         if (!warm) {
-            std::fprintf(stderr, "bench_runner: %s\n",
+            (void)std::fprintf(stderr, "bench_runner: %s\n",
                          warm.status().message().c_str());
             return 1;
         }
@@ -854,7 +854,7 @@ main(int argc, char **argv)
         runWorkload(cloud_frames, config, model, true);
     Tracer::global().setEnabled(false);
     if (!metrics) {
-        std::fprintf(stderr, "bench_runner: %s\n",
+        (void)std::fprintf(stderr, "bench_runner: %s\n",
                      metrics.status().message().c_str());
         return 1;
     }
@@ -863,7 +863,7 @@ main(int argc, char **argv)
         std::ofstream trace_out(trace_path);
         writeChromeTrace(Tracer::global().events(), trace_out);
         if (!trace_out) {
-            std::fprintf(stderr,
+            (void)std::fprintf(stderr,
                          "bench_runner: cannot write %s\n",
                          trace_path.c_str());
             return 1;
@@ -906,7 +906,7 @@ main(int argc, char **argv)
             const double per_frame =
                 1.0 / static_cast<double>(cloud_frames.size());
             overhead_fraction = on_best / off_best - 1.0;
-            std::fprintf(
+            (void)std::fprintf(
                 stderr,
                 "tracing overhead: %.2f%% of encode time "
                 "(best-of-%d: off %.3f ms, on %.3f ms per frame)\n",
@@ -921,12 +921,12 @@ main(int argc, char **argv)
         auto run = runResilience(cloud_frames, config, loss_rate,
                                  channel_seed);
         if (!run) {
-            std::fprintf(stderr, "bench_runner: %s\n",
+            (void)std::fprintf(stderr, "bench_runner: %s\n",
                          run.status().message().c_str());
             return 1;
         }
         resilience = *run;
-        std::fprintf(
+        (void)std::fprintf(
             stderr,
             "resilience at loss %.3g: ok %zu, resynced %zu, "
             "concealed %zu, skipped %zu (%zu retransmits)\n",
@@ -952,7 +952,7 @@ main(int argc, char **argv)
             runMode(cloud_frames, config, network, mtu_payload,
                     /*fec_enabled=*/true, fec_group, channel_seed);
         if (!nack_mode || !fec_mode) {
-            std::fprintf(stderr, "bench_runner: %s\n",
+            (void)std::fprintf(stderr, "bench_runner: %s\n",
                          (!nack_mode ? nack_mode.status()
                                      : fec_mode.status())
                              .message()
@@ -961,7 +961,7 @@ main(int argc, char **argv)
         }
         resilience.nack = *nack_mode;
         resilience.fec = *fec_mode;
-        std::fprintf(
+        (void)std::fprintf(
             stderr,
             "end-to-end over %s at loss %.3g: nack p50 %.1f ms "
             "(%zu retransmits), fec p50 %.1f ms (%zu retransmits, "
@@ -981,13 +981,13 @@ main(int argc, char **argv)
         auto run = runOverload(cloud_frames, config, deadline_ms,
                                load_spec);
         if (!run) {
-            std::fprintf(stderr, "bench_runner: %s\n",
+            (void)std::fprintf(stderr, "bench_runner: %s\n",
                          run.status().message().c_str());
             return 1;
         }
         overload = *run;
         const OverloadStats &s = overload.stats;
-        std::fprintf(
+        (void)std::fprintf(
             stderr,
             "overload at %.3g ms deadline (%s): miss rate %.3g "
             "(max %zu consecutive), %zu queue drops, %zu skipped, "
@@ -1002,7 +1002,7 @@ main(int argc, char **argv)
                                 overhead_fraction, trace_events,
                                 resilience, overload);
     if (rc == 0)
-        std::fprintf(stderr, "wrote %s (%d frames, config %s)\n",
+        (void)std::fprintf(stderr, "wrote %s (%d frames, config %s)\n",
                      out_path.c_str(), frames,
                      config.name.c_str());
     return rc;

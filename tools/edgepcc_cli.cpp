@@ -116,7 +116,7 @@ int
 cmdSynth(const Args &args)
 {
     if (args.positional().empty()) {
-        std::fprintf(stderr,
+        (void)std::fprintf(stderr,
                      "usage: edgepcc_cli synth <out_prefix> "
                      "[--video NAME] [--frames N] [--scale S] "
                      "[--points N] [--ascii]\n");
@@ -151,16 +151,16 @@ cmdSynth(const Args &args)
     for (int f = 0; f < frames; ++f) {
         const VoxelCloud cloud = video.frame(f);
         char path[512];
-        std::snprintf(path, sizeof(path), "%s_%04d.ply",
+        (void)std::snprintf(path, sizeof(path), "%s_%04d.ply",
                       prefix.c_str(), f);
         const Status status =
             writePlyVoxels(path, cloud, !args.has("ascii"));
         if (!status.isOk()) {
-            std::fprintf(stderr, "%s\n",
+            (void)std::fprintf(stderr, "%s\n",
                          status.toString().c_str());
             return 1;
         }
-        std::printf("wrote %s (%zu points)\n", path, cloud.size());
+        (void)std::printf("wrote %s (%zu points)\n", path, cloud.size());
     }
     return 0;
 }
@@ -169,7 +169,7 @@ int
 cmdEncode(const Args &args)
 {
     if (args.positional().size() < 2) {
-        std::fprintf(stderr,
+        (void)std::fprintf(stderr,
                      "usage: edgepcc_cli encode <out.epcv> "
                      "<in.ply...> [--codec tmc13|cwipc|intra|v1|"
                      "v2] [--grid-bits N] [--profile]\n");
@@ -177,7 +177,7 @@ cmdEncode(const Args &args)
     }
     auto codec = codecFromName(args.get("codec", "v1"));
     if (!codec) {
-        std::fprintf(stderr, "%s\n",
+        (void)std::fprintf(stderr, "%s\n",
                      codec.status().toString().c_str());
         return 2;
     }
@@ -192,20 +192,20 @@ cmdEncode(const Args &args)
         const std::string &path = args.positional()[i];
         auto cloud = readPlyVoxels(path, grid_bits);
         if (!cloud) {
-            std::fprintf(stderr, "%s: %s\n", path.c_str(),
+            (void)std::fprintf(stderr, "%s: %s\n", path.c_str(),
                          cloud.status().toString().c_str());
             return 1;
         }
         auto encoded = encoder.encode(*cloud);
         if (!encoded) {
-            std::fprintf(stderr, "%s: encode failed: %s\n",
+            (void)std::fprintf(stderr, "%s: encode failed: %s\n",
                          path.c_str(),
                          encoded.status().toString().c_str());
             return 1;
         }
         raw_total += encoded->stats.raw_bytes;
         coded_total += encoded->stats.total_bytes;
-        std::printf(
+        (void)std::printf(
             "%s: %zu pts -> %zu bytes (%s)", path.c_str(),
             cloud->size(), encoded->bitstream.size(),
             encoded->stats.type == Frame::Type::kPredicted ? "P"
@@ -213,22 +213,22 @@ cmdEncode(const Args &args)
         if (args.has("profile")) {
             const PipelineTiming timing =
                 model.evaluate(encoded->profile);
-            std::printf("  [%s: %.1f ms, %.3f J]",
+            (void)std::printf("  [%s: %.1f ms, %.3f J]",
                         model.spec().name.c_str(),
                         timing.modelSeconds() * 1e3,
                         timing.joules());
         }
-        std::printf("\n");
+        (void)std::printf("\n");
         stream.push_back(std::move(encoded->bitstream));
     }
 
     const Status status =
         writeStreamFile(args.positional()[0], stream);
     if (!status.isOk()) {
-        std::fprintf(stderr, "%s\n", status.toString().c_str());
+        (void)std::fprintf(stderr, "%s\n", status.toString().c_str());
         return 1;
     }
-    std::printf("%s: %zu frames, %.2fx compression\n",
+    (void)std::printf("%s: %zu frames, %.2fx compression\n",
                 args.positional()[0].c_str(), stream.size(),
                 coded_total > 0
                     ? static_cast<double>(raw_total) /
@@ -241,14 +241,14 @@ int
 cmdDecode(const Args &args)
 {
     if (args.positional().size() != 2) {
-        std::fprintf(stderr,
+        (void)std::fprintf(stderr,
                      "usage: edgepcc_cli decode <in.epcv> "
                      "<out_prefix> [--ascii]\n");
         return 2;
     }
     auto stream = readStreamFile(args.positional()[0]);
     if (!stream) {
-        std::fprintf(stderr, "%s\n",
+        (void)std::fprintf(stderr, "%s\n",
                      stream.status().toString().c_str());
         return 1;
     }
@@ -256,21 +256,21 @@ cmdDecode(const Args &args)
     for (std::size_t f = 0; f < stream->size(); ++f) {
         auto decoded = decoder.decode((*stream)[f]);
         if (!decoded) {
-            std::fprintf(stderr, "frame %zu: %s\n", f,
+            (void)std::fprintf(stderr, "frame %zu: %s\n", f,
                          decoded.status().toString().c_str());
             return 1;
         }
         char path[512];
-        std::snprintf(path, sizeof(path), "%s_%04zu.ply",
+        (void)std::snprintf(path, sizeof(path), "%s_%04zu.ply",
                       args.positional()[1].c_str(), f);
         const Status status = writePlyVoxels(
             path, decoded->cloud, !args.has("ascii"));
         if (!status.isOk()) {
-            std::fprintf(stderr, "%s\n",
+            (void)std::fprintf(stderr, "%s\n",
                          status.toString().c_str());
             return 1;
         }
-        std::printf("wrote %s (%zu points, %s frame)\n", path,
+        (void)std::printf("wrote %s (%zu points, %s frame)\n", path,
                     decoded->cloud.size(),
                     decoded->type == Frame::Type::kPredicted
                         ? "P"
@@ -283,28 +283,28 @@ int
 cmdInfo(const Args &args)
 {
     if (args.positional().size() != 1) {
-        std::fprintf(stderr, "usage: edgepcc_cli info <in.epcv>\n");
+        (void)std::fprintf(stderr, "usage: edgepcc_cli info <in.epcv>\n");
         return 2;
     }
     auto stream = readStreamFile(args.positional()[0]);
     if (!stream) {
-        std::fprintf(stderr, "%s\n",
+        (void)std::fprintf(stderr, "%s\n",
                      stream.status().toString().c_str());
         return 1;
     }
-    std::printf("%s: %zu frames\n", args.positional()[0].c_str(),
+    (void)std::printf("%s: %zu frames\n", args.positional()[0].c_str(),
                 stream->size());
     VideoDecoder decoder;
     for (std::size_t f = 0; f < stream->size(); ++f) {
         auto decoded = decoder.decode((*stream)[f]);
         if (!decoded) {
-            std::printf("  frame %4zu: %8zu bytes  (undecodable: "
+            (void)std::printf("  frame %4zu: %8zu bytes  (undecodable: "
                         "%s)\n",
                         f, (*stream)[f].size(),
                         decoded.status().toString().c_str());
             continue;
         }
-        std::printf("  frame %4zu: %8zu bytes  %c  %8zu points\n",
+        (void)std::printf("  frame %4zu: %8zu bytes  %c  %8zu points\n",
                     f, (*stream)[f].size(),
                     decoded->type == Frame::Type::kPredicted
                         ? 'P'
@@ -318,7 +318,7 @@ int
 cmdMetrics(const Args &args)
 {
     if (args.positional().size() != 2) {
-        std::fprintf(stderr,
+        (void)std::fprintf(stderr,
                      "usage: edgepcc_cli metrics <ref.ply> "
                      "<test.ply> [--grid-bits N]\n");
         return 2;
@@ -327,7 +327,7 @@ cmdMetrics(const Args &args)
     auto ref = readPlyVoxels(args.positional()[0], grid_bits);
     auto test = readPlyVoxels(args.positional()[1], grid_bits);
     if (!ref || !test) {
-        std::fprintf(stderr, "%s\n",
+        (void)std::fprintf(stderr, "%s\n",
                      (!ref ? ref.status() : test.status())
                          .toString()
                          .c_str());
@@ -335,13 +335,13 @@ cmdMetrics(const Args &args)
     }
     const AttrQuality attr = attributePsnr(*ref, *test);
     const GeometryQuality geom = geometryPsnrD1(*ref, *test);
-    std::printf("points: ref=%zu test=%zu\n", ref->size(),
+    (void)std::printf("points: ref=%zu test=%zu\n", ref->size(),
                 test->size());
-    std::printf("attribute PSNR : %.2f dB (mse %.4f, %zu matched, "
+    (void)std::printf("attribute PSNR : %.2f dB (mse %.4f, %zu matched, "
                 "%zu unmatched)\n",
                 attr.psnr, attr.mse, attr.matched_points,
                 attr.unmatched_points);
-    std::printf("geometry  PSNR : %.2f dB (D1 mse %.6f)\n",
+    (void)std::printf("geometry  PSNR : %.2f dB (D1 mse %.6f)\n",
                 geom.psnr, geom.mse);
     return 0;
 }
@@ -349,7 +349,7 @@ cmdMetrics(const Args &args)
 int
 cmdHelp()
 {
-    std::printf(
+    (void)std::printf(
         "EdgePCC CLI — Morton-parallel point cloud compression\n\n"
         "  edgepcc_cli synth  <out_prefix> [--video NAME] "
         "[--frames N] [--scale S] [--points N] [--ascii]\n"

@@ -18,7 +18,7 @@ int
 main(int argc, char **argv)
 {
     if (argc != 2) {
-        std::fprintf(stderr, "usage: golden_gen <output_dir>\n");
+        (void)std::fprintf(stderr, "usage: golden_gen <output_dir>\n");
         return 2;
     }
     const std::string out_dir = argv[1];
@@ -36,7 +36,7 @@ main(int argc, char **argv)
         for (const VoxelCloud &frame : frames) {
             auto encoded = encoder.encode(frame);
             if (!encoded) {
-                std::fprintf(stderr, "golden_gen: %s: %s\n",
+                (void)std::fprintf(stderr, "golden_gen: %s: %s\n",
                              item.config.name.c_str(),
                              encoded.status().message().c_str());
                 return 1;
@@ -46,14 +46,14 @@ main(int argc, char **argv)
         const std::string path = out_dir + "/" + item.file;
         const Status status = writeStreamFile(path, bitstreams);
         if (!status.isOk()) {
-            std::fprintf(stderr, "golden_gen: %s: %s\n",
+            (void)std::fprintf(stderr, "golden_gen: %s: %s\n",
                          path.c_str(), status.message().c_str());
             return 1;
         }
         std::uint64_t total = 0;
         for (const auto &bitstream : bitstreams)
             total += bitstream.size();
-        std::fprintf(stderr, "wrote %s (%d frames, %llu bytes)\n",
+        (void)std::fprintf(stderr, "wrote %s (%d frames, %llu bytes)\n",
                      path.c_str(), golden::kGoldenFrames,
                      static_cast<unsigned long long>(total));
     }

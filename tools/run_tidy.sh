@@ -1,24 +1,36 @@
 #!/usr/bin/env bash
 # Runs clang-tidy over every translation unit using the `tidy` CMake
-# preset's compile_commands.json.
+# preset's compile_commands.json, then ratchets the findings against
+# tools/tidy_baseline.txt: a finding whose `file:check` fingerprint
+# is baselined does not fail the run, a new one does. This lets new
+# checks land with their pre-existing fallout recorded instead of
+# blocking, while still catching regressions in clean files (see
+# docs/STATIC_ANALYSIS.md).
 #
 # Usage:
 #   tools/run_tidy.sh                 # analyze src/ tools/ tests/ bench/
 #   tools/run_tidy.sh src/attr       # restrict to a subtree
 #   tools/run_tidy.sh --if-available # exit 0 (skip) when clang-tidy
 #                                    # is not installed instead of 127
+#   tools/run_tidy.sh --update-baseline  # rewrite the baseline from
+#                                    # this run's findings (full runs
+#                                    # only — a restricted run would
+#                                    # drop entries for unseen files)
 #
-# Exit codes: 0 clean/skipped, 1 findings, 127 clang-tidy missing.
+# Exit codes: 0 clean/skipped, 1 new findings, 127 clang-tidy missing.
 set -u -o pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build-tidy"
+baseline="${repo_root}/tools/tidy_baseline.txt"
 
 soft_skip=0
+update_baseline=0
 paths=()
 for arg in "$@"; do
     case "$arg" in
         --if-available) soft_skip=1 ;;
+        --update-baseline) update_baseline=1 ;;
         *) paths+=("$arg") ;;
     esac
 done
@@ -74,8 +86,37 @@ printf '%s\n' "${sources[@]}" |
         --quiet {} 2>/dev/null |
     tee -a "$report"
 
-if grep -q "warning:\|error:" "$report"; then
-    echo "run_tidy: findings written to ${report}" >&2
+# Fingerprints: repo-relative `file:check`, line-independent so the
+# baseline survives unrelated edits. One entry covers every instance
+# of that check in that file.
+fingerprints="${repo_root}/tidy-fingerprints.txt"
+grep -E "(warning|error):.*\[[a-z0-9.,-]+\]$" "$report" |
+    sed -E "s|^${repo_root}/||" |
+    sed -E 's|^([^:]+):[0-9]+:[0-9]+: (warning\|error): .*\[([a-z0-9.,-]+)\]$|\1:\3|' |
+    sort -u > "$fingerprints"
+
+if [ "$update_baseline" -eq 1 ]; then
+    {
+        echo "# Ratcheted clang-tidy findings (file:check), one per line."
+        echo "# Regenerate with tools/run_tidy.sh --update-baseline."
+        echo "# Do not add entries by hand to silence new findings."
+        cat "$fingerprints"
+    } > "$baseline"
+    echo "run_tidy: baseline updated ($(wc -l < "$fingerprints") entries)."
+    exit 0
+fi
+
+touch "$baseline"
+new_findings="$(grep -v '^#' "$baseline" |
+    comm -23 "$fingerprints" /dev/stdin)"
+if [ -n "$new_findings" ]; then
+    echo "run_tidy: NEW findings (not in tools/tidy_baseline.txt):" >&2
+    echo "$new_findings" >&2
+    echo "run_tidy: full report in ${report}" >&2
     exit 1
 fi
-echo "run_tidy: clean."
+if [ -s "$fingerprints" ]; then
+    echo "run_tidy: $(wc -l < "$fingerprints") baseline-covered finding group(s), no new ones."
+else
+    echo "run_tidy: clean."
+fi
