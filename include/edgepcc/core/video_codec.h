@@ -101,6 +101,25 @@ class VideoEncoder
      */
     void updateCoding(const CodecConfig &config);
 
+    /**
+     * Snapshot of the complete mutable encoder state: coding
+     * configuration, GOP phase and the inter-prediction reference.
+     * Two encoders with equal snapshots produce byte-identical
+     * bitstreams for equal inputs. The serve-layer reference cache
+     * stores the post-encode snapshot next to each cached frame so a
+     * follower stream can adopt the frame, restore the state, and
+     * keep encoding exactly as if it had done the work itself.
+     */
+    struct StateSnapshot {
+        CodecConfig config;
+        std::uint32_t frame_counter = 0;
+        VoxelCloud reference{10};
+        bool has_reference = false;
+    };
+
+    StateSnapshot snapshotState() const;
+    void restoreState(const StateSnapshot &state);
+
   private:
     Expected<EncodedFrame> encodeImpl(const VoxelCloud &cloud);
 

@@ -14,6 +14,7 @@
 #define EDGEPCC_PARALLEL_THREAD_POOL_H
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <thread>
@@ -22,6 +23,17 @@
 #include "edgepcc/common/sync.h"
 
 namespace edgepcc {
+
+/**
+ * Scheduling class for submitted tasks. High-priority tasks are
+ * dispatched before any queued normal task; within a class, order is
+ * FIFO. The serve layer submits interactive-tenant encodes as kHigh
+ * so bulk tenants cannot head-of-line block them on a busy pool.
+ */
+enum class TaskPriority : std::uint8_t {
+    kNormal = 0,
+    kHigh = 1,
+};
 
 /**
  * A simple task-queue thread pool.
@@ -44,6 +56,9 @@ class ThreadPool
 
     /** Enqueues a task; runs inline when the pool has no workers. */
     void submit(std::function<void()> task);
+
+    /** Enqueues a task in the given scheduling class. */
+    void submit(std::function<void()> task, TaskPriority priority);
 
     /**
      * Blocks until every submitted task has finished. While waiting,
@@ -98,6 +113,8 @@ class ThreadPool
     CondVar task_available_;
     CondVar all_done_;
     std::deque<std::function<void()>> queue_
+        EDGEPCC_GUARDED_BY(mutex_);
+    std::deque<std::function<void()>> high_queue_
         EDGEPCC_GUARDED_BY(mutex_);
     std::size_t in_flight_ EDGEPCC_GUARDED_BY(mutex_) = 0;
     bool shutting_down_ EDGEPCC_GUARDED_BY(mutex_) = false;

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Content-addressed encode cache for the multi-tenant serve layer.
+ *
+ * Popular content is popular: when several tenants stream the same
+ * sequence (a broadcast hologram, a shared scene), their encoders
+ * walk through identical states and would produce byte-identical
+ * bitstreams. The cache exploits that: each tenant maintains a
+ * running *stream key* — a hash chain over its codec configuration
+ * and every cloud it has fed to its encoder — and looks the key up
+ * before encoding. A hit returns the cached bitstream together with
+ * the encoder-state snapshot taken right after the original encode,
+ * so the follower adopts the frame, restores the state, and later
+ * frames (shared or not) still encode exactly as a solo run would.
+ *
+ * The key covers the *entire* encode history, so two tenants can
+ * only ever hit the same entry when their encoders are in provably
+ * identical states; byte-identity with a solo session is preserved
+ * by construction, cache on or off.
+ *
+ * Thread-safe (Mutex-guarded LRU); the scheduler nevertheless
+ * performs lookups and inserts on its own thread, in tenant visit
+ * order, so hit/miss accounting is deterministic.
+ */
+
+#ifndef EDGEPCC_SERVE_REFERENCE_CACHE_H
+#define EDGEPCC_SERVE_REFERENCE_CACHE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "edgepcc/common/sync.h"
+#include "edgepcc/core/video_codec.h"
+
+namespace edgepcc {
+namespace serve {
+
+/** Aggregate cache accounting (ServeReport::cache). */
+struct CacheStats {
+    std::size_t lookups = 0;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t insertions = 0;
+    std::size_t evictions = 0;
+    std::size_t entries = 0;
+    /** Device seconds the hits did not have to spend encoding. */
+    double saved_device_s = 0.0;
+
+    double
+    hitRate() const
+    {
+        return lookups == 0
+                   ? 0.0
+                   : static_cast<double>(hits) /
+                         static_cast<double>(lookups);
+    }
+};
+
+/** LRU cache entry: one encoded frame plus the encoder state that
+ *  followed it. */
+struct CacheEntry {
+    std::vector<std::uint8_t> bitstream;
+    FrameStats stats;
+    VideoEncoder::StateSnapshot state_after;
+    /** Modelled device seconds the original encode cost. */
+    double device_cost_s = 0.0;
+};
+
+class ReferenceCache
+{
+  public:
+    explicit ReferenceCache(std::size_t capacity);
+
+    /** Looks up a stream key; null on miss. Counts the lookup. */
+    std::shared_ptr<const CacheEntry> find(std::uint64_t key);
+
+    /** Inserts an entry (LRU-evicting at capacity); a key that is
+     *  already present only refreshes its recency. */
+    void insert(std::uint64_t key, CacheEntry entry);
+
+    /** Credits the device seconds a hit avoided. */
+    void recordSavings(double device_s);
+
+    CacheStats stats() const;
+
+  private:
+    void touchLocked(std::uint64_t key) EDGEPCC_REQUIRES(mutex_);
+
+    const std::size_t capacity_;
+
+    mutable Mutex mutex_;
+    /** Keys in recency order, most recent first. */
+    std::list<std::uint64_t> lru_ EDGEPCC_GUARDED_BY(mutex_);
+    struct Slot {
+        std::list<std::uint64_t>::iterator lru_pos;
+        std::shared_ptr<const CacheEntry> entry;
+    };
+    std::unordered_map<std::uint64_t, Slot> map_
+        EDGEPCC_GUARDED_BY(mutex_);
+    CacheStats stats_ EDGEPCC_GUARDED_BY(mutex_);
+};
+
+/** FNV-1a over raw bytes, the serve layer's hashing primitive. */
+std::uint64_t fnv1a64(const void *data, std::size_t bytes,
+                      std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/** Content digest of a voxel cloud (grid + coordinates + colors). */
+std::uint64_t cloudDigest(const VoxelCloud &cloud);
+
+/** Digest of every bitstream-affecting codec parameter; the stream
+ *  key's chain anchor. */
+std::uint64_t codecConfigDigest(const CodecConfig &config);
+
+/** Folds one frame digest into a running stream key. */
+std::uint64_t chainStreamKey(std::uint64_t key,
+                             std::uint64_t frame_digest);
+
+}  // namespace serve
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_SERVE_REFERENCE_CACHE_H

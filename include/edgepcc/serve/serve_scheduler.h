@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Multi-tenant edge serving: fair-share session scheduling over one
+ * device model (ROADMAP item 1).
+ *
+ * The paper sizes the pipeline so a single edge device carries one
+ * session; the "millions of users" north star needs the next axis —
+ * many concurrent sessions sharing one device. This module
+ * multiplexes N tenant streams over the shared ThreadPool and the
+ * modelled device:
+ *
+ *  - Admission control: each tenant's device utilization is
+ *    estimated by probe-encoding its first frame against the device
+ *    model; tenants are admitted in deadline-class priority order
+ *    (interactive first, then standard, then bulk; earlier arrivals
+ *    first within a class) until the configured utilization cap is
+ *    reached. This generalizes the per-frame admission queue of
+ *    StreamSession to the fleet.
+ *
+ *  - Deficit-round-robin (DRR) scheduling on the virtual arrival
+ *    clock: every round, each backlogged tenant's deficit is topped
+ *    up by quantum_s * weight (clamped to one quantum, so unused
+ *    grants do not accumulate) and a tenant with positive deficit
+ *    contributes its oldest frame to the round's batch. Costs are
+ *    charged *post-paid* — the modelled encode seconds are deducted
+ *    after the encode — so a tenant can overdraw by at most one
+ *    frame's cost, and repays the overdraft by sitting out rounds.
+ *    Invariant (pinned by tests): deficit stays within
+ *    [-max_frame_cost, quantum_s * weight].
+ *
+ *  - Batched encode: the frames co-scheduled in one round form a
+ *    batch (at most one per tenant, so tasks never share an
+ *    encoder); the tenants run concurrently on the shared
+ *    ThreadPool, interactive tenants at TaskPriority::kHigh.
+ *    Virtual device time advances by the modelled cost of every
+ *    frame plus one batch overhead, so schedules are deterministic
+ *    and wall-clock free.
+ *
+ *  - Reference cache: see reference_cache.h. Identical
+ *    popular-content streams share encode work without ever
+ *    diverging from their solo-run bytes.
+ *
+ * Byte-identity invariant: a tenant's bitstream depends only on its
+ * own codec config and the sequence of frames actually fed to its
+ * encoder — never on interleaving. When no frames are dropped by
+ * backpressure, a tenant's bitstreams under any mix are
+ * byte-identical to its solo run (a tier-1 acceptance test).
+ */
+
+#ifndef EDGEPCC_SERVE_SERVE_SCHEDULER_H
+#define EDGEPCC_SERVE_SERVE_SCHEDULER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "edgepcc/common/status.h"
+#include "edgepcc/core/codec_config.h"
+#include "edgepcc/geometry/point_cloud.h"
+#include "edgepcc/platform/device_model.h"
+#include "edgepcc/serve/reference_cache.h"
+#include "edgepcc/stream/overload_controller.h"
+
+namespace edgepcc {
+namespace serve {
+
+/**
+ * Per-tenant service class. Orders admission (interactive is
+ * admitted first when the device cannot hold everyone), sets the
+ * per-frame completion budget (frame period times the class slack),
+ * and maps to ThreadPool priority (interactive encodes are kHigh).
+ */
+enum class DeadlineClass : std::uint8_t {
+    kInteractive = 0,
+    kStandard = 1,
+    kBulk = 2,
+};
+
+inline constexpr int kDeadlineClassCount = 3;
+
+const char *deadlineClassName(DeadlineClass deadline_class);
+
+/** Completion-budget multiplier on the frame period (1x, 2x, 4x). */
+double deadlineClassSlack(DeadlineClass deadline_class);
+
+/** One tenant stream offered to the scheduler. */
+struct TenantSpec {
+    std::string name;
+    CodecConfig codec;
+    std::vector<VoxelCloud> frames;
+
+    /** Capture cadence; frame f arrives at offset + f / fps. */
+    double fps = 30.0;
+    double arrival_offset_s = 0.0;
+
+    DeadlineClass deadline_class = DeadlineClass::kStandard;
+
+    /** DRR quantum multiplier (share of the device). */
+    double weight = 1.0;
+
+    /** Arrived-unserved frames admitted beyond the one being
+     *  encoded; older frames are dropped first (same backpressure
+     *  rule as StreamSession). */
+    int queue_capacity = 2;
+};
+
+/** Fleet-level scheduler knobs. */
+struct ServeConfig {
+    /** Device whose modelled timings everything is charged to. */
+    DeviceSpec device = DeviceSpec::jetsonXavier15W();
+
+    /** Base DRR quantum in device seconds (scaled per tenant by
+     *  weight). */
+    double quantum_s = 0.004;
+
+    /** Max frames co-scheduled in one batch (one per tenant; the
+     *  round-robin cursor carries across rounds, so a cut batch
+     *  resumes where it stopped). */
+    int batch_max = 4;
+
+    /** Dispatch overhead charged once per encode batch. */
+    double batch_overhead_s = 0.0002;
+
+    /** Admission stops when the summed estimated utilization of
+     *  admitted tenants would exceed this. */
+    double admission_utilization_cap = 1.0;
+
+    bool cache_enabled = true;
+    std::size_t cache_capacity = 64;
+    /** Device seconds charged for serving a frame from the cache. */
+    double cache_hit_cost_s = 0.0001;
+
+    /** Optional injected compute load (LoadSpec semantics from the
+     *  overload subsystem, keyed by per-tenant frame index). */
+    LoadSpec load{};
+};
+
+/** Why a served frame left the scheduler the way it did. */
+enum class ServeOutcome : std::uint8_t {
+    kEncoded = 0,   ///< encoded on the device
+    kCacheHit = 1,  ///< adopted from the reference cache
+    kDropped = 2,   ///< shed by queue backpressure, never encoded
+};
+
+const char *serveOutcomeName(ServeOutcome outcome);
+
+/** One frame's service record. */
+struct ServedFrame {
+    std::uint32_t frame_id = 0;
+    ServeOutcome outcome = ServeOutcome::kEncoded;
+
+    double arrival_s = 0.0;     ///< virtual capture time
+    double start_s = 0.0;       ///< batch dispatch time
+    double completion_s = 0.0;  ///< service completion time
+    /** Device seconds charged (encode cost or cache-hit cost). */
+    double cost_s = 0.0;
+    bool deadline_missed = false;
+
+    /** Encoded bytes (also filled on cache hits; empty on drops). */
+    std::vector<std::uint8_t> bitstream;
+    FrameStats stats{};
+};
+
+/** Per-tenant aggregate accounting. */
+struct TenantStats {
+    std::size_t frames = 0;  ///< frames offered
+    std::size_t served = 0;  ///< encoded + cache hits
+    std::size_t encoded = 0;
+    std::size_t cache_hits = 0;
+    std::size_t dropped = 0;
+    std::size_t deadline_misses = 0;
+
+    /** Device seconds charged to this tenant. */
+    double device_s = 0.0;
+    /** Per-frame completion budget (class slack / fps). */
+    double deadline_s = 0.0;
+
+    /** Observed DRR deficit extremes (the fairness invariant). */
+    double min_deficit_s = 0.0;
+    double max_deficit_s = 0.0;
+    /** Largest single charged frame cost (the overdraft bound). */
+    double max_frame_cost_s = 0.0;
+
+    /** arrival -> completion latency of every served frame. */
+    std::vector<double> latency_s;
+};
+
+/** One tenant's full report. */
+struct TenantReport {
+    std::string name;
+    DeadlineClass deadline_class = DeadlineClass::kStandard;
+    double weight = 1.0;
+
+    bool admitted = false;
+    /** Empty when admitted; otherwise "admission-cap" or
+     *  "exceeds-device-capacity". */
+    std::string rejection_reason;
+    /** Probe-estimated share of the device (cost * fps). */
+    double estimated_utilization = 0.0;
+
+    /** Served/dropped frames in frame order. */
+    std::vector<ServedFrame> frames;
+    TenantStats stats;
+};
+
+/** Fleet-level accounting. */
+struct FleetStats {
+    std::size_t sessions = 0;
+    std::size_t admitted = 0;
+    std::size_t rejected = 0;
+
+    double device_busy_s = 0.0;
+    double makespan_s = 0.0;
+    std::size_t rounds = 0;
+    std::size_t batches = 0;
+    std::size_t batched_frames = 0;
+
+    double utilization() const;
+    /** Sessions one such device sustains at full utilization. */
+    double sessionsPerDevice() const;
+};
+
+/** One service event, in device (virtual-time) order. */
+struct ServeTraceEntry {
+    std::string tenant;
+    std::uint32_t frame_id = 0;
+    ServeOutcome outcome = ServeOutcome::kEncoded;
+    bool deadline_missed = false;
+};
+
+/** The scheduler's full output. */
+struct ServeReport {
+    std::vector<TenantReport> tenants;  ///< input order
+    FleetStats fleet;
+    CacheStats cache;
+    std::vector<ServeTraceEntry> trace;
+
+    /** Jain fairness index over admitted tenants' weighted device
+     *  share (1.0 = perfectly fair). */
+    double fairness_index = 1.0;
+};
+
+/**
+ * Jain's fairness index (sum x)^2 / (n * sum x^2) over non-negative
+ * shares; 1.0 for empty or all-zero input.
+ */
+double jainFairnessIndex(const std::vector<double> &shares);
+
+/**
+ * Renders the device-order service trace as one pinnable string:
+ * "<tenant><frame>" per event, '*' = cache hit, '-' = dropped,
+ * '!' = deadline missed, e.g. "A0 B0 B1* C0! A3-".
+ */
+std::string traceString(const ServeReport &report);
+
+/** Multiplexes N tenant streams over one modelled device. */
+class ServeScheduler
+{
+  public:
+    ServeScheduler(ServeConfig config,
+                   std::vector<TenantSpec> tenants);
+
+    /**
+     * Admits, schedules and encodes every tenant stream to
+     * completion. Deterministic: depends only on the configs and
+     * frames, never on wall clock or thread interleaving.
+     */
+    Expected<ServeReport> run();
+
+  private:
+    ServeConfig config_;
+    std::vector<TenantSpec> tenants_;
+};
+
+}  // namespace serve
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_SERVE_SERVE_SCHEDULER_H

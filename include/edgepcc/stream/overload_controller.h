@@ -135,12 +135,33 @@ struct LoadSpec {
     bool isIdle() const;
 };
 
+/**
+ * Which clock feeds the ladder's per-frame encode latency.
+ *
+ * kModelled charges the EdgeDeviceModel seconds of the recorded
+ * profile (deterministic, wall-clock free — the default, and what
+ * every pinned tier-1 trace uses). kWallClock charges the measured
+ * host seconds recorded per stage instead, for deployments where
+ * the encoder actually runs on the serving hardware; traces then
+ * depend on the machine, so tests pin only the extreme deadlines.
+ */
+enum class OverloadBudgetSource : std::uint8_t {
+    kModelled = 0,
+    kWallClock = 1,
+};
+
+const char *overloadBudgetSourceName(OverloadBudgetSource source);
+
 /** Overload-subsystem knobs (SessionConfig::overload). */
 struct OverloadConfig {
     bool enabled = false;
 
     /** Per-frame encode budget. 0 = derive from target_fps. */
     double deadline_s = 0.0;
+
+    /** Latency source the ladder reacts to (modelled by default). */
+    OverloadBudgetSource budget_source =
+        OverloadBudgetSource::kModelled;
     /** Frame cadence; also the admission arrival rate. */
     double target_fps = 30.0;
 
@@ -292,6 +313,29 @@ class OverloadController
     double ewma_utilization_ EDGEPCC_GUARDED_BY(mutex_) = 0.0;
     int headroom_streak_ EDGEPCC_GUARDED_BY(mutex_) = 0;
 };
+
+/**
+ * One frame's effective encode latency as the ladder (or the fleet
+ * scheduler) sees it, folded over the per-stage timings.
+ */
+struct EffectiveLatency {
+    /** Total effective seconds across all stages. */
+    double total_s = 0.0;
+    /** The single most expensive stage (the watchdog's subject). */
+    double worst_stage_s = 0.0;
+    std::string worst_stage;
+};
+
+/**
+ * The per-tenant latency hook shared by StreamSession and the serve
+ * scheduler: selects the budget source (modelled device seconds or
+ * measured host seconds), scales each stage by the injected LoadSpec
+ * and the frame's seeded jitter, and reports the worst stage for the
+ * soft-timeout watchdog. Deterministic for kModelled.
+ */
+EffectiveLatency effectiveEncodeLatency(const PipelineTiming &timing,
+                                        const OverloadConfig &config,
+                                        std::uint32_t frame_id);
 
 /**
  * Requantizes a cloud to `drop_bits` fewer grid bits, merging the

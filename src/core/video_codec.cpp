@@ -196,6 +196,26 @@ VideoEncoder::updateCoding(const CodecConfig &config)
         config_.gop_size = 1;
 }
 
+VideoEncoder::StateSnapshot
+VideoEncoder::snapshotState() const
+{
+    StateSnapshot state;
+    state.config = config_;
+    state.frame_counter = frame_counter_;
+    state.reference = reference_;
+    state.has_reference = has_reference_;
+    return state;
+}
+
+void
+VideoEncoder::restoreState(const StateSnapshot &state)
+{
+    config_ = state.config;
+    frame_counter_ = state.frame_counter;
+    reference_ = state.reference;
+    has_reference_ = state.has_reference;
+}
+
 Expected<EncodedFrame>
 VideoEncoder::encode(const VoxelCloud &cloud)
 {

@@ -1,0 +1,620 @@
+#include "edgepcc/serve/serve_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "edgepcc/common/trace.h"
+#include "edgepcc/parallel/thread_pool.h"
+
+namespace edgepcc {
+namespace serve {
+
+namespace {
+
+/** Arrival tolerance: frame f "has arrived" at T when
+ *  offset + f/fps <= T + kArrivalEps (matches StreamSession). */
+constexpr double kArrivalEps = 1e-9;
+
+}  // namespace
+
+const char *
+deadlineClassName(DeadlineClass deadline_class)
+{
+    switch (deadline_class) {
+      case DeadlineClass::kInteractive:
+        return "interactive";
+      case DeadlineClass::kStandard:
+        return "standard";
+      case DeadlineClass::kBulk:
+        return "bulk";
+    }
+    return "unknown";
+}
+
+double
+deadlineClassSlack(DeadlineClass deadline_class)
+{
+    switch (deadline_class) {
+      case DeadlineClass::kInteractive:
+        return 1.0;
+      case DeadlineClass::kStandard:
+        return 2.0;
+      case DeadlineClass::kBulk:
+        return 4.0;
+    }
+    return 2.0;
+}
+
+const char *
+serveOutcomeName(ServeOutcome outcome)
+{
+    switch (outcome) {
+      case ServeOutcome::kEncoded:
+        return "encoded";
+      case ServeOutcome::kCacheHit:
+        return "cache-hit";
+      case ServeOutcome::kDropped:
+        return "dropped";
+    }
+    return "unknown";
+}
+
+double
+FleetStats::utilization() const
+{
+    return makespan_s > 0.0 ? device_busy_s / makespan_s : 0.0;
+}
+
+double
+FleetStats::sessionsPerDevice() const
+{
+    const double util = utilization();
+    return util > 0.0 ? static_cast<double>(admitted) / util : 0.0;
+}
+
+double
+jainFairnessIndex(const std::vector<double> &shares)
+{
+    if (shares.empty())
+        return 1.0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (double x : shares) {
+        sum += x;
+        sum_sq += x * x;
+    }
+    if (sum_sq <= 0.0)
+        return 1.0;
+    return (sum * sum) /
+           (static_cast<double>(shares.size()) * sum_sq);
+}
+
+std::string
+traceString(const ServeReport &report)
+{
+    std::string out;
+    for (const ServeTraceEntry &entry : report.trace) {
+        if (!out.empty())
+            out += ' ';
+        out += entry.tenant;
+        out += std::to_string(entry.frame_id);
+        if (entry.outcome == ServeOutcome::kCacheHit)
+            out += '*';
+        if (entry.outcome == ServeOutcome::kDropped)
+            out += '-';
+        if (entry.deadline_missed)
+            out += '!';
+    }
+    return out;
+}
+
+// -----------------------------------------------------------------
+// ServeScheduler
+// -----------------------------------------------------------------
+
+namespace {
+
+/** Scheduler-internal per-tenant state. */
+struct TenantState {
+    std::size_t input_index = 0;
+    const TenantSpec *spec = nullptr;
+    TenantReport *report = nullptr;
+
+    VideoEncoder encoder;
+    std::size_t next_frame = 0;
+    bool done = false;
+
+    double deficit_s = 0.0;
+    double quantum_s = 0.0;  ///< config quantum * weight
+    double budget_s = 0.0;   ///< per-frame completion budget
+    std::uint64_t stream_key = 0;
+
+    explicit TenantState(const TenantSpec &tenant_spec)
+        : spec(&tenant_spec), encoder(tenant_spec.codec),
+          next_frame(0)
+    {
+    }
+
+    double
+    arrivalOf(std::size_t frame) const
+    {
+        return spec->arrival_offset_s +
+               static_cast<double>(frame) / spec->fps;
+    }
+
+    /** Arrived-unserved frame count at virtual time `now_s`. */
+    std::size_t
+    backlogAt(double now_s) const
+    {
+        if (done || next_frame >= spec->frames.size())
+            return 0;
+        const double since =
+            now_s - spec->arrival_offset_s + kArrivalEps;
+        if (since < 0.0)
+            return 0;
+        std::size_t last = static_cast<std::size_t>(
+            since * spec->fps);
+        last = std::min(last, spec->frames.size() - 1);
+        return last >= next_frame ? last - next_frame + 1 : 0;
+    }
+};
+
+/** One co-scheduled frame (at most one per tenant per batch). */
+struct BatchItem {
+    TenantState *tenant = nullptr;
+    std::uint32_t frame_id = 0;
+    std::uint64_t stream_key = 0;
+    std::shared_ptr<const CacheEntry> hit;
+
+    // Filled by the encode task, read after the batch barrier.
+    Status status;  ///< default-constructed = OK
+    EncodedFrame encoded;
+    VideoEncoder::StateSnapshot state_after;
+    bool have_snapshot = false;
+};
+
+/** Per-batch completion latch (the scheduler may not use
+ *  ThreadPool::wait(): it would also wait on unrelated work). */
+class BatchSync
+{
+  public:
+    void
+    add(std::size_t count)
+    {
+        MutexLock lock(mutex_);
+        pending_ += count;
+    }
+
+    void
+    finishOne()
+    {
+        MutexLock lock(mutex_);
+        if (--pending_ == 0)
+            done_.notifyAll();
+    }
+
+    /** Blocks until the batch drains, helping run queued tasks so a
+     *  zero/busy-worker pool still makes progress. */
+    void
+    waitAll(ThreadPool &pool)
+    {
+        for (;;) {
+            {
+                MutexLock lock(mutex_);
+                if (pending_ == 0)
+                    return;
+            }
+            if (pool.tryRunOne())
+                continue;
+            MutexLock lock(mutex_);
+            while (pending_ > 0)
+                done_.wait(mutex_);
+            return;
+        }
+    }
+
+  private:
+    Mutex mutex_;
+    CondVar done_;
+    std::size_t pending_ EDGEPCC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+ServeScheduler::ServeScheduler(ServeConfig config,
+                               std::vector<TenantSpec> tenants)
+    : config_(std::move(config)), tenants_(std::move(tenants))
+{
+}
+
+Expected<ServeReport>
+ServeScheduler::run()
+{
+    ScopedTrace trace("serve.run");
+
+    if (tenants_.empty())
+        return invalidArgument("ServeScheduler::run: no tenants");
+    if (config_.quantum_s <= 0.0)
+        return invalidArgument(
+            "ServeScheduler::run: quantum_s must be > 0");
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        const TenantSpec &spec = tenants_[i];
+        if (spec.name.empty())
+            return invalidArgument(
+                "ServeScheduler::run: tenant without a name");
+        if (spec.frames.empty())
+            return invalidArgument("ServeScheduler::run: tenant '" +
+                                   spec.name + "' has no frames");
+        if (spec.fps <= 0.0 || spec.weight <= 0.0)
+            return invalidArgument("ServeScheduler::run: tenant '" +
+                                   spec.name +
+                                   "' needs fps > 0 and weight > 0");
+        for (std::size_t j = 0; j < i; ++j) {
+            if (tenants_[j].name == spec.name)
+                return invalidArgument(
+                    "ServeScheduler::run: duplicate tenant name '" +
+                    spec.name + "'");
+        }
+    }
+
+    ServeReport report;
+    report.tenants.resize(tenants_.size());
+    report.fleet.sessions = tenants_.size();
+
+    const EdgeDeviceModel device_model(config_.device);
+    // The shared per-tenant latency hook only reads the load spec
+    // and the budget source; serve always charges modelled seconds.
+    OverloadConfig latency_config;
+    latency_config.load = config_.load;
+    latency_config.budget_source = OverloadBudgetSource::kModelled;
+
+    // ---------------- Admission control -------------------------
+    // Probe-encode each tenant's first frame to estimate its share
+    // of the device, then admit in deadline-class priority order
+    // (earlier arrivals first within a class) until the utilization
+    // cap is reached. The probe uses a scratch encoder, so the real
+    // per-tenant encoder state is untouched.
+    {
+        ScopedTrace admission_trace("serve.admission");
+        for (std::size_t i = 0; i < tenants_.size(); ++i) {
+            const TenantSpec &spec = tenants_[i];
+            TenantReport &tenant_report = report.tenants[i];
+            tenant_report.name = spec.name;
+            tenant_report.deadline_class = spec.deadline_class;
+            tenant_report.weight = spec.weight;
+
+            VideoEncoder probe(spec.codec);
+            auto probed = probe.encode(spec.frames.front());
+            if (!probed)
+                return probed.status();
+            const PipelineTiming timing =
+                device_model.evaluate(probed->profile);
+            tenant_report.estimated_utilization =
+                timing.modelSeconds() * spec.fps;
+        }
+    }
+
+    std::vector<std::size_t> admission_order(tenants_.size());
+    std::iota(admission_order.begin(), admission_order.end(),
+              std::size_t{0});
+    std::stable_sort(
+        admission_order.begin(), admission_order.end(),
+        [this](std::size_t a, std::size_t b) {
+            const TenantSpec &ta = tenants_[a];
+            const TenantSpec &tb = tenants_[b];
+            if (ta.deadline_class != tb.deadline_class)
+                return ta.deadline_class < tb.deadline_class;
+            if (ta.arrival_offset_s != tb.arrival_offset_s)
+                return ta.arrival_offset_s < tb.arrival_offset_s;
+            return a < b;
+        });
+
+    const double cap = config_.admission_utilization_cap;
+    double admitted_utilization = 0.0;
+    for (std::size_t index : admission_order) {
+        TenantReport &tenant_report = report.tenants[index];
+        const double util = tenant_report.estimated_utilization;
+        if (util > cap * (1.0 + kArrivalEps)) {
+            tenant_report.rejection_reason =
+                "exceeds-device-capacity";
+        } else if (admitted_utilization + util >
+                   cap * (1.0 + kArrivalEps)) {
+            tenant_report.rejection_reason = "admission-cap";
+        } else {
+            tenant_report.admitted = true;
+            admitted_utilization += util;
+        }
+    }
+
+    // ---------------- Scheduler state ---------------------------
+    std::vector<TenantState> states;
+    states.reserve(tenants_.size());
+    for (std::size_t index : admission_order) {
+        if (!report.tenants[index].admitted)
+            continue;
+        states.emplace_back(tenants_[index]);
+        TenantState &state = states.back();
+        state.input_index = index;
+        state.report = &report.tenants[index];
+        state.quantum_s =
+            config_.quantum_s * tenants_[index].weight;
+        state.budget_s =
+            deadlineClassSlack(tenants_[index].deadline_class) /
+            tenants_[index].fps;
+        state.stream_key =
+            codecConfigDigest(tenants_[index].codec);
+        state.report->stats.frames = tenants_[index].frames.size();
+        state.report->stats.deadline_s = state.budget_s;
+    }
+    report.fleet.admitted = states.size();
+    report.fleet.rejected = tenants_.size() - states.size();
+
+    ReferenceCache cache(config_.cache_capacity);
+    ThreadPool &pool = ThreadPool::global();
+    const int batch_max = std::max(config_.batch_max, 1);
+    const std::size_t window_base = 1;  // the frame being encoded
+
+    std::size_t unfinished = states.size();
+    double now_s = 0.0;
+    std::size_t cursor = 0;
+
+    const auto finishIfDone = [&](TenantState &state) {
+        if (!state.done &&
+            state.next_frame >= state.spec->frames.size()) {
+            state.done = true;
+            --unfinished;
+        }
+    };
+
+    const auto dropStale = [&](TenantState &state) {
+        // Oldest-drop backpressure, the StreamSession rule lifted
+        // fleet-wide: keep the newest queue_capacity + 1 arrived
+        // frames, shed the rest without encoding them.
+        const std::size_t window =
+            static_cast<std::size_t>(
+                std::max(state.spec->queue_capacity, 0)) +
+            window_base;
+        std::size_t backlog = state.backlogAt(now_s);
+        while (backlog > window) {
+            const auto frame_id =
+                static_cast<std::uint32_t>(state.next_frame);
+            ServedFrame record;
+            record.frame_id = frame_id;
+            record.outcome = ServeOutcome::kDropped;
+            record.arrival_s = state.arrivalOf(state.next_frame);
+            record.start_s = now_s;
+            record.completion_s = now_s;
+            state.report->frames.push_back(std::move(record));
+            ++state.report->stats.dropped;
+            ServeTraceEntry entry;
+            entry.tenant = state.spec->name;
+            entry.frame_id = frame_id;
+            entry.outcome = ServeOutcome::kDropped;
+            report.trace.push_back(std::move(entry));
+            ++state.next_frame;
+            --backlog;
+        }
+        finishIfDone(state);
+    };
+
+    // ---------------- DRR round loop ----------------------------
+    while (unfinished > 0) {
+        ++report.fleet.rounds;
+
+        for (TenantState &state : states)
+            dropStale(state);
+        if (unfinished == 0)
+            break;
+
+        // Select up to batch_max backlogged tenants, one frame
+        // each, starting at the round-robin cursor (which carries
+        // across rounds so a cut batch resumes where it stopped).
+        std::vector<BatchItem> batch;
+        bool any_backlog = false;
+        std::size_t examined = 0;
+        std::size_t index = cursor;
+        for (; examined < states.size(); ++examined, ++index) {
+            TenantState &state = states[index % states.size()];
+            if (state.done)
+                continue;
+            if (state.backlogAt(now_s) == 0) {
+                // Idle tenants forfeit their deficit: DRR's
+                // classic no-banking-while-empty rule.
+                state.deficit_s = 0.0;
+                continue;
+            }
+            any_backlog = true;
+            state.deficit_s =
+                std::min(state.deficit_s + state.quantum_s,
+                         state.quantum_s);
+            state.report->stats.max_deficit_s =
+                std::max(state.report->stats.max_deficit_s,
+                         state.deficit_s);
+            if (state.deficit_s <= 0.0)
+                continue;  // still repaying an overdraft
+            BatchItem item;
+            item.tenant = &state;
+            item.frame_id =
+                static_cast<std::uint32_t>(state.next_frame);
+            state.stream_key = chainStreamKey(
+                state.stream_key,
+                cloudDigest(state.spec->frames[state.next_frame]));
+            item.stream_key = state.stream_key;
+            if (config_.cache_enabled)
+                item.hit = cache.find(item.stream_key);
+            ++state.next_frame;
+            batch.push_back(std::move(item));
+            if (batch.size() >=
+                static_cast<std::size_t>(batch_max)) {
+                ++examined;
+                ++index;
+                break;
+            }
+        }
+        cursor = index % states.size();
+
+        if (batch.empty()) {
+            if (any_backlog)
+                continue;  // all in overdraft: grant another round
+            // Nothing has arrived yet: jump to the next arrival.
+            double next_arrival = -1.0;
+            for (const TenantState &state : states) {
+                if (state.done)
+                    continue;
+                const double arrival =
+                    state.arrivalOf(state.next_frame);
+                if (next_arrival < 0.0 || arrival < next_arrival)
+                    next_arrival = arrival;
+            }
+            now_s = std::max(now_s, next_arrival);
+            continue;
+        }
+
+        // Encode the batch: tenants run concurrently on the shared
+        // pool (interactive at high priority), cache hits only
+        // restore encoder state. Every tenant appears at most once
+        // per batch, so tasks never share an encoder.
+        {
+            ScopedTrace batch_trace("serve.batch");
+            BatchSync sync;
+            sync.add(batch.size());
+            const bool want_snapshot = config_.cache_enabled;
+            for (BatchItem &item : batch) {
+                const auto task = [&item, want_snapshot, &sync] {
+                    TenantState &state = *item.tenant;
+                    if (item.hit) {
+                        state.encoder.restoreState(
+                            item.hit->state_after);
+                    } else {
+                        auto encoded = state.encoder.encode(
+                            state.spec->frames[item.frame_id]);
+                        if (encoded.hasValue()) {
+                            item.encoded = std::move(*encoded);
+                            if (want_snapshot) {
+                                item.state_after =
+                                    state.encoder.snapshotState();
+                                item.have_snapshot = true;
+                            }
+                        } else {
+                            item.status = encoded.status();
+                        }
+                    }
+                    sync.finishOne();
+                };
+                const TaskPriority priority =
+                    item.tenant->spec->deadline_class ==
+                            DeadlineClass::kInteractive
+                        ? TaskPriority::kHigh
+                        : TaskPriority::kNormal;
+                pool.submit(task, priority);
+            }
+            sync.waitAll(pool);
+        }
+        for (const BatchItem &item : batch) {
+            if (!item.status.isOk())
+                return item.status;
+        }
+
+        // Settle in selection order: the single modelled device
+        // executes the batch serially, so completion times (and the
+        // trace) are deterministic.
+        ++report.fleet.batches;
+        report.fleet.batched_frames += batch.size();
+        const double batch_start_s = now_s;
+        now_s += config_.batch_overhead_s;
+        report.fleet.device_busy_s += config_.batch_overhead_s;
+        for (BatchItem &item : batch) {
+            TenantState &state = *item.tenant;
+            TenantStats &stats = state.report->stats;
+
+            ServedFrame record;
+            record.frame_id = item.frame_id;
+            record.arrival_s = state.arrivalOf(item.frame_id);
+            record.start_s = batch_start_s;
+
+            double cost_s = 0.0;
+            if (item.hit) {
+                record.outcome = ServeOutcome::kCacheHit;
+                cost_s = config_.cache_hit_cost_s;
+                cache.recordSavings(
+                    std::max(item.hit->device_cost_s - cost_s,
+                             0.0));
+                record.bitstream = item.hit->bitstream;
+                record.stats = item.hit->stats;
+                ++stats.cache_hits;
+            } else {
+                record.outcome = ServeOutcome::kEncoded;
+                const PipelineTiming timing =
+                    device_model.evaluate(item.encoded.profile);
+                cost_s = effectiveEncodeLatency(timing,
+                                                latency_config,
+                                                item.frame_id)
+                             .total_s;
+                record.bitstream =
+                    std::move(item.encoded.bitstream);
+                record.stats = item.encoded.stats;
+                ++stats.encoded;
+            }
+
+            now_s += cost_s;
+            record.cost_s = cost_s;
+            record.completion_s = now_s;
+            const double latency_s =
+                record.completion_s - record.arrival_s;
+            record.deadline_missed =
+                state.budget_s > 0.0 &&
+                latency_s > state.budget_s * (1.0 + kArrivalEps);
+
+            state.deficit_s -= cost_s;
+            stats.min_deficit_s =
+                std::min(stats.min_deficit_s, state.deficit_s);
+            stats.max_frame_cost_s =
+                std::max(stats.max_frame_cost_s, cost_s);
+            stats.device_s += cost_s;
+            stats.latency_s.push_back(latency_s);
+            ++stats.served;
+            if (record.deadline_missed)
+                ++stats.deadline_misses;
+            report.fleet.device_busy_s += cost_s;
+
+            if (!item.hit && config_.cache_enabled &&
+                item.have_snapshot) {
+                CacheEntry entry;
+                entry.bitstream = record.bitstream;
+                entry.stats = record.stats;
+                entry.state_after = std::move(item.state_after);
+                entry.device_cost_s = cost_s;
+                cache.insert(item.stream_key, std::move(entry));
+            }
+
+            ServeTraceEntry entry;
+            entry.tenant = state.spec->name;
+            entry.frame_id = record.frame_id;
+            entry.outcome = record.outcome;
+            entry.deadline_missed = record.deadline_missed;
+            report.trace.push_back(std::move(entry));
+
+            state.report->frames.push_back(std::move(record));
+            finishIfDone(state);
+        }
+    }
+
+    report.fleet.makespan_s = now_s;
+    report.cache = cache.stats();
+
+    std::vector<double> shares;
+    shares.reserve(states.size());
+    for (const TenantState &state : states)
+        shares.push_back(state.report->stats.device_s /
+                         state.spec->weight);
+    report.fairness_index = jainFairnessIndex(shares);
+
+    // Served/dropped frames were appended as scheduled; per-tenant
+    // frame order is already monotonic by construction.
+    return report;
+}
+
+}  // namespace serve
+}  // namespace edgepcc

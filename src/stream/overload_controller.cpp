@@ -44,6 +44,18 @@ overloadRungName(OverloadRung rung)
 }
 
 const char *
+overloadBudgetSourceName(OverloadBudgetSource source)
+{
+    switch (source) {
+      case OverloadBudgetSource::kModelled:
+        return "modelled";
+      case OverloadBudgetSource::kWallClock:
+        return "wall-clock";
+    }
+    return "unknown";
+}
+
+const char *
 overloadEventName(OverloadEvent event)
 {
     switch (event) {
@@ -317,6 +329,34 @@ OverloadController::configForRung(const CodecConfig &base,
         derived.gop_size = 1 << 20;
     }
     return derived;
+}
+
+// -----------------------------------------------------------------
+// effectiveEncodeLatency
+// -----------------------------------------------------------------
+
+EffectiveLatency
+effectiveEncodeLatency(const PipelineTiming &timing,
+                       const OverloadConfig &config,
+                       std::uint32_t frame_id)
+{
+    const LoadSpec &load = config.load;
+    const double jitter = load.jitterFor(frame_id);
+    EffectiveLatency eff;
+    for (const StageTiming &stage : timing.stages) {
+        const double base =
+            config.budget_source == OverloadBudgetSource::kWallClock
+                ? stage.host_seconds
+                : stage.model_seconds;
+        const double stage_s =
+            base * load.factorFor(frame_id, stage.name) * jitter;
+        eff.total_s += stage_s;
+        if (stage_s > eff.worst_stage_s) {
+            eff.worst_stage_s = stage_s;
+            eff.worst_stage = stage.name;
+        }
+    }
+    return eff;
 }
 
 // -----------------------------------------------------------------

@@ -505,29 +505,20 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
         info.encode_profile = std::move(encoded->profile);
 
         if (overload_on) {
-            // Effective encode latency: modelled device seconds per
-            // stage, scaled by the injected load. The watchdog
-            // checks each stage against its soft-timeout share of
-            // the deadline before the frame total is judged.
+            // Effective encode latency: per-stage seconds from the
+            // configured budget source (modelled device time by
+            // default, measured host time in wall-clock mode),
+            // scaled by the injected load. The watchdog checks each
+            // stage against its soft-timeout share of the deadline
+            // before the frame total is judged.
             const PipelineTiming timing =
                 device_model.evaluate(info.encode_profile);
-            const double jitter = load.jitterFor(frame_id32);
-            double effective_s = 0.0;
-            double worst_stage_s = 0.0;
-            std::string worst_stage;
-            for (const StageTiming &stage : timing.stages) {
-                const double stage_s =
-                    stage.model_seconds *
-                    load.factorFor(frame_id32, stage.name) * jitter;
-                effective_s += stage_s;
-                if (stage_s > worst_stage_s) {
-                    worst_stage_s = stage_s;
-                    worst_stage = stage.name;
-                }
-            }
+            const EffectiveLatency eff = effectiveEncodeLatency(
+                timing, session_.overload, frame_id32);
+            const double effective_s = eff.total_s;
             const bool stalled =
                 budget_s > 0.0 &&
-                worst_stage_s >
+                eff.worst_stage_s >
                     budget_s *
                         session_.overload.stage_soft_timeout_fraction;
             const OverloadEvent event =
@@ -545,7 +536,7 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
             record.deadline_missed = missed;
             record.queue_depth = queue_depth;
             if (stalled)
-                record.stalled_stage = worst_stage;
+                record.stalled_stage = eff.worst_stage;
             overload.ladder.push_back(std::move(record));
             ++overload.rung_occupancy[static_cast<int>(rung)];
             overload.encode_latency_s.push_back(effective_s);

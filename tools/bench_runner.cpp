@@ -17,6 +17,7 @@
  *                [--loss R] [--channel-seed N]
  *                [--network wifi|lte|5g] [--mtu N] [--fec-group K]
  *                [--deadline-ms MS] [--load-spec SPEC]
+ *                [--sessions N]
  *
  * With --loss R the same workload additionally runs through the
  * loss-resilient StreamSession over a ChannelSpec::lossy(R) channel
@@ -35,8 +36,17 @@
  * section (rung occupancy, deadline-miss rate, modelled encode
  * latency percentiles incl. p99) is added. Fully deterministic:
  * the ladder walks modelled Jetson seconds, not host time.
+ *
+ * With --sessions N a fleet of N tenant streams (deadline classes
+ * cycled, content shared in pairs so the reference cache engages)
+ * runs through the multi-tenant ServeScheduler and a "serve" JSON
+ * section is added: sessions per device, per-tenant latency
+ * percentiles incl. the worst-tenant p99, the Jain fairness index
+ * and cache hit accounting. Deterministic for the same reason the
+ * overload section is: the fleet runs on the virtual device clock.
  */
 
+#include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -55,6 +65,7 @@
 #include "edgepcc/metrics/quality.h"
 #include "edgepcc/parallel/thread_pool.h"
 #include "edgepcc/platform/device_model.h"
+#include "edgepcc/serve/serve_scheduler.h"
 #include "edgepcc/stream/overload_controller.h"
 #include "edgepcc/stream/pipeline.h"
 #include "edgepcc/stream/stream_session.h"
@@ -265,6 +276,76 @@ runOverload(const std::vector<VoxelCloud> &frames,
     return metrics;
 }
 
+/** Multi-tenant fleet results (present only with --sessions). */
+struct ServeBenchMetrics {
+    bool enabled = false;
+    int sessions = 0;
+    serve::ServeReport report;
+    /** arrival..completion percentiles per admitted tenant, in
+     *  report order. */
+    std::vector<PercentileStats> tenant_latency;
+    double worst_tenant_p99_s = 0.0;
+};
+
+/**
+ * Runs a fleet of `sessions` tenant streams over the serve
+ * scheduler. Deadline classes cycle interactive/standard/bulk;
+ * consecutive tenant pairs share a content seed so the reference
+ * cache sees realistic popular-content reuse. Deterministic: the
+ * fleet is scheduled on the virtual device clock.
+ */
+Expected<ServeBenchMetrics>
+runServe(const CodecConfig &config, int sessions,
+         std::uint64_t seed, int frames, std::size_t points)
+{
+    std::vector<serve::TenantSpec> tenants;
+    tenants.reserve(static_cast<std::size_t>(sessions));
+    for (int t = 0; t < sessions; ++t) {
+        serve::TenantSpec tenant;
+        tenant.name = "tenant-" + std::to_string(t);
+        tenant.codec = config;
+        VideoSpec spec;
+        spec.name = "serve-bench";
+        spec.seed = seed * 1000 +
+                    static_cast<std::uint64_t>(t / 2);
+        spec.target_points = points;
+        const SyntheticHumanVideo video(spec);
+        tenant.frames.reserve(static_cast<std::size_t>(frames));
+        for (int f = 0; f < frames; ++f)
+            tenant.frames.push_back(video.frame(f));
+        tenant.deadline_class = static_cast<serve::DeadlineClass>(
+            t % serve::kDeadlineClassCount);
+        tenant.weight = 1.0 + static_cast<double>(t % 2);
+        tenant.arrival_offset_s = 0.004 * static_cast<double>(t);
+        // The bench gates tail latency and fairness across a fixed
+        // tenant set, so admit everyone and report utilization
+        // instead of shedding.
+        tenant.queue_capacity = 64;
+        tenants.push_back(std::move(tenant));
+    }
+
+    serve::ServeConfig fleet;
+    fleet.admission_utilization_cap = 1e9;
+    serve::ServeScheduler scheduler(fleet, std::move(tenants));
+    auto report = scheduler.run();
+    if (!report)
+        return report.status();
+
+    ServeBenchMetrics metrics;
+    metrics.enabled = true;
+    metrics.sessions = sessions;
+    metrics.report = std::move(*report);
+    for (const serve::TenantReport &tenant :
+         metrics.report.tenants) {
+        metrics.tenant_latency.push_back(
+            computePercentiles(tenant.stats.latency_s));
+        metrics.worst_tenant_p99_s =
+            std::max(metrics.worst_tenant_p99_s,
+                     metrics.tenant_latency.back().p99);
+    }
+    return metrics;
+}
+
 Expected<RunMetrics>
 runWorkload(const std::vector<VoxelCloud> &frames,
             const CodecConfig &config, const EdgeDeviceModel &model,
@@ -351,7 +432,8 @@ writeResults(const std::string &path, const CodecConfig &config,
              const RunMetrics &metrics, double overhead_fraction,
              std::size_t trace_events,
              const ResilienceMetrics &resilience,
-             const OverloadBenchMetrics &overload)
+             const OverloadBenchMetrics &overload,
+             const ServeBenchMetrics &serve_bench)
 {
     std::FILE *out = std::fopen(path.c_str(), "w");
     if (out == nullptr) {
@@ -575,6 +657,60 @@ writeResults(const std::string &path, const CodecConfig &config,
                    overload.encode_latency, "");
         (void)std::fprintf(out, "  },\n");
     }
+    if (serve_bench.enabled) {
+        const serve::ServeReport &fleet = serve_bench.report;
+        (void)std::fprintf(out, "  \"serve\": {\n");
+        (void)std::fprintf(out, "    \"sessions\": %d,\n",
+                     serve_bench.sessions);
+        (void)std::fprintf(out, "    \"admitted\": %zu,\n",
+                     fleet.fleet.admitted);
+        (void)std::fprintf(out, "    \"rejected\": %zu,\n",
+                     fleet.fleet.rejected);
+        (void)std::fprintf(out, "    \"makespan_s\": %.9g,\n",
+                     fleet.fleet.makespan_s);
+        (void)std::fprintf(out, "    \"device_busy_s\": %.9g,\n",
+                     fleet.fleet.device_busy_s);
+        (void)std::fprintf(out, "    \"utilization\": %.9g,\n",
+                     fleet.fleet.utilization());
+        (void)std::fprintf(out,
+                     "    \"sessions_per_device\": %.9g,\n",
+                     fleet.fleet.sessionsPerDevice());
+        (void)std::fprintf(out, "    \"fairness_index\": %.9g,\n",
+                     fleet.fairness_index);
+        (void)std::fprintf(out,
+                     "    \"worst_tenant_p99_s\": %.9g,\n",
+                     serve_bench.worst_tenant_p99_s);
+        (void)std::fprintf(
+            out,
+            "    \"cache\": {\"lookups\": %zu, \"hits\": %zu, "
+            "\"misses\": %zu, \"hit_rate\": %.9g, "
+            "\"saved_device_s\": %.9g},\n",
+            fleet.cache.lookups, fleet.cache.hits,
+            fleet.cache.misses, fleet.cache.hitRate(),
+            fleet.cache.saved_device_s);
+        (void)std::fprintf(out, "    \"tenants\": {\n");
+        for (std::size_t t = 0; t < fleet.tenants.size(); ++t) {
+            const serve::TenantReport &tenant = fleet.tenants[t];
+            const PercentileStats &lat =
+                serve_bench.tenant_latency[t];
+            (void)std::fprintf(
+                out,
+                "      \"%s\": {\"class\": \"%s\", "
+                "\"served\": %zu, \"dropped\": %zu, "
+                "\"cache_hits\": %zu, \"deadline_misses\": %zu, "
+                "\"latency_s\": {\"mean\": %.9g, \"p50\": %.9g, "
+                "\"p95\": %.9g, \"p99\": %.9g, \"max\": %.9g}}%s\n",
+                tenant.name.c_str(),
+                serve::deadlineClassName(tenant.deadline_class),
+                tenant.stats.served, tenant.stats.dropped,
+                tenant.stats.cache_hits,
+                tenant.stats.deadline_misses, lat.mean, lat.p50,
+                lat.p95, lat.p99, lat.max,
+                t + 1 < fleet.tenants.size() ? "," : "");
+        }
+        (void)std::fprintf(out, "    }\n");
+        (void)std::fprintf(out, "  },\n");
+    }
     (void)std::fprintf(out, "  \"trace\": {\n");
     (void)std::fprintf(out, "    \"events\": %zu,\n", trace_events);
     // NaN = measurement failed; slightly negative values are real
@@ -634,7 +770,7 @@ usage()
         "                    [--loss R] [--channel-seed N]\n"
         "                    [--network wifi|lte|5g] [--mtu N]\n"
         "                    [--fec-group K] [--deadline-ms MS]\n"
-        "                    [--load-spec SPEC]\n"
+        "                    [--load-spec SPEC] [--sessions N]\n"
         "\n"
         "  --loss R          run the loss-resilient session at\n"
         "                    chunk-loss rate R and add a\n"
@@ -654,7 +790,12 @@ usage()
         "                    JSON section\n"
         "  --load-spec SPEC  synthetic load for the overload run: a\n"
         "                    preset (none|burst2x|stall-geometry) or\n"
-        "                    key=value pairs (default none)\n");
+        "                    key=value pairs (default none)\n"
+        "  --sessions N      run N tenant streams through the\n"
+        "                    multi-tenant serve scheduler and add a\n"
+        "                    \"serve\" JSON section (per-tenant\n"
+        "                    latency percentiles, fairness index,\n"
+        "                    cache hit accounting)\n");
     return 2;
 }
 
@@ -678,6 +819,7 @@ main(int argc, char **argv)
     int fec_group = 4;
     double deadline_ms = -1.0;
     std::string load_spec = "none";
+    int sessions = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -757,6 +899,11 @@ main(int argc, char **argv)
             if (!v)
                 return usage();
             load_spec = v;
+        } else if (arg == "--sessions") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            sessions = std::atoi(v);
         } else {
             return usage();
         }
@@ -769,6 +916,11 @@ main(int argc, char **argv)
     if (fec_group < 1) {
         (void)std::fprintf(stderr,
                      "bench_runner: --fec-group must be >= 1\n");
+        return 2;
+    }
+    if (sessions < 0) {
+        (void)std::fprintf(stderr,
+                     "bench_runner: --sessions must be >= 1\n");
         return 2;
     }
     if (deadline_ms != -1.0 && deadline_ms <= 0.0) {
@@ -997,10 +1149,37 @@ main(int argc, char **argv)
             s.frames_skipped, overload.encode_latency.p99 * 1e3);
     }
 
+    ServeBenchMetrics serve_bench;
+    if (sessions > 0) {
+        // Smaller clouds per tenant: the fleet runs N whole
+        // streams, and the serve gates track scheduling tails, not
+        // single-stream cost (the end_to_end section covers that).
+        const std::size_t tenant_points =
+            std::max<std::size_t>(points / 4, 1000);
+        auto run = runServe(config, sessions, seed, frames,
+                            tenant_points);
+        if (!run) {
+            (void)std::fprintf(stderr, "bench_runner: %s\n",
+                         run.status().message().c_str());
+            return 1;
+        }
+        serve_bench = std::move(*run);
+        (void)std::fprintf(
+            stderr,
+            "serve with %d sessions: %.2f sessions/device, "
+            "fairness %.3f, worst-tenant p99 %.2f ms, cache hit "
+            "rate %.2f\n",
+            sessions,
+            serve_bench.report.fleet.sessionsPerDevice(),
+            serve_bench.report.fairness_index,
+            serve_bench.worst_tenant_p99_s * 1e3,
+            serve_bench.report.cache.hitRate());
+    }
+
     const int rc = writeResults(out_path, config, spec, frames,
                                 worker_count, *metrics,
                                 overhead_fraction, trace_events,
-                                resilience, overload);
+                                resilience, overload, serve_bench);
     if (rc == 0)
         (void)std::fprintf(stderr, "wrote %s (%d frames, config %s)\n",
                      out_path.c_str(), frames,

@@ -28,6 +28,11 @@ SCHEMA = "edgepcc-bench-v1"
 # of extra misses under the same load spec is a regression.
 MISS_RATE_TOL = 0.05
 
+# The Jain fairness index lives in (0, 1], so it too is gated on an
+# absolute drop: losing more than 0.05 of the index for the same
+# tenant mix means some tenant's share collapsed.
+FAIRNESS_TOL = 0.05
+
 
 def load(path):
     try:
@@ -186,6 +191,37 @@ def compare(old, new, latency_tol, ratio_tol, check_host):
     elif new_ol:
         lines.append("  overload: new (no baseline)")
 
+    # Multi-tenant fleet (--sessions runs): the worst tenant's p99
+    # completion latency on the virtual device clock, plus the Jain
+    # fairness index. Present only when both runs used --sessions; a
+    # section in just one run is reported but not gated.
+    old_sv = old.get("serve", {})
+    new_sv = new.get("serve", {})
+    if old_sv and new_sv:
+        check_latency(
+            "serve worst_tenant_p99",
+            old_sv["worst_tenant_p99_s"],
+            new_sv["worst_tenant_p99_s"],
+        )
+        old_fair = old_sv["fairness_index"]
+        new_fair = new_sv["fairness_index"]
+        drop = old_fair - new_fair
+        mark = ""
+        if drop > FAIRNESS_TOL:
+            mark = "  << REGRESSION"
+            regressions.append(
+                f"serve fairness_index: {old_fair:.4g} -> "
+                f"{new_fair:.4g} (-{drop:.4g} absolute, tol "
+                f"{FAIRNESS_TOL:.2g})"
+            )
+        lines.append(
+            f"  {'serve fairness_index':<34} "
+            f"{old_fair:>12.6g} {new_fair:>12.6g} "
+            f"{-drop:>+8.4f} {mark}"
+        )
+    elif new_sv:
+        lines.append("  serve: new (no baseline)")
+
     return regressions, lines
 
 
@@ -221,6 +257,10 @@ def self_test():
         "overload": {
             "deadline_miss_rate": 0.10,
             "encode_latency_s": {"p99": 0.0042},
+        },
+        "serve": {
+            "worst_tenant_p99_s": 0.085,
+            "fairness_index": 0.97,
         },
     }
     identical, _ = compare(base, base, 0.10, 0.02, True)
@@ -285,6 +325,26 @@ def self_test():
     del no_overload["overload"]
     found, _ = compare(no_overload, base, 0.10, 0.02, False)
     assert not found, "overload without a baseline is not gated"
+
+    tail_slow = copy.deepcopy(base)
+    tail_slow["serve"]["worst_tenant_p99_s"] *= 1.20
+    found, _ = compare(base, tail_slow, 0.10, 0.02, False)
+    assert found, "20% worst-tenant p99 slowdown must be flagged"
+
+    unfair = copy.deepcopy(base)
+    unfair["serve"]["fairness_index"] = 0.89
+    found, _ = compare(base, unfair, 0.10, 0.02, False)
+    assert found, "0.08 fairness-index drop must be flagged"
+
+    slightly_unfair = copy.deepcopy(base)
+    slightly_unfair["serve"]["fairness_index"] = 0.94
+    found, _ = compare(base, slightly_unfair, 0.10, 0.02, False)
+    assert not found, "0.03 fairness drop is within the tolerance"
+
+    no_serve = copy.deepcopy(base)
+    del no_serve["serve"]
+    found, _ = compare(no_serve, base, 0.10, 0.02, False)
+    assert not found, "serve without a baseline is not gated"
 
     print("compare_bench self-test: PASS")
     return 0
