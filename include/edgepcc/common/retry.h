@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared bounded-exponential-backoff policy.
+ *
+ * Two independent loss-recovery loops grew the same retry shape:
+ * the NACK/retransmit loop (stream_session.cpp, modelled backoff
+ * doubling per round) and the serve-layer circuit breaker
+ * (quarantine re-probe intervals). This policy factors the math out
+ * so both sides agree on what "exponential backoff" means and tests
+ * can pin one implementation.
+ *
+ * Deterministic: the optional jitter is drawn from a seeded
+ * splitmix64 keyed by (seed, attempt), never from wall clock or a
+ * shared RNG stream, so a given policy always produces the same
+ * backoff sequence.
+ */
+
+#ifndef EDGEPCC_COMMON_RETRY_H
+#define EDGEPCC_COMMON_RETRY_H
+
+#include <cstdint>
+
+namespace edgepcc {
+
+/** Bounded exponential backoff with optional seeded jitter. */
+struct RetryPolicy {
+    /** Total attempts allowed (first try included). */
+    int max_attempts = 3;
+
+    /** Backoff before attempt 2 (i.e. after the first failure). */
+    double initial_backoff_s = 0.008;
+
+    /** Growth factor per further attempt. */
+    double multiplier = 2.0;
+
+    /** Ceiling on any single backoff (pre-jitter). */
+    double max_backoff_s = 10.0;
+
+    /** Fractional jitter in [0, 1): each backoff is scaled by a
+     *  seeded draw from [1 - jitter, 1 + jitter]. 0 = none. */
+    double jitter = 0.0;
+    std::uint64_t seed = 1;
+
+    /**
+     * Backoff after `attempt` consecutive failures (1-based):
+     * min(initial * multiplier^(attempt-1), max) * jitterFor(attempt).
+     * Values < 1 are treated as 1.
+     */
+    double backoffFor(int attempt) const;
+
+    /** Seeded jitter multiplier for one attempt; 1.0 when
+     *  jitter == 0. Depends only on (seed, attempt). */
+    double jitterFor(int attempt) const;
+
+    /** Sum of backoffFor(1..attempts); the worst-case modelled
+     *  latency a caller can spend before giving up. */
+    double totalBackoff(int attempts) const;
+
+    /** True once `attempts_made` attempts have been used up. */
+    bool
+    exhausted(int attempts_made) const
+    {
+        return attempts_made >= max_attempts;
+    }
+};
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_COMMON_RETRY_H

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Per-tenant circuit breaker for the serve fleet.
+ *
+ * A tenant whose frames repeatedly fault (injected memory
+ * exhaustion, poisoned input) would otherwise keep consuming
+ * schedule slots: every round it gets selected, every encode
+ * fails, and the whole fleet pays. The breaker quarantines such
+ * tenants with the classic three-state machine:
+ *
+ *   closed     - requests flow; consecutive faults are counted.
+ *                `failure_threshold` consecutive faults trip the
+ *                breaker open.
+ *   open       - requests are denied until the quarantine expires.
+ *                The quarantine length comes from the shared
+ *                RetryPolicy (common/retry.h): it grows
+ *                exponentially with each consecutive trip
+ *                (seeded jitter optional), so a persistently
+ *                poisoned stream backs off harder and harder.
+ *   half-open  - the first request after the quarantine is allowed
+ *                through as a probe. Success closes the breaker
+ *                (and resets the backoff); failure re-opens it at
+ *                the next backoff step.
+ *
+ * Time is the scheduler's *virtual* device clock, never wall time,
+ * so breaker traces are deterministic and pinnable. The scheduler
+ * drives the breaker serially at selection/settle time; no
+ * internal locking is needed.
+ */
+
+#ifndef EDGEPCC_SERVE_CIRCUIT_BREAKER_H
+#define EDGEPCC_SERVE_CIRCUIT_BREAKER_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "edgepcc/common/retry.h"
+
+namespace edgepcc {
+namespace serve {
+
+enum class BreakerState : std::uint8_t {
+    kClosed = 0,
+    kOpen = 1,
+    kHalfOpen = 2,
+};
+
+const char *breakerStateName(BreakerState state);
+
+/** Breaker knobs (ServeConfig::breaker, shared by all tenants). */
+struct CircuitBreakerConfig {
+    bool enabled = true;
+
+    /** Consecutive per-frame faults that trip the breaker open. */
+    int failure_threshold = 3;
+
+    /** Quarantine schedule: backoffFor(n) is the open interval
+     *  after the n-th consecutive trip. max_attempts is not used —
+     *  a breaker never gives up, it only backs off further. */
+    RetryPolicy reprobe{/*max_attempts=*/0,
+                        /*initial_backoff_s=*/0.050,
+                        /*multiplier=*/2.0,
+                        /*max_backoff_s=*/2.0,
+                        /*jitter=*/0.0,
+                        /*seed=*/1};
+};
+
+class CircuitBreaker
+{
+  public:
+    explicit CircuitBreaker(CircuitBreakerConfig config);
+
+    BreakerState state() const { return state_; }
+
+    /**
+     * Gate for one service request at virtual time `now_s`.
+     * Closed: allowed. Open: denied until the quarantine expires,
+     * at which point the breaker half-opens and admits exactly one
+     * probe. Half-open: denied while the probe is outstanding.
+     * The decision must be acted on — an allowed request must be
+     * followed by onSuccess() or onFailure().
+     */
+    [[nodiscard]] bool allowRequest(double now_s);
+
+    /** The allowed request completed cleanly: close, reset the
+     *  consecutive-failure count and the backoff schedule. */
+    void onSuccess();
+
+    /**
+     * The allowed request faulted at virtual time `now_s`. In
+     * half-open state this re-opens immediately at the next
+     * backoff step; in closed state it counts toward
+     * failure_threshold.
+     */
+    void onFailure(double now_s);
+
+    int consecutiveFailures() const { return consecutive_failures_; }
+    /** Total times the breaker tripped open (stats). */
+    std::size_t trips() const { return trips_; }
+    /** End of the current quarantine (meaningful while open). */
+    double openUntil() const { return open_until_s_; }
+
+  private:
+    void tripLocked(double now_s);
+
+    CircuitBreakerConfig config_;
+    BreakerState state_ = BreakerState::kClosed;
+    int consecutive_failures_ = 0;
+    /** Consecutive trips without an intervening success; drives
+     *  the exponential quarantine schedule. */
+    int open_streak_ = 0;
+    std::size_t trips_ = 0;
+    double open_until_s_ = 0.0;
+};
+
+}  // namespace serve
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_SERVE_CIRCUIT_BREAKER_H

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Deterministic device-fault injection for the serve fleet.
+ *
+ * The overload subsystem injects *compute load* (LoadSpec); this
+ * module injects *device faults* at the replica/virtual-clock level
+ * so the fleet scheduler's failover machinery can be exercised and
+ * pinned the same way ladder walks and DRR traces are:
+ *
+ *   stall     - transient unavailability: the replica's virtual
+ *               clock jumps by duration_s before the next batch
+ *               dispatches (a GC pause, a driver hiccup). One-shot.
+ *   throttle  - thermal capacity derate: while the replica clock is
+ *               inside [at_s, at_s + duration_s), every modelled
+ *               encode cost is multiplied by `derate`.
+ *   oom       - memory exhaustion: frames dispatched inside the
+ *               window fault with kResourceExhausted (attributable
+ *               per tenant + frame) instead of encoding. Feeds the
+ *               per-tenant circuit breakers.
+ *   crash     - hard crash/reset: fires once the replica clock
+ *               passes at_s (evaluated at batch boundaries). All
+ *               encoder state on the replica is lost; tenants fail
+ *               over (serve_scheduler.h). duration_s > 0 restores
+ *               the replica — empty — after that delay; 0 is a
+ *               permanent loss.
+ *
+ * Faults are pure functions of the spec and the virtual clock —
+ * never of wall time — so every recovery schedule is deterministic
+ * and re-runs produce identical traces.
+ */
+
+#ifndef EDGEPCC_SERVE_FAULT_INJECTOR_H
+#define EDGEPCC_SERVE_FAULT_INJECTOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "edgepcc/common/status.h"
+
+namespace edgepcc {
+namespace serve {
+
+enum class DeviceFaultKind : std::uint8_t {
+    kTransientStall = 0,
+    kThermalThrottle = 1,
+    kMemoryExhaustion = 2,
+    kCrash = 3,
+};
+
+const char *deviceFaultKindName(DeviceFaultKind kind);
+
+/** One injected fault on one replica. */
+struct DeviceFaultEvent {
+    DeviceFaultKind kind = DeviceFaultKind::kTransientStall;
+    int replica = 0;
+    /** Virtual device seconds at which the fault begins. */
+    double at_s = 0.0;
+    /** Window length (throttle/oom), stall length (stall), or
+     *  restart delay (crash; 0 = permanent). */
+    double duration_s = 0.0;
+    /** Cost multiplier while a throttle window is active. */
+    double derate = 2.0;
+};
+
+/** A full fault scenario (ServeConfig::faults). */
+struct DeviceFaultSpec {
+    std::vector<DeviceFaultEvent> events;
+
+    /** No faults at all. */
+    static DeviceFaultSpec none();
+    /** Canonical failover scenario: permanently crash replica 1 at
+     *  t = 60 ms. */
+    static DeviceFaultSpec crashSecondary();
+    /** Thermal brown-out: 2.5x derate on replica 0 for
+     *  t in [40 ms, 140 ms). */
+    static DeviceFaultSpec thermalBrownout();
+
+    /**
+     * Parses a spec string: a preset name ("none",
+     * "crash-secondary", "thermal-brownout") or ';'-separated
+     * events of comma-separated key=value pairs with keys
+     * kind (stall|throttle|oom|crash), replica, at-ms, dur-ms,
+     * derate — e.g.
+     * "kind=crash,replica=1,at-ms=60;kind=throttle,at-ms=20,dur-ms=40,derate=2".
+     */
+    static Expected<DeviceFaultSpec> parse(const std::string &text);
+
+    bool isIdle() const { return events.empty(); }
+
+    /** Canonical key=value rendering (round-trips through parse);
+     *  "none" when idle. Used by the bench JSON. */
+    std::string toString() const;
+};
+
+/**
+ * Per-run stateful view of a DeviceFaultSpec: one-shot events
+ * (stalls, crashes) are consumed exactly once, window events
+ * (throttle, oom) are pure queries. The scheduler consults it only
+ * at batch boundaries on each replica's virtual clock, which is
+ * what keeps fault delivery deterministic.
+ */
+class DeviceFaultInjector
+{
+  public:
+    explicit DeviceFaultInjector(DeviceFaultSpec spec);
+
+    /** Product of the derates of every throttle window active on
+     *  `replica` at `now_s` (1.0 outside all windows). */
+    double costMultiplier(int replica, double now_s) const;
+
+    /** True when an oom window covers (replica, now_s): frames
+     *  dispatched now must fault instead of encoding. */
+    bool memoryExhausted(int replica, double now_s) const;
+
+    /** Sum of the not-yet-consumed transient stalls due on
+     *  `replica` at or before `now_s`; marks them consumed. */
+    double consumeStall(int replica, double now_s);
+
+    /** Index of the first unfired crash due on `replica` at or
+     *  before `now_s` (marks it fired), or -1. */
+    int consumeCrash(int replica, double now_s);
+
+    const DeviceFaultEvent &
+    event(std::size_t index) const
+    {
+        return spec_.events[index];
+    }
+
+    const DeviceFaultSpec &spec() const { return spec_; }
+
+  private:
+    DeviceFaultSpec spec_;
+    std::vector<bool> consumed_;
+};
+
+}  // namespace serve
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_SERVE_FAULT_INJECTOR_H

@@ -40,6 +40,7 @@
 #include <optional>
 #include <vector>
 
+#include "edgepcc/common/retry.h"
 #include "edgepcc/common/status.h"
 #include "edgepcc/common/sync.h"
 #include "edgepcc/common/work_counters.h"
@@ -279,6 +280,17 @@ struct SessionConfig {
      *  (see overload_controller.h). Disabled by default: the clean
      *  path stays byte-identical with overload.enabled == false. */
     OverloadConfig overload{};
+
+    /**
+     * The NACK loop's bounded exponential backoff expressed as the
+     * shared RetryPolicy (common/retry.h): max_retransmits rounds,
+     * backoff_ms initial, doubling per round, no jitter and no
+     * ceiling — bit-identical to the historical
+     * `backoff_ms * 2^(round-1)` schedule. The serve-layer circuit
+     * breaker reuses the same policy type for its re-probe
+     * quarantine intervals.
+     */
+    RetryPolicy retransmitPolicy() const;
 };
 
 /**

@@ -1,0 +1,57 @@
+#include "edgepcc/common/retry.h"
+
+#include <algorithm>
+
+namespace edgepcc {
+
+namespace {
+
+/** splitmix64: one deterministic draw per (seed, attempt) pair, so
+ *  jitter does not depend on evaluation order. */
+std::uint64_t
+mix64(std::uint64_t v)
+{
+    v += 0x9e3779b97f4a7c15ull;
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+    return v ^ (v >> 31);
+}
+
+}  // namespace
+
+double
+RetryPolicy::jitterFor(int attempt) const
+{
+    if (jitter <= 0.0)
+        return 1.0;
+    const std::uint64_t draw = mix64(
+        seed ^ (0xbac0ffull + static_cast<std::uint64_t>(attempt)));
+    // Map the top 53 bits onto [0, 1).
+    const double unit = static_cast<double>(draw >> 11) * 0x1.0p-53;
+    return 1.0 - jitter + 2.0 * jitter * unit;
+}
+
+double
+RetryPolicy::backoffFor(int attempt) const
+{
+    attempt = std::max(attempt, 1);
+    // Iterative doubling keeps the values bit-identical to the
+    // historical `initial * (1 << (attempt - 1))` NACK formula for
+    // multiplier == 2 (no pow() rounding differences).
+    double backoff = initial_backoff_s;
+    for (int i = 1; i < attempt && backoff < max_backoff_s; ++i)
+        backoff *= multiplier;
+    backoff = std::min(backoff, max_backoff_s);
+    return backoff * jitterFor(attempt);
+}
+
+double
+RetryPolicy::totalBackoff(int attempts) const
+{
+    double total = 0.0;
+    for (int attempt = 1; attempt <= attempts; ++attempt)
+        total += backoffFor(attempt);
+    return total;
+}
+
+}  // namespace edgepcc

@@ -1,0 +1,87 @@
+#include "edgepcc/serve/circuit_breaker.h"
+
+#include <utility>
+
+#include "edgepcc/common/trace.h"
+
+namespace edgepcc {
+namespace serve {
+
+const char *
+breakerStateName(BreakerState state)
+{
+    switch (state) {
+      case BreakerState::kClosed:
+        return "closed";
+      case BreakerState::kOpen:
+        return "open";
+      case BreakerState::kHalfOpen:
+        return "half-open";
+    }
+    return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config)
+    : config_(std::move(config))
+{
+}
+
+bool
+CircuitBreaker::allowRequest(double now_s)
+{
+    if (!config_.enabled)
+        return true;
+    switch (state_) {
+      case BreakerState::kClosed:
+        return true;
+      case BreakerState::kOpen:
+        if (now_s >= open_until_s_) {
+            state_ = BreakerState::kHalfOpen;
+            return true;
+        }
+        return false;
+      case BreakerState::kHalfOpen:
+        /* The probe is outstanding; one at a time. */
+        return false;
+    }
+    return true;
+}
+
+void
+CircuitBreaker::onSuccess()
+{
+    consecutive_failures_ = 0;
+    open_streak_ = 0;
+    if (state_ == BreakerState::kHalfOpen)
+        state_ = BreakerState::kClosed;
+}
+
+void
+CircuitBreaker::onFailure(double now_s)
+{
+    if (!config_.enabled)
+        return;
+    ++consecutive_failures_;
+    if (state_ == BreakerState::kHalfOpen) {
+        /* The probe faulted: straight back to quarantine at the
+         * next backoff step. */
+        tripLocked(now_s);
+        return;
+    }
+    if (state_ == BreakerState::kClosed &&
+        consecutive_failures_ >= config_.failure_threshold)
+        tripLocked(now_s);
+}
+
+void
+CircuitBreaker::tripLocked(double now_s)
+{
+    ScopedTrace trace("serve.breaker_trip");
+    ++open_streak_;
+    ++trips_;
+    state_ = BreakerState::kOpen;
+    open_until_s_ = now_s + config_.reprobe.backoffFor(open_streak_);
+}
+
+}  // namespace serve
+}  // namespace edgepcc

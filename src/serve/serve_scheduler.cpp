@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
+#include <optional>
 #include <utility>
 
 #include "edgepcc/common/trace.h"
@@ -16,6 +18,11 @@ namespace {
 /** Arrival tolerance: frame f "has arrived" at T when
  *  offset + f/fps <= T + kArrivalEps (matches StreamSession). */
 constexpr double kArrivalEps = 1e-9;
+
+/** Folded into a tenant's stream key on failover: the forced
+ *  keyframe makes the restored stream's bytes diverge from any
+ *  uninterrupted stream, so its cache lineage must diverge too. */
+constexpr std::uint64_t kFailoverSalt = 0xfa110f3f5a17ull;
 
 }  // namespace
 
@@ -57,6 +64,28 @@ serveOutcomeName(ServeOutcome outcome)
         return "cache-hit";
       case ServeOutcome::kDropped:
         return "dropped";
+      case ServeOutcome::kFaulted:
+        return "faulted";
+      case ServeOutcome::kQuarantined:
+        return "quarantined";
+      case ServeOutcome::kShed:
+        return "shed";
+    }
+    return "unknown";
+}
+
+const char *
+rejectionReasonName(RejectionReason reason)
+{
+    switch (reason) {
+      case RejectionReason::kNone:
+        return "";
+      case RejectionReason::kAdmissionCap:
+        return "admission-cap";
+      case RejectionReason::kExceedsDeviceCapacity:
+        return "exceeds-device-capacity";
+      case RejectionReason::kFailoverShed:
+        return "failover-shed";
     }
     return "unknown";
 }
@@ -104,8 +133,38 @@ traceString(const ServeReport &report)
             out += '*';
         if (entry.outcome == ServeOutcome::kDropped)
             out += '-';
+        if (entry.outcome == ServeOutcome::kFaulted)
+            out += '~';
+        if (entry.outcome == ServeOutcome::kQuarantined)
+            out += '^';
+        if (entry.outcome == ServeOutcome::kShed)
+            out += '#';
         if (entry.deadline_missed)
             out += '!';
+    }
+    return out;
+}
+
+std::string
+recoveryTraceString(const ServeReport &report)
+{
+    std::string out;
+    for (const FailoverRecord &record : report.failovers) {
+        if (!out.empty())
+            out += "; ";
+        out += "crash r" + std::to_string(record.replica) + " @" +
+               std::to_string(std::llround(record.at_s * 1e6)) +
+               "us:";
+        for (const FailoverMove &move : record.moves) {
+            out += ' ' + move.tenant + "->";
+            if (move.to_replica < 0) {
+                out += "shed";
+            } else {
+                out += 'r' + std::to_string(move.to_replica);
+                if (move.restored_from_checkpoint)
+                    out += "+ckpt";
+            }
+        }
     }
     return out;
 }
@@ -115,6 +174,14 @@ traceString(const ServeReport &report)
 // -----------------------------------------------------------------
 
 namespace {
+
+/** A tenant's latest checkpoint: everything failover needs to
+ *  resume the stream on another replica. */
+struct TenantCheckpoint {
+    VideoEncoder::StateSnapshot state;
+    std::uint64_t stream_key = 0;
+    std::uint32_t served = 0;  ///< frames served when taken
+};
 
 /** Scheduler-internal per-tenant state. */
 struct TenantState {
@@ -131,9 +198,22 @@ struct TenantState {
     double budget_s = 0.0;   ///< per-frame completion budget
     std::uint64_t stream_key = 0;
 
-    explicit TenantState(const TenantSpec &tenant_spec)
+    int replica = 0;
+    double estimated_utilization = 0.0;
+    /** Failover gap: invisible to the new replica's scheduler until
+     *  its clock reaches the crash time (causality). */
+    double resume_at_s = 0.0;
+    /** Crash time awaiting this tenant's first post-failover
+     *  completion (MTTR sample); < 0 when not recovering. */
+    double recovering_since_s = -1.0;
+
+    CircuitBreaker breaker;
+    std::optional<TenantCheckpoint> checkpoint;
+
+    TenantState(const TenantSpec &tenant_spec,
+                const CircuitBreakerConfig &breaker_config)
         : spec(&tenant_spec), encoder(tenant_spec.codec),
-          next_frame(0)
+          next_frame(0), breaker(breaker_config)
     {
     }
 
@@ -159,6 +239,30 @@ struct TenantState {
         last = std::min(last, spec->frames.size() - 1);
         return last >= next_frame ? last - next_frame + 1 : 0;
     }
+
+    bool
+    poisoned(std::uint32_t frame_id) const
+    {
+        for (std::uint32_t fault : spec->fault_frames) {
+            if (fault == frame_id)
+                return true;
+        }
+        return false;
+    }
+};
+
+/** One device replica: its own virtual clock, DRR cursor and
+ *  tenant placements. */
+struct ReplicaState {
+    int index = 0;
+    double clock_s = 0.0;
+    std::size_t cursor = 0;
+    std::vector<TenantState *> tenants;
+    std::size_t unfinished = 0;
+    double admitted_utilization = 0.0;
+    bool crashed = false;
+    /** When a crashed replica rejoins (empty); +inf = permanent. */
+    double revive_at_s = std::numeric_limits<double>::infinity();
 };
 
 /** One co-scheduled frame (at most one per tenant per batch). */
@@ -167,6 +271,11 @@ struct BatchItem {
     std::uint32_t frame_id = 0;
     std::uint64_t stream_key = 0;
     std::shared_ptr<const CacheEntry> hit;
+
+    /** Dispatch faulted (oom window / poisoned frame): the frame
+     *  never reaches the encoder. */
+    bool faulted = false;
+    Status fault_status;
 
     // Filled by the encode task, read after the batch barrier.
     Status status;  ///< default-constructed = OK
@@ -221,6 +330,19 @@ class BatchSync
     std::size_t pending_ EDGEPCC_GUARDED_BY(mutex_) = 0;
 };
 
+/** Admission / failover priority: deadline class, then arrival
+ *  offset, then input order. */
+bool
+admissionBefore(const TenantSpec &a, std::size_t ia,
+                const TenantSpec &b, std::size_t ib)
+{
+    if (a.deadline_class != b.deadline_class)
+        return a.deadline_class < b.deadline_class;
+    if (a.arrival_offset_s != b.arrival_offset_s)
+        return a.arrival_offset_s < b.arrival_offset_s;
+    return ia < ib;
+}
+
 }  // namespace
 
 ServeScheduler::ServeScheduler(ServeConfig config,
@@ -239,6 +361,21 @@ ServeScheduler::run()
     if (config_.quantum_s <= 0.0)
         return invalidArgument(
             "ServeScheduler::run: quantum_s must be > 0");
+    if (config_.replicas < 1)
+        return invalidArgument(
+            "ServeScheduler::run: replicas must be >= 1");
+    if (config_.checkpoint_interval_frames < 0 ||
+        config_.checkpoint_cost_s < 0.0)
+        return invalidArgument(
+            "ServeScheduler::run: checkpoint interval/cost must "
+            "be >= 0");
+    for (const DeviceFaultEvent &event : config_.faults.events) {
+        if (event.replica < 0 || event.replica >= config_.replicas)
+            return invalidArgument(
+                "ServeScheduler::run: fault event names replica " +
+                std::to_string(event.replica) + " but the fleet has " +
+                std::to_string(config_.replicas) + " replicas");
+    }
     for (std::size_t i = 0; i < tenants_.size(); ++i) {
         const TenantSpec &spec = tenants_[i];
         if (spec.name.empty())
@@ -262,6 +399,8 @@ ServeScheduler::run()
     ServeReport report;
     report.tenants.resize(tenants_.size());
     report.fleet.sessions = tenants_.size();
+    report.fleet.replicas =
+        static_cast<std::size_t>(config_.replicas);
 
     const EdgeDeviceModel device_model(config_.device);
     // The shared per-tenant latency hook only reads the load spec
@@ -270,12 +409,15 @@ ServeScheduler::run()
     latency_config.load = config_.load;
     latency_config.budget_source = OverloadBudgetSource::kModelled;
 
+    DeviceFaultInjector injector(config_.faults);
+
     // ---------------- Admission control -------------------------
     // Probe-encode each tenant's first frame to estimate its share
-    // of the device, then admit in deadline-class priority order
-    // (earlier arrivals first within a class) until the utilization
-    // cap is reached. The probe uses a scratch encoder, so the real
-    // per-tenant encoder state is untouched.
+    // of a replica, then admit in deadline-class priority order
+    // (earlier arrivals first within a class), placing each tenant
+    // on the least-loaded replica that still fits under the
+    // per-replica utilization cap. The probe uses a scratch
+    // encoder, so the real per-tenant encoder state is untouched.
     {
         ScopedTrace admission_trace("serve.admission");
         for (std::size_t i = 0; i < tenants_.size(); ++i) {
@@ -288,7 +430,10 @@ ServeScheduler::run()
             VideoEncoder probe(spec.codec);
             auto probed = probe.encode(spec.frames.front());
             if (!probed)
-                return probed.status();
+                return Status(probed.status().code(),
+                              "serve: tenant '" + spec.name +
+                                  "' frame 0 probe: " +
+                                  probed.status().message());
             const PipelineTiming timing =
                 device_model.evaluate(probed->profile);
             tenant_report.estimated_utilization =
@@ -302,30 +447,46 @@ ServeScheduler::run()
     std::stable_sort(
         admission_order.begin(), admission_order.end(),
         [this](std::size_t a, std::size_t b) {
-            const TenantSpec &ta = tenants_[a];
-            const TenantSpec &tb = tenants_[b];
-            if (ta.deadline_class != tb.deadline_class)
-                return ta.deadline_class < tb.deadline_class;
-            if (ta.arrival_offset_s != tb.arrival_offset_s)
-                return ta.arrival_offset_s < tb.arrival_offset_s;
-            return a < b;
+            return admissionBefore(tenants_[a], a, tenants_[b], b);
         });
 
+    std::vector<ReplicaState> replicas(
+        static_cast<std::size_t>(config_.replicas));
+    for (std::size_t r = 0; r < replicas.size(); ++r)
+        replicas[r].index = static_cast<int>(r);
+
     const double cap = config_.admission_utilization_cap;
-    double admitted_utilization = 0.0;
+    std::vector<int> placement(tenants_.size(), -1);
     for (std::size_t index : admission_order) {
         TenantReport &tenant_report = report.tenants[index];
         const double util = tenant_report.estimated_utilization;
         if (util > cap * (1.0 + kArrivalEps)) {
             tenant_report.rejection_reason =
-                "exceeds-device-capacity";
-        } else if (admitted_utilization + util >
-                   cap * (1.0 + kArrivalEps)) {
-            tenant_report.rejection_reason = "admission-cap";
-        } else {
-            tenant_report.admitted = true;
-            admitted_utilization += util;
+                RejectionReason::kExceedsDeviceCapacity;
+            continue;
         }
+        int best = -1;
+        double best_util = 0.0;
+        for (const ReplicaState &replica : replicas) {
+            if (replica.admitted_utilization + util >
+                cap * (1.0 + kArrivalEps))
+                continue;
+            if (best < 0 ||
+                replica.admitted_utilization < best_util) {
+                best = replica.index;
+                best_util = replica.admitted_utilization;
+            }
+        }
+        if (best < 0) {
+            tenant_report.rejection_reason =
+                RejectionReason::kAdmissionCap;
+            continue;
+        }
+        tenant_report.admitted = true;
+        tenant_report.replica = best;
+        placement[index] = best;
+        replicas[static_cast<std::size_t>(best)]
+            .admitted_utilization += util;
     }
 
     // ---------------- Scheduler state ---------------------------
@@ -334,7 +495,7 @@ ServeScheduler::run()
     for (std::size_t index : admission_order) {
         if (!report.tenants[index].admitted)
             continue;
-        states.emplace_back(tenants_[index]);
+        states.emplace_back(tenants_[index], config_.breaker);
         TenantState &state = states.back();
         state.input_index = index;
         state.report = &report.tenants[index];
@@ -345,11 +506,21 @@ ServeScheduler::run()
             tenants_[index].fps;
         state.stream_key =
             codecConfigDigest(tenants_[index].codec);
+        state.replica = placement[index];
+        state.estimated_utilization =
+            report.tenants[index].estimated_utilization;
         state.report->stats.frames = tenants_[index].frames.size();
         state.report->stats.deadline_s = state.budget_s;
     }
     report.fleet.admitted = states.size();
     report.fleet.rejected = tenants_.size() - states.size();
+
+    for (TenantState &state : states) {
+        ReplicaState &replica =
+            replicas[static_cast<std::size_t>(state.replica)];
+        replica.tenants.push_back(&state);
+        ++replica.unfinished;
+    }
 
     ReferenceCache cache(config_.cache_capacity);
     ThreadPool &pool = ThreadPool::global();
@@ -357,21 +528,25 @@ ServeScheduler::run()
     const std::size_t window_base = 1;  // the frame being encoded
 
     std::size_t unfinished = states.size();
-    double now_s = 0.0;
-    std::size_t cursor = 0;
+    std::vector<double> recovery_samples;
 
     const auto finishIfDone = [&](TenantState &state) {
         if (!state.done &&
             state.next_frame >= state.spec->frames.size()) {
             state.done = true;
             --unfinished;
+            --replicas[static_cast<std::size_t>(state.replica)]
+                  .unfinished;
         }
     };
 
-    const auto dropStale = [&](TenantState &state) {
+    const auto dropStale = [&](TenantState &state, double now_s) {
         // Oldest-drop backpressure, the StreamSession rule lifted
         // fleet-wide: keep the newest queue_capacity + 1 arrived
-        // frames, shed the rest without encoding them.
+        // frames, shed the rest without encoding them. Frames shed
+        // while the tenant's breaker is open count as quarantined.
+        if (now_s + kArrivalEps < state.resume_at_s)
+            return;  // failover gap: frozen until the crash time
         const std::size_t window =
             static_cast<std::size_t>(
                 std::max(state.spec->queue_capacity, 0)) +
@@ -380,33 +555,214 @@ ServeScheduler::run()
         while (backlog > window) {
             const auto frame_id =
                 static_cast<std::uint32_t>(state.next_frame);
+            const bool quarantined =
+                state.breaker.state() == BreakerState::kOpen;
             ServedFrame record;
             record.frame_id = frame_id;
-            record.outcome = ServeOutcome::kDropped;
+            record.outcome = quarantined
+                                 ? ServeOutcome::kQuarantined
+                                 : ServeOutcome::kDropped;
             record.arrival_s = state.arrivalOf(state.next_frame);
             record.start_s = now_s;
             record.completion_s = now_s;
-            state.report->frames.push_back(std::move(record));
-            ++state.report->stats.dropped;
+            if (quarantined) {
+                ++state.report->stats.quarantined;
+                ++report.recovery.quarantined_frames;
+            } else {
+                ++state.report->stats.dropped;
+            }
             ServeTraceEntry entry;
             entry.tenant = state.spec->name;
             entry.frame_id = frame_id;
-            entry.outcome = ServeOutcome::kDropped;
+            entry.outcome = record.outcome;
+            entry.replica = state.replica;
             report.trace.push_back(std::move(entry));
+            state.report->frames.push_back(std::move(record));
             ++state.next_frame;
             --backlog;
         }
         finishIfDone(state);
     };
 
+    // Crash failover: every tenant on the dead replica is
+    // re-admitted to the survivors in deadline-class priority
+    // order — interactive first, bulk last, so when capacity no
+    // longer fits it is the bulk tenants that are shed. Moved
+    // tenants restore from their latest checkpoint (cold reset
+    // when none) and resume with a forced keyframe, so the stream
+    // stays decodable; their stream key is re-anchored so the
+    // cache never serves pre-crash lineage bytes.
+    const auto handleCrash = [&](ReplicaState &down, double at_s,
+                                 const DeviceFaultEvent &event) {
+        ++report.recovery.crashes;
+        FailoverRecord record;
+        record.replica = down.index;
+        record.at_s = at_s;
+
+        std::vector<TenantState *> victims;
+        for (TenantState *state : down.tenants) {
+            if (!state->done)
+                victims.push_back(state);
+        }
+        down.tenants.clear();
+        down.cursor = 0;
+        down.unfinished = 0;
+        down.admitted_utilization = 0.0;
+        down.crashed = true;
+        down.revive_at_s =
+            event.duration_s > 0.0
+                ? at_s + event.duration_s
+                : std::numeric_limits<double>::infinity();
+
+        std::stable_sort(
+            victims.begin(), victims.end(),
+            [](const TenantState *a, const TenantState *b) {
+                return admissionBefore(*a->spec, a->input_index,
+                                       *b->spec, b->input_index);
+            });
+
+        for (TenantState *victim : victims) {
+            FailoverMove move;
+            move.tenant = victim->spec->name;
+            move.from_replica = down.index;
+            move.resume_frame =
+                static_cast<std::uint32_t>(victim->next_frame);
+
+            int best = -1;
+            double best_util = 0.0;
+            for (ReplicaState &replica : replicas) {
+                if (replica.index == down.index)
+                    continue;
+                if (replica.crashed) {
+                    if (replica.revive_at_s <=
+                        at_s + kArrivalEps) {
+                        replica.crashed = false;
+                        replica.clock_s = std::max(
+                            replica.clock_s, replica.revive_at_s);
+                    } else {
+                        continue;
+                    }
+                }
+                if (replica.admitted_utilization +
+                        victim->estimated_utilization >
+                    cap * (1.0 + kArrivalEps))
+                    continue;
+                if (best < 0 ||
+                    replica.admitted_utilization < best_util) {
+                    best = replica.index;
+                    best_util = replica.admitted_utilization;
+                }
+            }
+
+            if (best < 0) {
+                // Nowhere left to run: shed the remaining frames,
+                // accounted one by one — degraded, never corrupt.
+                victim->report->rejection_reason =
+                    RejectionReason::kFailoverShed;
+                while (victim->next_frame <
+                       victim->spec->frames.size()) {
+                    const auto frame_id = static_cast<std::uint32_t>(
+                        victim->next_frame);
+                    ServedFrame shed;
+                    shed.frame_id = frame_id;
+                    shed.outcome = ServeOutcome::kShed;
+                    shed.arrival_s =
+                        victim->arrivalOf(victim->next_frame);
+                    shed.start_s = at_s;
+                    shed.completion_s = at_s;
+                    ++victim->report->stats.shed;
+                    ServeTraceEntry entry;
+                    entry.tenant = victim->spec->name;
+                    entry.frame_id = frame_id;
+                    entry.outcome = ServeOutcome::kShed;
+                    entry.replica = down.index;
+                    report.trace.push_back(std::move(entry));
+                    victim->report->frames.push_back(
+                        std::move(shed));
+                    ++victim->next_frame;
+                }
+                victim->done = true;
+                --unfinished;
+                ++report.recovery.tenants_shed;
+                record.moves.push_back(std::move(move));
+                continue;
+            }
+
+            ReplicaState &target =
+                replicas[static_cast<std::size_t>(best)];
+            target.tenants.push_back(victim);
+            ++target.unfinished;
+            target.admitted_utilization +=
+                victim->estimated_utilization;
+            victim->replica = best;
+            victim->report->replica = best;
+
+            if (victim->checkpoint.has_value()) {
+                victim->encoder.restoreState(
+                    victim->checkpoint->state);
+                victim->stream_key = chainStreamKey(
+                    victim->checkpoint->stream_key, kFailoverSalt);
+                move.restored_from_checkpoint = true;
+                move.checkpoint_frames = victim->checkpoint->served;
+            } else {
+                victim->encoder.reset();
+                victim->stream_key = chainStreamKey(
+                    codecConfigDigest(victim->spec->codec),
+                    kFailoverSalt);
+            }
+            victim->encoder.forceKeyframe();
+            victim->deficit_s = 0.0;
+            victim->resume_at_s = at_s;
+            victim->recovering_since_s = at_s;
+            ++report.recovery.failovers;
+            move.to_replica = best;
+            record.moves.push_back(std::move(move));
+        }
+        report.failovers.push_back(std::move(record));
+    };
+
     // ---------------- DRR round loop ----------------------------
+    // Replicas take rounds in virtual-clock order (lowest clock
+    // first, ties by index), which makes the fleet-wide trace a
+    // pure function of the inputs.
     while (unfinished > 0) {
+        ReplicaState *chosen = nullptr;
+        for (ReplicaState &replica : replicas) {
+            if (replica.crashed || replica.unfinished == 0)
+                continue;
+            if (chosen == nullptr ||
+                replica.clock_s < chosen->clock_s)
+                chosen = &replica;
+        }
+        if (chosen == nullptr)
+            break;  // unreachable: unfinished tenants live somewhere
+        ReplicaState &rep = *chosen;
+        double now_s = rep.clock_s;
         ++report.fleet.rounds;
 
-        for (TenantState &state : states)
-            dropStale(state);
+        // Fault boundary: pending stalls jump the clock, then a due
+        // crash takes the whole replica down.
+        const double stall_s =
+            injector.consumeStall(rep.index, now_s);
+        if (stall_s > 0.0)
+            now_s += stall_s;
+        const int crash_index =
+            injector.consumeCrash(rep.index, now_s);
+        if (crash_index >= 0) {
+            rep.clock_s = now_s;
+            handleCrash(rep, now_s,
+                        injector.event(
+                            static_cast<std::size_t>(crash_index)));
+            continue;
+        }
+
+        for (TenantState *state : rep.tenants)
+            dropStale(*state, now_s);
+        rep.clock_s = now_s;
         if (unfinished == 0)
             break;
+        if (rep.unfinished == 0)
+            continue;
 
         // Select up to batch_max backlogged tenants, one frame
         // each, starting at the round-robin cursor (which carries
@@ -414,36 +770,65 @@ ServeScheduler::run()
         std::vector<BatchItem> batch;
         bool any_backlog = false;
         std::size_t examined = 0;
-        std::size_t index = cursor;
-        for (; examined < states.size(); ++examined, ++index) {
-            TenantState &state = states[index % states.size()];
+        std::size_t index = rep.cursor;
+        for (; examined < rep.tenants.size();
+             ++examined, ++index) {
+            TenantState &state =
+                *rep.tenants[index % rep.tenants.size()];
             if (state.done)
                 continue;
+            if (now_s + kArrivalEps < state.resume_at_s)
+                continue;  // failover gap: not yet visible here
             if (state.backlogAt(now_s) == 0) {
                 // Idle tenants forfeit their deficit: DRR's
                 // classic no-banking-while-empty rule.
                 state.deficit_s = 0.0;
                 continue;
             }
-            any_backlog = true;
             state.deficit_s =
                 std::min(state.deficit_s + state.quantum_s,
                          state.quantum_s);
             state.report->stats.max_deficit_s =
                 std::max(state.report->stats.max_deficit_s,
                          state.deficit_s);
-            if (state.deficit_s <= 0.0)
-                continue;  // still repaying an overdraft
+            if (state.deficit_s <= 0.0) {
+                // Still repaying an overdraft: a free re-round
+                // makes progress, so count the backlog.
+                any_backlog = true;
+                continue;
+            }
+            if (!state.breaker.allowRequest(now_s)) {
+                // Quarantined: re-rounding cannot help; the clock
+                // must reach the re-probe time (empty-batch jump).
+                continue;
+            }
             BatchItem item;
             item.tenant = &state;
             item.frame_id =
                 static_cast<std::uint32_t>(state.next_frame);
-            state.stream_key = chainStreamKey(
-                state.stream_key,
-                cloudDigest(state.spec->frames[state.next_frame]));
-            item.stream_key = state.stream_key;
-            if (config_.cache_enabled)
-                item.hit = cache.find(item.stream_key);
+            item.faulted =
+                injector.memoryExhausted(rep.index, now_s) ||
+                state.poisoned(item.frame_id);
+            if (item.faulted) {
+                // The frame never reaches the encoder, so neither
+                // the stream key nor the cache may see it.
+                item.fault_status = resourceExhausted(
+                    "serve: tenant '" + state.spec->name +
+                    "' frame " + std::to_string(item.frame_id) +
+                    ": " +
+                    (state.poisoned(item.frame_id)
+                         ? "poisoned input frame"
+                         : "replica " + std::to_string(rep.index) +
+                               " memory exhausted"));
+            } else {
+                state.stream_key = chainStreamKey(
+                    state.stream_key,
+                    cloudDigest(
+                        state.spec->frames[state.next_frame]));
+                item.stream_key = state.stream_key;
+                if (config_.cache_enabled)
+                    item.hit = cache.find(item.stream_key);
+            }
             ++state.next_frame;
             batch.push_back(std::move(item));
             if (batch.size() >=
@@ -453,35 +838,55 @@ ServeScheduler::run()
                 break;
             }
         }
-        cursor = index % states.size();
+        rep.cursor = index % rep.tenants.size();
 
         if (batch.empty()) {
             if (any_backlog)
                 continue;  // all in overdraft: grant another round
-            // Nothing has arrived yet: jump to the next arrival.
-            double next_arrival = -1.0;
-            for (const TenantState &state : states) {
+            // Nothing dispatchable now: jump to the next event on
+            // this replica — an arrival, a failover resume point,
+            // or a breaker re-probe.
+            double next_event = -1.0;
+            for (const TenantState *sp : rep.tenants) {
+                const TenantState &state = *sp;
                 if (state.done)
                     continue;
-                const double arrival =
-                    state.arrivalOf(state.next_frame);
-                if (next_arrival < 0.0 || arrival < next_arrival)
-                    next_arrival = arrival;
+                double event_s;
+                if (now_s + kArrivalEps < state.resume_at_s) {
+                    event_s = std::max(
+                        state.resume_at_s,
+                        state.arrivalOf(state.next_frame));
+                } else if (state.backlogAt(now_s) > 0) {
+                    event_s = state.breaker.openUntil();
+                } else {
+                    event_s = state.arrivalOf(state.next_frame);
+                }
+                if (next_event < 0.0 || event_s < next_event)
+                    next_event = event_s;
             }
-            now_s = std::max(now_s, next_arrival);
+            now_s = std::max(now_s, next_event);
+            rep.clock_s = now_s;
             continue;
         }
 
         // Encode the batch: tenants run concurrently on the shared
         // pool (interactive at high priority), cache hits only
         // restore encoder state. Every tenant appears at most once
-        // per batch, so tasks never share an encoder.
+        // per batch, so tasks never share an encoder. Faulted
+        // dispatches never touch their encoder at all.
         {
             ScopedTrace batch_trace("serve.batch");
             BatchSync sync;
-            sync.add(batch.size());
+            std::size_t tasks = 0;
+            for (const BatchItem &item : batch) {
+                if (!item.faulted)
+                    ++tasks;
+            }
+            sync.add(tasks);
             const bool want_snapshot = config_.cache_enabled;
             for (BatchItem &item : batch) {
+                if (item.faulted)
+                    continue;
                 const auto task = [&item, want_snapshot, &sync] {
                     TenantState &state = *item.tenant;
                     if (item.hit) {
@@ -514,12 +919,17 @@ ServeScheduler::run()
         }
         for (const BatchItem &item : batch) {
             if (!item.status.isOk())
-                return item.status;
+                return Status(
+                    item.status.code(),
+                    "serve: tenant '" + item.tenant->spec->name +
+                        "' frame " +
+                        std::to_string(item.frame_id) + ": " +
+                        item.status.message());
         }
 
-        // Settle in selection order: the single modelled device
-        // executes the batch serially, so completion times (and the
-        // trace) are deterministic.
+        // Settle in selection order: each modelled replica executes
+        // its batch serially, so completion times (and the trace)
+        // are deterministic.
         ++report.fleet.batches;
         report.fleet.batched_frames += batch.size();
         const double batch_start_s = now_s;
@@ -533,6 +943,27 @@ ServeScheduler::run()
             record.frame_id = item.frame_id;
             record.arrival_s = state.arrivalOf(item.frame_id);
             record.start_s = batch_start_s;
+
+            if (item.faulted) {
+                // The dispatch aborted: no device seconds charged,
+                // the breaker hears about it, and the record keeps
+                // the attributable status.
+                record.outcome = ServeOutcome::kFaulted;
+                record.completion_s = now_s;
+                record.fault_status = std::move(item.fault_status);
+                ++stats.faulted;
+                ++report.recovery.faulted_frames;
+                state.breaker.onFailure(now_s);
+                ServeTraceEntry entry;
+                entry.tenant = state.spec->name;
+                entry.frame_id = record.frame_id;
+                entry.outcome = ServeOutcome::kFaulted;
+                entry.replica = rep.index;
+                report.trace.push_back(std::move(entry));
+                state.report->frames.push_back(std::move(record));
+                finishIfDone(state);
+                continue;
+            }
 
             double cost_s = 0.0;
             if (item.hit) {
@@ -552,6 +983,10 @@ ServeScheduler::run()
                                                 latency_config,
                                                 item.frame_id)
                              .total_s;
+                const double throttle =
+                    injector.costMultiplier(rep.index, now_s);
+                if (throttle != 1.0)
+                    cost_s *= throttle;
                 record.bitstream =
                     std::move(item.encoded.bitstream);
                 record.stats = item.encoded.stats;
@@ -579,6 +1014,14 @@ ServeScheduler::run()
                 ++stats.deadline_misses;
             report.fleet.device_busy_s += cost_s;
 
+            state.breaker.onSuccess();
+            if (state.recovering_since_s >= 0.0) {
+                recovery_samples.push_back(
+                    record.completion_s -
+                    state.recovering_since_s);
+                state.recovering_since_s = -1.0;
+            }
+
             if (!item.hit && config_.cache_enabled &&
                 item.have_snapshot) {
                 CacheEntry entry;
@@ -589,20 +1032,58 @@ ServeScheduler::run()
                 cache.insert(item.stream_key, std::move(entry));
             }
 
+            if (config_.checkpoint_interval_frames > 0 &&
+                stats.served %
+                        static_cast<std::size_t>(
+                            config_.checkpoint_interval_frames) ==
+                    0) {
+                // Snapshot after this frame: failover restores here
+                // and resumes with a forced keyframe. Charged like
+                // batch overhead (clock + fleet, not the tenant).
+                TenantCheckpoint checkpoint;
+                checkpoint.state = state.encoder.snapshotState();
+                checkpoint.stream_key = state.stream_key;
+                checkpoint.served =
+                    static_cast<std::uint32_t>(state.next_frame);
+                state.checkpoint = std::move(checkpoint);
+                now_s += config_.checkpoint_cost_s;
+                report.fleet.device_busy_s +=
+                    config_.checkpoint_cost_s;
+                ++stats.checkpoints;
+                ++report.recovery.checkpoints;
+            }
+
             ServeTraceEntry entry;
             entry.tenant = state.spec->name;
             entry.frame_id = record.frame_id;
             entry.outcome = record.outcome;
             entry.deadline_missed = record.deadline_missed;
+            entry.replica = rep.index;
             report.trace.push_back(std::move(entry));
 
             state.report->frames.push_back(std::move(record));
             finishIfDone(state);
         }
+        rep.clock_s = now_s;
     }
 
-    report.fleet.makespan_s = now_s;
+    for (const ReplicaState &replica : replicas)
+        report.fleet.makespan_s =
+            std::max(report.fleet.makespan_s, replica.clock_s);
     report.cache = cache.stats();
+
+    for (const TenantState &state : states)
+        report.recovery.breaker_trips += state.breaker.trips();
+    if (!recovery_samples.empty()) {
+        double sum = 0.0;
+        for (double sample : recovery_samples) {
+            sum += sample;
+            report.recovery.worst_recovery_s = std::max(
+                report.recovery.worst_recovery_s, sample);
+        }
+        report.recovery.mttr_s =
+            sum / static_cast<double>(recovery_samples.size());
+    }
 
     std::vector<double> shares;
     shares.reserve(states.size());

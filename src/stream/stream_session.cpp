@@ -1,6 +1,7 @@
 #include "edgepcc/stream/stream_session.h"
 
 #include <algorithm>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -314,6 +315,21 @@ StreamReceiver::decodeAll(std::uint32_t expected_frames)
 // -----------------------------------------------------------------
 // StreamSession
 // -----------------------------------------------------------------
+
+RetryPolicy
+SessionConfig::retransmitPolicy() const
+{
+    RetryPolicy policy;
+    policy.max_attempts = max_retransmits;
+    policy.initial_backoff_s = backoff_ms / 1e3;
+    policy.multiplier = 2.0;
+    // The historical NACK schedule never clamped; keep its values
+    // bit-identical (max_retransmits is small, so no overflow).
+    policy.max_backoff_s =
+        std::numeric_limits<double>::infinity();
+    policy.jitter = 0.0;
+    return policy;
+}
 
 StreamSession::StreamSession(CodecConfig codec,
                              SessionConfig session)
@@ -688,7 +704,9 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
 
         // Bounded NACK rounds: each round resends only the slices
         // still missing (after FEC recovery), with exponential
-        // backoff (modelled latency, no sleeping).
+        // backoff (modelled latency, no sleeping) from the shared
+        // RetryPolicy.
+        const RetryPolicy retry = session_.retransmitPolicy();
         for (int round = 1; round <= session_.max_retransmits;
              ++round) {
             std::vector<std::size_t> missing;
@@ -701,9 +719,7 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
             if (missing.empty())
                 break;
             ++info.nack_rounds;
-            const double backoff =
-                session_.backoff_ms / 1e3 *
-                static_cast<double>(1 << (round - 1));
+            const double backoff = retry.backoffFor(round);
             info.backoff_s += backoff;
             report.stats.backoff_s += backoff;
             for (const std::size_t i : missing) {

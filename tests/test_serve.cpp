@@ -390,7 +390,9 @@ TEST(ServeSchedulerTest, AdmissionRejectsInClassPriorityOrder)
     EXPECT_TRUE(tenantNamed(*report, "standard").admitted);
     const TenantReport &bulk = tenantNamed(*report, "bulk");
     EXPECT_FALSE(bulk.admitted);
-    EXPECT_EQ(bulk.rejection_reason, "admission-cap");
+    EXPECT_EQ(bulk.rejection_reason, RejectionReason::kAdmissionCap);
+    EXPECT_STREQ(rejectionReasonName(bulk.rejection_reason),
+                 "admission-cap");
     EXPECT_TRUE(bulk.frames.empty());
     EXPECT_GT(bulk.estimated_utilization, 0.0);
     EXPECT_EQ(report->fleet.admitted, 2u);
@@ -415,7 +417,10 @@ TEST(ServeSchedulerTest, OversizedTenantRejectedOutright)
     // that the (lower-priority!) modest tenant then uses.
     const TenantReport &rejected = tenantNamed(*report, "hog");
     EXPECT_FALSE(rejected.admitted);
-    EXPECT_EQ(rejected.rejection_reason, "exceeds-device-capacity");
+    EXPECT_EQ(rejected.rejection_reason,
+              RejectionReason::kExceedsDeviceCapacity);
+    EXPECT_STREQ(rejectionReasonName(rejected.rejection_reason),
+                 "exceeds-device-capacity");
     EXPECT_TRUE(tenantNamed(*report, "modest").admitted);
 }
 

@@ -65,6 +65,7 @@
 #include "edgepcc/metrics/quality.h"
 #include "edgepcc/parallel/thread_pool.h"
 #include "edgepcc/platform/device_model.h"
+#include "edgepcc/serve/fault_injector.h"
 #include "edgepcc/serve/serve_scheduler.h"
 #include "edgepcc/stream/overload_controller.h"
 #include "edgepcc/stream/pipeline.h"
@@ -280,6 +281,8 @@ runOverload(const std::vector<VoxelCloud> &frames,
 struct ServeBenchMetrics {
     bool enabled = false;
     int sessions = 0;
+    /** Canonical fault-spec string for the JSON recovery section. */
+    std::string faults = "none";
     serve::ServeReport report;
     /** arrival..completion percentiles per admitted tenant, in
      *  report order. */
@@ -296,7 +299,8 @@ struct ServeBenchMetrics {
  */
 Expected<ServeBenchMetrics>
 runServe(const CodecConfig &config, int sessions,
-         std::uint64_t seed, int frames, std::size_t points)
+         std::uint64_t seed, int frames, std::size_t points,
+         int replicas, const serve::DeviceFaultSpec &faults)
 {
     std::vector<serve::TenantSpec> tenants;
     tenants.reserve(static_cast<std::size_t>(sessions));
@@ -326,6 +330,12 @@ runServe(const CodecConfig &config, int sessions,
 
     serve::ServeConfig fleet;
     fleet.admission_utilization_cap = 1e9;
+    fleet.replicas = replicas;
+    fleet.faults = faults;
+    // Checkpointing only matters once faults can lose encoder
+    // state; zero cost keeps the no-crash schedule identical.
+    if (!faults.isIdle())
+        fleet.checkpoint_interval_frames = 2;
     serve::ServeScheduler scheduler(fleet, std::move(tenants));
     auto report = scheduler.run();
     if (!report)
@@ -334,6 +344,7 @@ runServe(const CodecConfig &config, int sessions,
     ServeBenchMetrics metrics;
     metrics.enabled = true;
     metrics.sessions = sessions;
+    metrics.faults = faults.toString();
     metrics.report = std::move(*report);
     for (const serve::TenantReport &tenant :
          metrics.report.tenants) {
@@ -688,6 +699,34 @@ writeResults(const std::string &path, const CodecConfig &config,
             fleet.cache.lookups, fleet.cache.hits,
             fleet.cache.misses, fleet.cache.hitRate(),
             fleet.cache.saved_device_s);
+        // Always present so compare_bench.py can gate fault runs
+        // and confirm clean runs stayed clean.
+        const serve::RecoveryStats &rec = fleet.recovery;
+        (void)std::fprintf(out, "    \"recovery\": {\n");
+        (void)std::fprintf(out, "      \"replicas\": %zu,\n",
+                     fleet.fleet.replicas);
+        (void)std::fprintf(out, "      \"faults\": \"%s\",\n",
+                     serve_bench.faults.c_str());
+        (void)std::fprintf(out, "      \"crashes\": %zu,\n",
+                     rec.crashes);
+        (void)std::fprintf(out, "      \"failovers\": %zu,\n",
+                     rec.failovers);
+        (void)std::fprintf(out, "      \"tenants_shed\": %zu,\n",
+                     rec.tenants_shed);
+        (void)std::fprintf(out, "      \"checkpoints\": %zu,\n",
+                     rec.checkpoints);
+        (void)std::fprintf(out, "      \"breaker_trips\": %zu,\n",
+                     rec.breaker_trips);
+        (void)std::fprintf(out, "      \"faulted_frames\": %zu,\n",
+                     rec.faulted_frames);
+        (void)std::fprintf(out,
+                     "      \"quarantined_frames\": %zu,\n",
+                     rec.quarantined_frames);
+        (void)std::fprintf(out, "      \"mttr_s\": %.9g,\n",
+                     rec.mttr_s);
+        (void)std::fprintf(out, "      \"worst_recovery_s\": %.9g\n",
+                     rec.worst_recovery_s);
+        (void)std::fprintf(out, "    },\n");
         (void)std::fprintf(out, "    \"tenants\": {\n");
         for (std::size_t t = 0; t < fleet.tenants.size(); ++t) {
             const serve::TenantReport &tenant = fleet.tenants[t];
@@ -696,13 +735,19 @@ writeResults(const std::string &path, const CodecConfig &config,
             (void)std::fprintf(
                 out,
                 "      \"%s\": {\"class\": \"%s\", "
+                "\"replica\": %d, "
                 "\"served\": %zu, \"dropped\": %zu, "
+                "\"faulted\": %zu, \"quarantined\": %zu, "
+                "\"shed\": %zu, "
                 "\"cache_hits\": %zu, \"deadline_misses\": %zu, "
                 "\"latency_s\": {\"mean\": %.9g, \"p50\": %.9g, "
                 "\"p95\": %.9g, \"p99\": %.9g, \"max\": %.9g}}%s\n",
                 tenant.name.c_str(),
                 serve::deadlineClassName(tenant.deadline_class),
+                tenant.replica,
                 tenant.stats.served, tenant.stats.dropped,
+                tenant.stats.faulted, tenant.stats.quarantined,
+                tenant.stats.shed,
                 tenant.stats.cache_hits,
                 tenant.stats.deadline_misses, lat.mean, lat.p50,
                 lat.p95, lat.p99, lat.max,
@@ -795,7 +840,16 @@ usage()
         "                    multi-tenant serve scheduler and add a\n"
         "                    \"serve\" JSON section (per-tenant\n"
         "                    latency percentiles, fairness index,\n"
-        "                    cache hit accounting)\n");
+        "                    cache hit accounting)\n"
+        "  --replicas N      size of the device fleet for the serve\n"
+        "                    run (default 1)\n"
+        "  --faults SPEC     inject device faults into the serve\n"
+        "                    run: a preset (none|crash-secondary|\n"
+        "                    thermal-brownout) or ';'-separated\n"
+        "                    kind=stall|throttle|oom|crash events\n"
+        "                    with replica=/at-ms=/dur-ms=/derate=\n"
+        "                    fields; recovery results land in the\n"
+        "                    serve section's \"recovery\" object\n");
     return 2;
 }
 
@@ -820,6 +874,8 @@ main(int argc, char **argv)
     double deadline_ms = -1.0;
     std::string load_spec = "none";
     int sessions = 0;
+    int replicas = 1;
+    std::string faults_spec = "none";
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -904,6 +960,16 @@ main(int argc, char **argv)
             if (!v)
                 return usage();
             sessions = std::atoi(v);
+        } else if (arg == "--replicas") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            replicas = std::atoi(v);
+        } else if (arg == "--faults") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            faults_spec = v;
         } else {
             return usage();
         }
@@ -921,6 +987,23 @@ main(int argc, char **argv)
     if (sessions < 0) {
         (void)std::fprintf(stderr,
                      "bench_runner: --sessions must be >= 1\n");
+        return 2;
+    }
+    if (replicas < 1) {
+        (void)std::fprintf(stderr,
+                     "bench_runner: --replicas must be >= 1\n");
+        return 2;
+    }
+    if ((replicas > 1 || faults_spec != "none") && sessions < 1) {
+        (void)std::fprintf(stderr,
+                     "bench_runner: --replicas/--faults require "
+                     "--sessions\n");
+        return 2;
+    }
+    auto parsed_faults = serve::DeviceFaultSpec::parse(faults_spec);
+    if (!parsed_faults) {
+        (void)std::fprintf(stderr, "bench_runner: %s\n",
+                     parsed_faults.status().message().c_str());
         return 2;
     }
     if (deadline_ms != -1.0 && deadline_ms <= 0.0) {
@@ -1157,7 +1240,8 @@ main(int argc, char **argv)
         const std::size_t tenant_points =
             std::max<std::size_t>(points / 4, 1000);
         auto run = runServe(config, sessions, seed, frames,
-                            tenant_points);
+                            tenant_points, replicas,
+                            *parsed_faults);
         if (!run) {
             (void)std::fprintf(stderr, "bench_runner: %s\n",
                          run.status().message().c_str());
@@ -1166,14 +1250,23 @@ main(int argc, char **argv)
         serve_bench = std::move(*run);
         (void)std::fprintf(
             stderr,
-            "serve with %d sessions: %.2f sessions/device, "
-            "fairness %.3f, worst-tenant p99 %.2f ms, cache hit "
-            "rate %.2f\n",
-            sessions,
+            "serve with %d sessions on %d replica(s): %.2f "
+            "sessions/device, fairness %.3f, worst-tenant p99 "
+            "%.2f ms, cache hit rate %.2f\n",
+            sessions, replicas,
             serve_bench.report.fleet.sessionsPerDevice(),
             serve_bench.report.fairness_index,
             serve_bench.worst_tenant_p99_s * 1e3,
             serve_bench.report.cache.hitRate());
+        const serve::RecoveryStats &rec =
+            serve_bench.report.recovery;
+        if (rec.crashes > 0)
+            (void)std::fprintf(
+                stderr,
+                "recovery after %zu crash(es): %zu failovers, %zu "
+                "shed, mttr %.2f ms (worst %.2f ms)\n",
+                rec.crashes, rec.failovers, rec.tenants_shed,
+                rec.mttr_s * 1e3, rec.worst_recovery_s * 1e3);
     }
 
     const int rc = writeResults(out_path, config, spec, frames,

@@ -219,6 +219,42 @@ def compare(old, new, latency_tol, ratio_tol, check_host):
             f"{old_fair:>12.6g} {new_fair:>12.6g} "
             f"{-drop:>+8.4f} {mark}"
         )
+
+        # Fault-injection runs (--faults): recovery quality is only
+        # comparable when both runs survived the same number of
+        # crashes; otherwise the fault spec changed and the numbers
+        # describe different experiments (reported, not gated).
+        old_rec = old_sv.get("recovery", {})
+        new_rec = new_sv.get("recovery", {})
+        old_crashes = old_rec.get("crashes", 0)
+        new_crashes = new_rec.get("crashes", 0)
+        if old_crashes != new_crashes:
+            if old_rec or new_rec:
+                lines.append(
+                    f"  serve recovery: crash count changed "
+                    f"({old_crashes} -> {new_crashes}), not gated"
+                )
+        elif old_crashes > 0:
+            check_latency(
+                "serve recovery mttr",
+                old_rec["mttr_s"],
+                new_rec["mttr_s"],
+            )
+            old_shed = old_rec["tenants_shed"]
+            new_shed = new_rec["tenants_shed"]
+            mark = ""
+            if new_shed > old_shed:
+                mark = "  << REGRESSION"
+                regressions.append(
+                    f"serve recovery tenants_shed: {old_shed} -> "
+                    f"{new_shed} (same crash count must not shed "
+                    f"more tenants)"
+                )
+            lines.append(
+                f"  {'serve recovery tenants_shed':<34} "
+                f"{old_shed:>12} {new_shed:>12} "
+                f"{new_shed - old_shed:>+9}{mark}"
+            )
     elif new_sv:
         lines.append("  serve: new (no baseline)")
 
@@ -261,6 +297,13 @@ def self_test():
         "serve": {
             "worst_tenant_p99_s": 0.085,
             "fairness_index": 0.97,
+            "recovery": {
+                "crashes": 1,
+                "failovers": 3,
+                "tenants_shed": 0,
+                "mttr_s": 0.016,
+                "worst_recovery_s": 0.021,
+            },
         },
     }
     identical, _ = compare(base, base, 0.10, 0.02, True)
@@ -345,6 +388,28 @@ def self_test():
     del no_serve["serve"]
     found, _ = compare(no_serve, base, 0.10, 0.02, False)
     assert not found, "serve without a baseline is not gated"
+
+    slow_recovery = copy.deepcopy(base)
+    slow_recovery["serve"]["recovery"]["mttr_s"] *= 1.20
+    found, _ = compare(base, slow_recovery, 0.10, 0.02, False)
+    assert found, "20% MTTR growth must be flagged"
+
+    sheds_more = copy.deepcopy(base)
+    sheds_more["serve"]["recovery"]["tenants_shed"] = 1
+    found, _ = compare(base, sheds_more, 0.10, 0.02, False)
+    assert found, "extra shed tenant at same crash count is flagged"
+
+    different_faults = copy.deepcopy(base)
+    different_faults["serve"]["recovery"]["crashes"] = 2
+    different_faults["serve"]["recovery"]["mttr_s"] *= 3.0
+    found, _ = compare(base, different_faults, 0.10, 0.02, False)
+    assert not found, "changed crash count is reported, not gated"
+
+    clean_runs = copy.deepcopy(base)
+    clean_runs["serve"]["recovery"]["crashes"] = 0
+    clean_runs["serve"]["recovery"]["mttr_s"] = 0.0
+    found, _ = compare(clean_runs, clean_runs, 0.10, 0.02, False)
+    assert not found, "fault-free runs have nothing to gate"
 
     print("compare_bench self-test: PASS")
     return 0

@@ -7,7 +7,10 @@ libclang dependency, so it runs anywhere Python does):
 
   return-status    public decode*/encode*/parse* entry points return
                    Status or Expected, and no call to one is
-                   discarded as a bare statement
+                   discarded as a bare statement; boolean safety
+                   gates in MUST_USE_NAMES (circuit-breaker
+                   allowRequest) are held to the same no-discard
+                   rule
   decoder-check    decoder/parser entry points validate input with
                    the EDGEPCC_CHECK macro family or an explicit
                    corruptBitstream/invalidArgument early return
@@ -101,6 +104,12 @@ SYMBOL_HEADERS = {
     "std::int32_t": "<cstdint>",
     "std::int64_t": "<cstdint>",
 }
+
+# return-status: safety-gate calls whose boolean result MUST drive a
+# branch — discarding one silently bypasses the gate (a circuit
+# breaker probed but never consulted). These are flagged as bare
+# discarded statements even though they do not return Status.
+MUST_USE_NAMES = ("allowRequest",)
 
 SUPPRESS_RE = re.compile(r"//\s*edgepcc-lint:\s*allow\(([a-z-]+)\)")
 
@@ -280,16 +289,19 @@ def rule_return_status(path, raw, clean, raw_lines, known_returns):
             prev_tail = stripped[-1]
         if not at_stmt_start:
             continue
+        must_use = "|".join(re.escape(n) for n in MUST_USE_NAMES)
         m = re.match(
             r"^\s*(?:[A-Za-z_]\w*(?:\.|->))?"
-            r"((?:decode|encode|parse)[A-Za-z0-9_]*)\s*\(.*\)\s*;\s*$",
+            r"((?:decode|encode|parse)[A-Za-z0-9_]*|" + must_use +
+            r")\s*\(.*\)\s*;\s*$",
             line_text)
         if not m:
             continue
         if line_text.count("(") != line_text.count(")"):
             continue
         returns = known_returns.get(m.group(1))
-        if returns is not None and True not in returns:
+        if m.group(1) not in MUST_USE_NAMES and \
+                returns is not None and True not in returns:
             continue  # returns void/value everywhere it is defined
         findings.append(Finding(
             "return-status", path, idx,
@@ -512,6 +524,15 @@ SELF_TEST_CASES = [
     ("return-status", "src/core/suppressed.cpp",
      "void run(Codec &c)\n{\n    // edgepcc-lint: allow(return-status)\n"
      "    c.decodeFrame(payload);\n}\n",
+     0),
+    # MUST_USE_NAMES: a circuit-breaker gate probed but never
+    # consulted is flagged even though allowRequest returns bool.
+    ("return-status", "src/serve/breaker_discard.cpp",
+     "void run(CircuitBreaker &b)\n{\n    b.allowRequest(now_s);\n}\n",
+     1),
+    ("return-status", "src/serve/breaker_used.cpp",
+     "void run(CircuitBreaker &b)\n{\n"
+     "    if (!b.allowRequest(now_s))\n        return;\n}\n",
      0),
 ]
 
