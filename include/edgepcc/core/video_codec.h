@@ -21,6 +21,7 @@
 #include "edgepcc/common/work_counters.h"
 #include "edgepcc/core/codec_config.h"
 #include "edgepcc/geometry/point_cloud.h"
+#include "edgepcc/platform/arena.h"
 
 namespace edgepcc {
 
@@ -127,6 +128,12 @@ class VideoEncoder
     std::uint32_t frame_counter_ = 0;
     VoxelCloud reference_{10};
     bool has_reference_ = false;
+    /** Per-frame kernel scratch; reset (blocks retained) at the
+     *  start of every encode, bound thread-locally for the call.
+     *  Deliberately absent from StateSnapshot: scratch carries no
+     *  coding state, so byte-identity across snapshot/restore is
+     *  unaffected. */
+    FrameArena arena_;
 };
 
 /** Frame-by-frame decoder (mirrors VideoEncoder's state machine). */
@@ -169,6 +176,8 @@ class VideoDecoder
 
     VoxelCloud reference_{10};
     bool has_reference_ = false;
+    /** Per-frame kernel scratch (see VideoEncoder::arena_). */
+    FrameArena arena_;
 };
 
 }  // namespace edgepcc

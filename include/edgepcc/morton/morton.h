@@ -17,6 +17,7 @@
 #ifndef EDGEPCC_MORTON_MORTON_H
 #define EDGEPCC_MORTON_MORTON_H
 
+#include <cstddef>
 #include <cstdint>
 
 namespace edgepcc {
@@ -66,6 +67,26 @@ mortonDecode(std::uint64_t code)
  * means siblings at the leaf level, `depth` means identical codes.
  */
 int mortonCommonLevel(std::uint64_t a, std::uint64_t b, int depth);
+
+/**
+ * Encodes `n` SoA voxel coordinates into `codes`, dispatched over
+ * the active SIMD level (platform/simd.h): AVX2 interleaves four
+ * points per step, SSE4 two, scalar one. Byte-identical to calling
+ * mortonEncode() per point. Inputs may not alias the output.
+ */
+void mortonEncodeBatch(const std::uint16_t *x,
+                       const std::uint16_t *y,
+                       const std::uint16_t *z, std::size_t n,
+                       std::uint64_t *codes);
+
+/**
+ * Decodes `n` Morton codes into SoA coordinate arrays, dispatched
+ * like mortonEncodeBatch(). Byte-identical to mortonDecode() per
+ * code. Outputs may not alias the input.
+ */
+void mortonDecodeBatch(const std::uint64_t *codes, std::size_t n,
+                       std::uint32_t *x, std::uint32_t *y,
+                       std::uint32_t *z);
 
 }  // namespace edgepcc
 

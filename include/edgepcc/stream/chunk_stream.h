@@ -45,6 +45,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "edgepcc/common/status.h"
@@ -137,6 +138,22 @@ struct ParsedChunk {
     std::vector<std::uint8_t> payload;
 };
 
+/** Read-only view of payload bytes owned elsewhere. */
+using ByteSpan = std::span<const std::uint8_t>;
+
+/**
+ * Zero-copy send-side chunk: the payload is a view into the
+ * encoder's frame bitstream (or a parity scratch buffer), NOT an
+ * owned copy. Aliasing rules (docs/PERFORMANCE.md "Zero-copy
+ * framing"): a ChunkView is valid only while the viewed buffer is
+ * alive and unmodified — for frame slices that means until the
+ * frame's send loop (including NACK retransmits) completes.
+ */
+struct ChunkView {
+    ChunkHeader header;
+    ByteSpan payload;
+};
+
 /** Scan accounting, surfaced for diagnostics and tests. */
 struct WireScanStats {
     std::size_t bytes_scanned = 0;
@@ -146,9 +163,19 @@ struct WireScanStats {
     std::size_t chunks_truncated = 0;  ///< header past buffer end
 };
 
-/** Serializes one chunk (header + CRC32C + payload copy). Emits
- *  the v1 layout unless the header uses a v2 feature, in which
- *  case kChunkFlagV2 is set on the wire automatically. */
+/**
+ * Serializes one chunk into `out` (cleared first): header + CRC32C
+ * + payload bytes. Emits the v1 layout unless the header uses a v2
+ * feature, in which case kChunkFlagV2 is set on the wire
+ * automatically. This is the send path's only payload copy — the
+ * payload view flows untouched from the encoder through slicing and
+ * FEC to here. Callers reuse `out` across sends so steady state
+ * performs no allocation.
+ */
+void serializeChunkInto(const ChunkHeader &header, ByteSpan payload,
+                        std::vector<std::uint8_t> &out);
+
+/** Convenience wrapper returning a fresh wire buffer. */
 std::vector<std::uint8_t> serializeChunk(
     const ChunkHeader &header,
     const std::vector<std::uint8_t> &payload);
@@ -181,6 +208,17 @@ std::vector<ParsedChunk> sliceFramePayload(
     const std::vector<std::uint8_t> &payload,
     std::size_t mtu_payload);
 
+/**
+ * Zero-copy variant of sliceFramePayload(): slice payloads are
+ * subspans of `payload`, so no bytes move. The views obey the
+ * ChunkView lifetime rules — `payload` must outlive every use of
+ * the returned slices (the session keeps the encoded frame alive
+ * through its NACK rounds for exactly this reason).
+ */
+std::vector<ChunkView> sliceFramePayloadViews(
+    const ChunkHeader &base, ByteSpan payload,
+    std::size_t mtu_payload);
+
 /** Reassembles slice payloads (already in slice_index order) into
  *  the original frame payload. */
 std::vector<std::uint8_t> assembleSlices(
@@ -195,6 +233,15 @@ std::vector<std::uint8_t> assembleSlices(
  */
 std::vector<std::uint8_t> buildFecParity(
     const std::vector<ParsedChunk> &group);
+
+/**
+ * Zero-copy variant of buildFecParity(): XORs each view's record
+ * (header prefix + payload bytes, read in place) into `parity`
+ * (cleared first) with the SIMD-dispatched XOR kernel — no record
+ * buffers are materialized. Callers reuse `parity` across groups.
+ */
+void buildFecParityInto(const std::vector<ChunkView> &group,
+                        std::vector<std::uint8_t> &parity);
 
 /**
  * Reconstructs the single missing data chunk of an FEC group from

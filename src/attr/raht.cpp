@@ -101,11 +101,9 @@ encodeRaht(const VoxelCloud &sorted_cloud, const RahtConfig &config,
     ScopedStage stage(recorder, "attr.raht");
 
     std::vector<std::uint64_t> codes(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        codes[i] = mortonEncode(sorted_cloud.x()[i],
-                                sorted_cloud.y()[i],
-                                sorted_cloud.z()[i]);
-    }
+    mortonEncodeBatch(sorted_cloud.x().data(),
+                      sorted_cloud.y().data(),
+                      sorted_cloud.z().data(), n, codes.data());
     for (std::size_t i = 1; i < n; ++i) {
         if (codes[i - 1] >= codes[i])
             return invalidArgument(
@@ -297,10 +295,8 @@ decodeRahtInto(const std::vector<std::uint8_t> &payload,
 
     // Rebuild the merge schedule from the decoded geometry.
     std::vector<std::uint64_t> codes(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        codes[i] =
-            mortonEncode(cloud.x()[i], cloud.y()[i], cloud.z()[i]);
-    }
+    mortonEncodeBatch(cloud.x().data(), cloud.y().data(),
+                      cloud.z().data(), n, codes.data());
     const RahtSchedule schedule = computeSchedule(codes, depth);
     if (schedule.total_merges != total_merges)
         return corruptBitstream(

@@ -1,6 +1,13 @@
 #include "edgepcc/common/crc32c.h"
 
 #include <array>
+#include <cstring>
+
+#include "edgepcc/platform/simd.h"
+
+#if EDGEPCC_SIMD_X86
+#include <immintrin.h>
+#endif
 
 namespace edgepcc {
 
@@ -23,18 +30,61 @@ buildTable()
     return table;
 }
 
+/** Table-driven reference path over the raw (inverted) state. */
+std::uint32_t
+crc32cScalar(const std::uint8_t *data, std::size_t size,
+             std::uint32_t crc)
+{
+    static const std::array<std::uint32_t, 256> table =
+        buildTable();
+    for (std::size_t i = 0; i < size; ++i)
+        crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xffu];
+    return crc;
+}
+
+#if EDGEPCC_SIMD_X86
+
+/**
+ * SSE4.2 hardware path. The CRC32 instruction implements the same
+ * reflected Castagnoli polynomial as the table, so the result is
+ * byte-identical — 8 bytes per instruction instead of one table
+ * lookup per byte.
+ */
+__attribute__((target("sse4.2"))) std::uint32_t
+crc32cHw(const std::uint8_t *data, std::size_t size,
+         std::uint32_t crc)
+{
+    std::uint64_t state = crc;
+    while (size >= 8) {
+        std::uint64_t word;
+        std::memcpy(&word, data, 8);
+        state = _mm_crc32_u64(state, word);
+        data += 8;
+        size -= 8;
+    }
+    auto state32 = static_cast<std::uint32_t>(state);
+    while (size > 0) {
+        state32 = _mm_crc32_u8(state32, *data);
+        ++data;
+        --size;
+    }
+    return state32;
+}
+
+#endif  // EDGEPCC_SIMD_X86
+
 }  // namespace
 
 std::uint32_t
 crc32c(const std::uint8_t *data, std::size_t size,
        std::uint32_t seed)
 {
-    static const std::array<std::uint32_t, 256> table =
-        buildTable();
-    std::uint32_t crc = ~seed;
-    for (std::size_t i = 0; i < size; ++i)
-        crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xffu];
-    return ~crc;
+    const std::uint32_t crc = ~seed;
+#if EDGEPCC_SIMD_X86
+    if (activeSimdLevel() >= SimdLevel::kSse4)
+        return ~crc32cHw(data, size, crc);
+#endif
+    return ~crc32cScalar(data, size, crc);
 }
 
 }  // namespace edgepcc

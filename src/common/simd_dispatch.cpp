@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Runtime ISA selection for edgepcc/platform/simd.h.
+ *
+ * Lives in edgepcc::common (not src/platform/) so the CRC32C kernel
+ * in this module can dispatch without creating a platform <-> common
+ * library cycle; see the header comment for the full contract.
+ */
+
+#include "edgepcc/platform/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if EDGEPCC_SIMD_X86
+#include <immintrin.h>
+#endif
+
+namespace edgepcc {
+
+namespace {
+
+/** -1 = no test override; otherwise a SimdLevel value. */
+std::atomic<int> g_test_override{-1};
+
+SimdLevel
+computeDetectedLevel()
+{
+#if EDGEPCC_SIMD_X86
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx2"))
+        return SimdLevel::kAvx2;
+    if (__builtin_cpu_supports("sse4.2"))
+        return SimdLevel::kSse4;
+#endif
+    return SimdLevel::kScalar;
+}
+
+/** Startup selection: detected level clamped by EDGEPCC_SIMD. */
+SimdLevel
+computeStartupLevel()
+{
+    SimdLevel level = detectSimdLevel();
+    if (const char *env = std::getenv("EDGEPCC_SIMD")) {
+        SimdLevel requested = SimdLevel::kScalar;
+        if (simdLevelFromName(env, &requested) && requested < level)
+            level = requested;
+    }
+    return level;
+}
+
+}  // namespace
+
+const char *
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::kSse4:
+        return "sse4";
+      case SimdLevel::kAvx2:
+        return "avx2";
+      case SimdLevel::kScalar:
+      default:
+        return "scalar";
+    }
+}
+
+bool
+simdLevelFromName(const char *name, SimdLevel *out)
+{
+    if (name == nullptr || out == nullptr)
+        return false;
+    if (std::strcmp(name, "scalar") == 0) {
+        *out = SimdLevel::kScalar;
+        return true;
+    }
+    if (std::strcmp(name, "sse4") == 0) {
+        *out = SimdLevel::kSse4;
+        return true;
+    }
+    if (std::strcmp(name, "avx2") == 0) {
+        *out = SimdLevel::kAvx2;
+        return true;
+    }
+    return false;
+}
+
+SimdLevel
+detectSimdLevel()
+{
+    static const SimdLevel detected = computeDetectedLevel();
+    return detected;
+}
+
+SimdLevel
+activeSimdLevel()
+{
+    const int forced =
+        g_test_override.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return static_cast<SimdLevel>(forced);
+    static const SimdLevel startup = computeStartupLevel();
+    return startup;
+}
+
+SimdLevel
+setSimdLevelForTesting(SimdLevel level)
+{
+    const SimdLevel detected = detectSimdLevel();
+    if (level > detected)
+        level = detected;
+    g_test_override.store(static_cast<int>(level),
+                          std::memory_order_relaxed);
+    return level;
+}
+
+void
+clearSimdLevelForTesting()
+{
+    g_test_override.store(-1, std::memory_order_relaxed);
+}
+
+namespace {
+
+void
+xorBytesScalar(std::uint8_t *dst, const std::uint8_t *src,
+               std::size_t n)
+{
+    std::size_t i = 0;
+    // Word-at-a-time scalar baseline; exact byte semantics.
+    for (; i + 8 <= n; i += 8) {
+        std::uint64_t a;
+        std::uint64_t b;
+        std::memcpy(&a, dst + i, 8);
+        std::memcpy(&b, src + i, 8);
+        a ^= b;
+        std::memcpy(dst + i, &a, 8);
+    }
+    for (; i < n; ++i)
+        dst[i] ^= src[i];
+}
+
+#if EDGEPCC_SIMD_X86
+
+__attribute__((target("sse4.2"))) void
+xorBytesSse4(std::uint8_t *dst, const std::uint8_t *src,
+             std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i a = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(dst + i));
+        const __m128i b = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + i),
+                         _mm_xor_si128(a, b));
+    }
+    xorBytesScalar(dst + i, src + i, n - i);
+}
+
+__attribute__((target("avx2"))) void
+xorBytesAvx2(std::uint8_t *dst, const std::uint8_t *src,
+             std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + i));
+        const __m256i b = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                            _mm256_xor_si256(a, b));
+    }
+    xorBytesScalar(dst + i, src + i, n - i);
+}
+
+#endif  // EDGEPCC_SIMD_X86
+
+}  // namespace
+
+void
+xorBytes(std::uint8_t *dst, const std::uint8_t *src, std::size_t n)
+{
+#if EDGEPCC_SIMD_X86
+    switch (activeSimdLevel()) {
+      case SimdLevel::kAvx2:
+        xorBytesAvx2(dst, src, n);
+        return;
+      case SimdLevel::kSse4:
+        xorBytesSse4(dst, src, n);
+        return;
+      case SimdLevel::kScalar:
+        break;
+    }
+#endif
+    xorBytesScalar(dst, src, n);
+}
+
+}  // namespace edgepcc

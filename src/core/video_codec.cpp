@@ -221,8 +221,12 @@ VideoEncoder::encode(const VoxelCloud &cloud)
 {
     // Encoding a frame allocates freely (octree levels, attribute
     // buffers); under memory pressure that must surface as a
-    // Status, never an exception escaping the public API.
+    // Status, never an exception escaping the public API. Arena
+    // growth goes through ::operator new, so it fails (and is
+    // caught) the same way — inside the try on purpose.
     try {
+        arena_.reset();
+        ScopedFrameArena bind(&arena_);
         return encodeImpl(cloud);
     } catch (const std::bad_alloc &) {
         return resourceExhausted(
@@ -369,6 +373,8 @@ Expected<DecodedFrame>
 VideoDecoder::decode(const std::vector<std::uint8_t> &bitstream)
 {
     try {
+        arena_.reset();
+        ScopedFrameArena bind(&arena_);
         return decodeImpl(bitstream);
     } catch (const std::bad_alloc &) {
         return resourceExhausted(
@@ -441,6 +447,8 @@ VideoDecoder::decodePromoted(
     const VoxelCloud *conceal_source, bool *attr_concealed)
 {
     try {
+        arena_.reset();
+        ScopedFrameArena bind(&arena_);
         return decodePromotedImpl(bitstream, conceal_source,
                                   attr_concealed);
     } catch (const std::bad_alloc &) {

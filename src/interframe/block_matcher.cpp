@@ -400,13 +400,14 @@ concealAttrFromReference(const VoxelCloud &reference,
     // locality the block matcher's candidate window exploits. Binary
     // search per point keeps this O(n log m) with no scratch state.
     std::vector<std::uint64_t> ref_codes(reference.size());
-    for (std::size_t i = 0; i < reference.size(); ++i)
-        ref_codes[i] = mortonEncode(reference.x()[i],
-                                    reference.y()[i],
-                                    reference.z()[i]);
+    mortonEncodeBatch(reference.x().data(), reference.y().data(),
+                      reference.z().data(), reference.size(),
+                      ref_codes.data());
+    std::vector<std::uint64_t> codes(n);
+    mortonEncodeBatch(cloud.x().data(), cloud.y().data(),
+                      cloud.z().data(), n, codes.data());
     for (std::size_t i = 0; i < n; ++i) {
-        const std::uint64_t code = mortonEncode(
-            cloud.x()[i], cloud.y()[i], cloud.z()[i]);
+        const std::uint64_t code = codes[i];
         const auto it = std::lower_bound(ref_codes.begin(),
                                          ref_codes.end(), code);
         std::size_t best =

@@ -34,16 +34,24 @@ buildRuns(const VoxelCloud &cloud, int mb_bits)
     const std::size_t n = cloud.size();
     const int shift = 3 * mb_bits;
     std::uint64_t prev_cell = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-        const std::uint64_t cell =
-            mortonEncode(cloud.x()[i], cloud.y()[i],
-                         cloud.z()[i]) >>
-            shift;
-        if (runs.empty() || cell != prev_cell) {
-            runs.push_back(MbRun{cell, i, i + 1});
-            prev_cell = cell;
-        } else {
-            runs.back().end = i + 1;
+    // Batch-encode in stack tiles; run building stays scalar (it is
+    // a sequential dependence on prev_cell).
+    constexpr std::size_t kTile = 512;
+    std::uint64_t tile[kTile];
+    for (std::size_t base = 0; base < n; base += kTile) {
+        const std::size_t count = std::min(kTile, n - base);
+        mortonEncodeBatch(cloud.x().data() + base,
+                          cloud.y().data() + base,
+                          cloud.z().data() + base, count, tile);
+        for (std::size_t k = 0; k < count; ++k) {
+            const std::size_t i = base + k;
+            const std::uint64_t cell = tile[k] >> shift;
+            if (runs.empty() || cell != prev_cell) {
+                runs.push_back(MbRun{cell, i, i + 1});
+                prev_cell = cell;
+            } else {
+                runs.back().end = i + 1;
+            }
         }
     }
     return runs;

@@ -15,14 +15,23 @@ computeMortonOrder(const VoxelCloud &cloud, WorkRecorder *recorder)
     MortonOrder order;
     order.depth = cloud.gridBits();
 
-    std::vector<KeyIndex> pairs(n);
-    const auto &x = cloud.x();
-    const auto &y = cloud.y();
-    const auto &z = cloud.z();
+    // SoA end to end: codes and the permutation are generated
+    // directly into the result arrays and sorted together, with no
+    // intermediate (key, index) AoS staging buffer. The generate
+    // kernel is SIMD-dispatched per chunk (platform/simd.h).
+    order.codes.resize(n);
+    order.perm.resize(n);
+    const std::uint16_t *x = cloud.x().data();
+    const std::uint16_t *y = cloud.y().data();
+    const std::uint16_t *z = cloud.z().data();
+    std::uint64_t *codes = order.codes.data();
+    std::uint32_t *perm = order.perm.data();
 
-    parallelFor(0, n, [&](std::size_t i) {
-        pairs[i].key = mortonEncode(x[i], y[i], z[i]);
-        pairs[i].index = static_cast<std::uint32_t>(i);
+    parallelForChunks(0, n, [&](std::size_t lo, std::size_t hi) {
+        mortonEncodeBatch(x + lo, y + lo, z + lo, hi - lo,
+                          codes + lo);
+        for (std::size_t i = lo; i < hi; ++i)
+            perm[i] = static_cast<std::uint32_t>(i);
     });
     recordKernel(recorder,
                  KernelWork{.name = "morton.generate",
@@ -34,7 +43,7 @@ computeMortonOrder(const VoxelCloud &cloud, WorkRecorder *recorder)
                             .bytes = n * (6 + 12)});
 
     const int key_bits = 3 * cloud.gridBits();
-    radixSortPairs(pairs, key_bits);
+    radixSortKeysValues(codes, perm, n, key_bits);
     const auto passes =
         static_cast<std::uint64_t>((key_bits + 7) / 8);
     recordKernel(recorder,
@@ -44,13 +53,6 @@ computeMortonOrder(const VoxelCloud &cloud, WorkRecorder *recorder)
                             .items = n,
                             .ops = n * passes * 4,
                             .bytes = n * passes * 2 * 12});
-
-    order.codes.resize(n);
-    order.perm.resize(n);
-    parallelFor(0, n, [&](std::size_t i) {
-        order.codes[i] = pairs[i].key;
-        order.perm[i] = pairs[i].index;
-    });
     return order;
 }
 

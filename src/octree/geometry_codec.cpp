@@ -632,23 +632,44 @@ decodeGeometry(const std::vector<std::uint8_t> &payload,
     // (the flag only ever goes false -> true and is read after the
     // implicit join).
     std::atomic<bool> out_of_grid{false};
-    parallelFor(0, codes.size(), [&](std::size_t i) {
-        const MortonXyz xyz = mortonDecode(codes[i]);
-        const std::uint32_t ox =
-            xyz.x + (tight ? header->box.min[0] : 0);
-        const std::uint32_t oy =
-            xyz.y + (tight ? header->box.min[1] : 0);
-        const std::uint32_t oz =
-            xyz.z + (tight ? header->box.min[2] : 0);
-        if (ox >= grid_limit || oy >= grid_limit ||
-            oz >= grid_limit) {
-            out_of_grid.store(true, std::memory_order_relaxed);
-            return;
-        }
-        cloud.mutableX()[i] = static_cast<std::uint16_t>(ox);
-        cloud.mutableY()[i] = static_cast<std::uint16_t>(oy);
-        cloud.mutableZ()[i] = static_cast<std::uint16_t>(oz);
-    });
+    const std::uint32_t off_x = tight ? header->box.min[0] : 0;
+    const std::uint32_t off_y = tight ? header->box.min[1] : 0;
+    const std::uint32_t off_z = tight ? header->box.min[2] : 0;
+    std::uint16_t *cloud_x = cloud.mutableX().data();
+    std::uint16_t *cloud_y = cloud.mutableY().data();
+    std::uint16_t *cloud_z = cloud.mutableZ().data();
+    const std::uint64_t *code_ptr = codes.data();
+    parallelForChunks(
+        0, codes.size(),
+        [&](std::size_t lo, std::size_t hi) {
+            // Decode in stack tiles so the SIMD batch kernel gets
+            // contiguous SoA outputs without a heap round trip.
+            constexpr std::size_t kTile = 512;
+            std::uint32_t tx[kTile];
+            std::uint32_t ty[kTile];
+            std::uint32_t tz[kTile];
+            for (std::size_t base = lo; base < hi; base += kTile) {
+                const std::size_t n = std::min(kTile, hi - base);
+                mortonDecodeBatch(code_ptr + base, n, tx, ty, tz);
+                for (std::size_t k = 0; k < n; ++k) {
+                    const std::uint32_t ox = tx[k] + off_x;
+                    const std::uint32_t oy = ty[k] + off_y;
+                    const std::uint32_t oz = tz[k] + off_z;
+                    if (ox >= grid_limit || oy >= grid_limit ||
+                        oz >= grid_limit) {
+                        out_of_grid.store(
+                            true, std::memory_order_relaxed);
+                        continue;
+                    }
+                    cloud_x[base + k] =
+                        static_cast<std::uint16_t>(ox);
+                    cloud_y[base + k] =
+                        static_cast<std::uint16_t>(oy);
+                    cloud_z[base + k] =
+                        static_cast<std::uint16_t>(oz);
+                }
+            }
+        });
     if (out_of_grid.load(std::memory_order_relaxed))
         return corruptBitstream(
             "geometry payload: decoded voxel outside grid");

@@ -1,8 +1,16 @@
 #include "edgepcc/parallel/radix_sort.h"
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <utility>
+
+#include "edgepcc/platform/arena.h"
+#include "edgepcc/platform/simd.h"
+
+#if EDGEPCC_SIMD_X86
+#include <immintrin.h>
+#endif
 
 namespace edgepcc {
 
@@ -10,6 +18,7 @@ namespace {
 
 constexpr int kDigitBits = 8;
 constexpr int kBuckets = 1 << kDigitBits;
+constexpr int kMaxPasses = 64 / kDigitBits;
 
 template <typename T, typename KeyOf>
 void
@@ -49,6 +58,64 @@ radixSortImpl(std::vector<T> &data, int key_bits, const KeyOf &key_of)
     }
 }
 
+#if EDGEPCC_SIMD_X86
+
+/** Digits of four consecutive keys for one pass, extracted with one
+ *  vector shift+mask instead of four scalar chains. */
+__attribute__((target("avx2"))) inline void
+extractDigitsAvx2(const std::uint64_t *keys, int shift,
+                  std::uint64_t *digits)
+{
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(keys));
+    const __m256i d = _mm256_and_si256(
+        _mm256_srli_epi64(v, shift),
+        _mm256_set1_epi64x(kBuckets - 1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(digits), d);
+}
+
+__attribute__((target("avx2"))) void
+scatterPassAvx2(const std::uint64_t *src_k,
+                const std::uint32_t *src_v, std::uint64_t *dst_k,
+                std::uint32_t *dst_v, std::size_t n, int shift,
+                std::size_t *offsets)
+{
+    std::size_t i = 0;
+    alignas(32) std::uint64_t digits[4];
+    for (; i + 4 <= n; i += 4) {
+        extractDigitsAvx2(src_k + i, shift, digits);
+        for (int k = 0; k < 4; ++k) {
+            const std::size_t pos = offsets[digits[k]]++;
+            dst_k[pos] = src_k[i + static_cast<std::size_t>(k)];
+            dst_v[pos] = src_v[i + static_cast<std::size_t>(k)];
+        }
+    }
+    for (; i < n; ++i) {
+        const std::size_t bucket =
+            (src_k[i] >> shift) & (kBuckets - 1);
+        const std::size_t pos = offsets[bucket]++;
+        dst_k[pos] = src_k[i];
+        dst_v[pos] = src_v[i];
+    }
+}
+
+#endif  // EDGEPCC_SIMD_X86
+
+void
+scatterPassScalar(const std::uint64_t *src_k,
+                  const std::uint32_t *src_v, std::uint64_t *dst_k,
+                  std::uint32_t *dst_v, std::size_t n, int shift,
+                  std::size_t *offsets)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t bucket =
+            (src_k[i] >> shift) & (kBuckets - 1);
+        const std::size_t pos = offsets[bucket]++;
+        dst_k[pos] = src_k[i];
+        dst_v[pos] = src_v[i];
+    }
+}
+
 }  // namespace
 
 void
@@ -63,6 +130,95 @@ radixSortKeys(std::vector<std::uint64_t> &keys, int key_bits)
 {
     radixSortImpl(keys, key_bits,
                   [](std::uint64_t key) { return key; });
+}
+
+void
+radixSortKeysValues(std::uint64_t *keys, std::uint32_t *values,
+                    std::size_t n, int key_bits)
+{
+    assert(key_bits >= 1 && key_bits <= 64);
+    if (n < 2)
+        return;
+    const int passes = (key_bits + kDigitBits - 1) / kDigitBits;
+
+    // Scratch: arena-backed inside a frame, heap otherwise.
+    FrameArena *arena = currentFrameArena();
+    std::vector<std::uint64_t> key_heap;
+    std::vector<std::uint32_t> val_heap;
+    std::uint64_t *key_scratch = nullptr;
+    std::uint32_t *val_scratch = nullptr;
+    if (arena != nullptr) {
+        key_scratch = arena->allocateArray<std::uint64_t>(n);
+        val_scratch = arena->allocateArray<std::uint32_t>(n);
+    } else {
+        key_heap.resize(n);
+        val_heap.resize(n);
+        key_scratch = key_heap.data();
+        val_scratch = val_heap.data();
+    }
+
+    // All pass histograms in a single sweep over the keys: the sort
+    // is memory-bound, so reading every key once instead of once
+    // per pass is the dominant win on wide keys.
+    std::array<std::size_t,
+               static_cast<std::size_t>(kMaxPasses) * kBuckets>
+        counts{};
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t key = keys[i];
+        for (int pass = 0; pass < passes; ++pass) {
+            ++counts[static_cast<std::size_t>(pass) * kBuckets +
+                     ((key >> (pass * kDigitBits)) &
+                      (kBuckets - 1))];
+        }
+    }
+
+#if EDGEPCC_SIMD_X86
+    const bool use_avx2 = activeSimdLevel() >= SimdLevel::kAvx2;
+#endif
+
+    std::uint64_t *src_k = keys;
+    std::uint32_t *src_v = values;
+    std::uint64_t *dst_k = key_scratch;
+    std::uint32_t *dst_v = val_scratch;
+    for (int pass = 0; pass < passes; ++pass) {
+        std::size_t *pass_counts =
+            counts.data() +
+            static_cast<std::size_t>(pass) * kBuckets;
+        // Skip passes where every key shares the digit (digit
+        // uniformity is order-independent, so the pre-sweep
+        // histogram stays valid across performed passes).
+        if (*std::max_element(pass_counts,
+                              pass_counts + kBuckets) == n) {
+            continue;
+        }
+        std::size_t offset = 0;
+        for (int bucket = 0; bucket < kBuckets; ++bucket) {
+            const std::size_t count = pass_counts[bucket];
+            pass_counts[bucket] = offset;
+            offset += count;
+        }
+        const int shift = pass * kDigitBits;
+#if EDGEPCC_SIMD_X86
+        if (use_avx2) {
+            scatterPassAvx2(src_k, src_v, dst_k, dst_v, n, shift,
+                            pass_counts);
+        } else {
+            scatterPassScalar(src_k, src_v, dst_k, dst_v, n,
+                              shift, pass_counts);
+        }
+#else
+        scatterPassScalar(src_k, src_v, dst_k, dst_v, n, shift,
+                          pass_counts);
+#endif
+        std::swap(src_k, dst_k);
+        std::swap(src_v, dst_v);
+    }
+    // Ping-pong may end in the scratch arrays; the caller owns
+    // `keys`/`values`, so move the result home.
+    if (src_k != keys) {
+        std::copy(src_k, src_k + n, keys);
+        std::copy(src_v, src_v + n, values);
+    }
 }
 
 }  // namespace edgepcc

@@ -1,0 +1,151 @@
+#include "edgepcc/platform/arena.h"
+
+#include <new>
+#include <utility>
+
+namespace edgepcc {
+
+namespace {
+
+thread_local FrameArena *t_current_arena = nullptr;
+
+std::size_t
+alignUp(std::size_t value, std::size_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+FrameArena::FrameArena(std::size_t block_bytes)
+    : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes
+                                    : block_bytes)
+{
+}
+
+FrameArena::~FrameArena()
+{
+    release();
+}
+
+FrameArena::FrameArena(FrameArena &&other) noexcept
+    : blocks_(std::move(other.blocks_)),
+      block_bytes_(other.block_bytes_),
+      active_(other.active_),
+      cursor_(other.cursor_),
+      bytes_used_(other.bytes_used_),
+      bytes_reserved_(other.bytes_reserved_)
+{
+    other.blocks_.clear();
+    other.active_ = 0;
+    other.cursor_ = 0;
+    other.bytes_used_ = 0;
+    other.bytes_reserved_ = 0;
+}
+
+FrameArena &
+FrameArena::operator=(FrameArena &&other) noexcept
+{
+    if (this != &other) {
+        release();
+        blocks_ = std::move(other.blocks_);
+        block_bytes_ = other.block_bytes_;
+        active_ = other.active_;
+        cursor_ = other.cursor_;
+        bytes_used_ = other.bytes_used_;
+        bytes_reserved_ = other.bytes_reserved_;
+        other.blocks_.clear();
+        other.active_ = 0;
+        other.cursor_ = 0;
+        other.bytes_used_ = 0;
+        other.bytes_reserved_ = 0;
+    }
+    return *this;
+}
+
+FrameArena::Block &
+FrameArena::growFor(std::size_t bytes)
+{
+    std::size_t size = block_bytes_;
+    while (size < bytes)
+        size *= 2;
+    // Reserve the slot first so the push_back below cannot throw
+    // after the block allocation succeeded (which would leak it).
+    blocks_.reserve(blocks_.size() + 1);
+    Block block;
+    // Upstream allocation goes through ::operator new on purpose:
+    // the countdown-exhaustion tests replace it and expect arena
+    // growth to fail the same way every other allocation does.
+    block.data = static_cast<std::uint8_t *>(::operator new(size));
+    block.size = size;
+    bytes_reserved_ += size;
+    blocks_.push_back(block);
+    return blocks_.back();
+}
+
+void *
+FrameArena::allocate(std::size_t bytes, std::size_t align)
+{
+    if (bytes == 0)
+        bytes = 1;
+    // Block bases come from ::operator new, i.e. max_align-aligned;
+    // clamping requests up keeps every offset max_align-aligned too,
+    // so over-aligned types are the only unsupported case.
+    if (align < alignof(std::max_align_t))
+        align = alignof(std::max_align_t);
+    while (active_ < blocks_.size()) {
+        Block &block = blocks_[active_];
+        const std::size_t aligned = alignUp(cursor_, align);
+        if (aligned + bytes <= block.size) {
+            cursor_ = aligned + bytes;
+            bytes_used_ += bytes;
+            return block.data + aligned;
+        }
+        // Bump allocation never backtracks: the tail of this block
+        // is abandoned until the next reset().
+        ++active_;
+        cursor_ = 0;
+    }
+    Block &block = growFor(bytes);
+    active_ = blocks_.size() - 1;
+    cursor_ = bytes;
+    bytes_used_ += bytes;
+    return block.data;
+}
+
+void
+FrameArena::reset()
+{
+    active_ = 0;
+    cursor_ = 0;
+    bytes_used_ = 0;
+}
+
+void
+FrameArena::release()
+{
+    for (Block &block : blocks_)
+        ::operator delete(block.data);
+    blocks_.clear();
+    reset();
+    bytes_reserved_ = 0;
+}
+
+FrameArena *
+currentFrameArena()
+{
+    return t_current_arena;
+}
+
+ScopedFrameArena::ScopedFrameArena(FrameArena *arena)
+    : previous_(t_current_arena)
+{
+    t_current_arena = arena;
+}
+
+ScopedFrameArena::~ScopedFrameArena()
+{
+    t_current_arena = previous_;
+}
+
+}  // namespace edgepcc

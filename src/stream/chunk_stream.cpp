@@ -5,6 +5,7 @@
 
 #include "edgepcc/common/crc32c.h"
 #include "edgepcc/common/trace.h"
+#include "edgepcc/platform/simd.h"
 
 namespace edgepcc {
 
@@ -49,44 +50,60 @@ getU32(const std::uint8_t *data)
  *  reconstruction recovers header identity and bytes together. */
 constexpr std::size_t kFecRecordPrefix = 18;
 
-std::vector<std::uint8_t>
-fecRecord(const ChunkHeader &header,
-          const std::vector<std::uint8_t> &payload)
+void
+writeFecPrefix(std::uint8_t *out, const ChunkHeader &header,
+               std::size_t payload_size)
 {
-    std::vector<std::uint8_t> record;
-    record.reserve(kFecRecordPrefix + payload.size());
-    putU32(record, header.frame_id);
-    putU32(record, header.gop_id);
-    putU16(record, header.slice_index);
-    putU16(record, header.slice_count);
-    record.push_back(header.frame_type == Frame::Type::kPredicted
-                         ? 1u
-                         : 0u);
-    record.push_back(header.fec_seq);
-    putU32(record, static_cast<std::uint32_t>(payload.size()));
-    record.insert(record.end(), payload.begin(), payload.end());
-    return record;
+    const auto put32 = [&](std::size_t at, std::uint32_t value) {
+        out[at] = static_cast<std::uint8_t>(value & 0xffu);
+        out[at + 1] =
+            static_cast<std::uint8_t>((value >> 8) & 0xffu);
+        out[at + 2] =
+            static_cast<std::uint8_t>((value >> 16) & 0xffu);
+        out[at + 3] =
+            static_cast<std::uint8_t>((value >> 24) & 0xffu);
+    };
+    put32(0, header.frame_id);
+    put32(4, header.gop_id);
+    out[8] = static_cast<std::uint8_t>(header.slice_index & 0xffu);
+    out[9] = static_cast<std::uint8_t>(header.slice_index >> 8);
+    out[10] = static_cast<std::uint8_t>(header.slice_count & 0xffu);
+    out[11] = static_cast<std::uint8_t>(header.slice_count >> 8);
+    out[12] = header.frame_type == Frame::Type::kPredicted ? 1u : 0u;
+    out[13] = header.fec_seq;
+    put32(14, static_cast<std::uint32_t>(payload_size));
 }
 
-/** XORs `record` into `acc`, growing `acc` to fit (zero padding). */
+/**
+ * XORs one chunk's FEC record into `acc` without materializing the
+ * record: the 18-byte prefix is built on the stack, the payload is
+ * XORed straight out of the view (SIMD-dispatched). Grows `acc`
+ * with zero padding when the record is longer.
+ */
 void
-xorInto(std::vector<std::uint8_t> &acc,
-        const std::vector<std::uint8_t> &record)
+xorRecordInto(std::vector<std::uint8_t> &acc,
+              const ChunkHeader &header, ByteSpan payload)
 {
-    if (record.size() > acc.size())
-        acc.resize(record.size(), 0);
-    for (std::size_t i = 0; i < record.size(); ++i)
-        acc[i] ^= record[i];
+    const std::size_t record_size =
+        kFecRecordPrefix + payload.size();
+    if (record_size > acc.size())
+        acc.resize(record_size, 0);
+    std::uint8_t prefix[kFecRecordPrefix];
+    writeFecPrefix(prefix, header, payload.size());
+    xorBytes(acc.data(), prefix, kFecRecordPrefix);
+    if (!payload.empty())
+        xorBytes(acc.data() + kFecRecordPrefix, payload.data(),
+                 payload.size());
 }
 
 }  // namespace
 
-std::vector<std::uint8_t>
-serializeChunk(const ChunkHeader &header,
-               const std::vector<std::uint8_t> &payload)
+void
+serializeChunkInto(const ChunkHeader &header, ByteSpan payload,
+                   std::vector<std::uint8_t> &out)
 {
     const bool v2 = header.isV2();
-    std::vector<std::uint8_t> out;
+    out.clear();
     out.reserve(header.headerBytes() + payload.size());
     for (const std::uint8_t byte : kChunkMarker)
         out.push_back(byte);
@@ -115,6 +132,14 @@ serializeChunk(const ChunkHeader &header,
     putU32(out, crc);
 
     out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::vector<std::uint8_t>
+serializeChunk(const ChunkHeader &header,
+               const std::vector<std::uint8_t> &payload)
+{
+    std::vector<std::uint8_t> out;
+    serializeChunkInto(header, ByteSpan(payload), out);
     return out;
 }
 
@@ -207,20 +232,19 @@ concatWire(const std::vector<std::vector<std::uint8_t>> &chunks)
     return wire;
 }
 
-std::vector<ParsedChunk>
-sliceFramePayload(const ChunkHeader &base,
-                  const std::vector<std::uint8_t> &payload,
-                  std::size_t mtu_payload)
+std::vector<ChunkView>
+sliceFramePayloadViews(const ChunkHeader &base, ByteSpan payload,
+                       std::size_t mtu_payload)
 {
     ScopedTrace trace("stream.slice");
-    std::vector<ParsedChunk> slices;
+    std::vector<ChunkView> slices;
     if (mtu_payload == 0 || payload.size() <= mtu_payload) {
-        ParsedChunk whole;
+        ChunkView whole;
         whole.header = base;
         whole.header.slice_index = 0;
         whole.header.slice_count = 1;
         whole.payload = payload;
-        slices.push_back(std::move(whole));
+        slices.push_back(whole);
         return slices;
     }
     // slice_count is u16: raise the slice size rather than overflow.
@@ -234,16 +258,35 @@ sliceFramePayload(const ChunkHeader &base,
         const std::size_t begin = i * mtu;
         const std::size_t end =
             std::min(begin + mtu, payload.size());
-        ParsedChunk slice;
+        ChunkView slice;
         slice.header = base;
         slice.header.slice_index =
             static_cast<std::uint16_t>(i);
         slice.header.slice_count =
             static_cast<std::uint16_t>(count);
-        slice.payload.assign(payload.begin() +
-                                 static_cast<std::ptrdiff_t>(begin),
-                             payload.begin() +
-                                 static_cast<std::ptrdiff_t>(end));
+        slice.payload = payload.subspan(begin, end - begin);
+        slices.push_back(slice);
+    }
+    return slices;
+}
+
+std::vector<ParsedChunk>
+sliceFramePayload(const ChunkHeader &base,
+                  const std::vector<std::uint8_t> &payload,
+                  std::size_t mtu_payload)
+{
+    // Owning wrapper over the view-based slicer, kept for tests and
+    // callers that outlive the source buffer.
+    const std::vector<ChunkView> views =
+        sliceFramePayloadViews(base, ByteSpan(payload),
+                               mtu_payload);
+    std::vector<ParsedChunk> slices;
+    slices.reserve(views.size());
+    for (const ChunkView &view : views) {
+        ParsedChunk slice;
+        slice.header = view.header;
+        slice.payload.assign(view.payload.begin(),
+                             view.payload.end());
         slices.push_back(std::move(slice));
     }
     return slices;
@@ -264,12 +307,22 @@ assembleSlices(
     return payload;
 }
 
+void
+buildFecParityInto(const std::vector<ChunkView> &group,
+                   std::vector<std::uint8_t> &parity)
+{
+    parity.clear();
+    for (const ChunkView &chunk : group)
+        xorRecordInto(parity, chunk.header, chunk.payload);
+}
+
 std::vector<std::uint8_t>
 buildFecParity(const std::vector<ParsedChunk> &group)
 {
     std::vector<std::uint8_t> parity;
     for (const ParsedChunk &chunk : group)
-        xorInto(parity, fecRecord(chunk.header, chunk.payload));
+        xorRecordInto(parity, chunk.header,
+                      ByteSpan(chunk.payload));
     return parity;
 }
 
@@ -281,13 +334,11 @@ recoverFecChunk(const std::vector<ParsedChunk> &received,
         return std::nullopt;
     std::vector<std::uint8_t> acc = parity_payload;
     for (const ParsedChunk &chunk : received) {
-        const std::vector<std::uint8_t> record =
-            fecRecord(chunk.header, chunk.payload);
         // A record longer than the parity means this chunk was not
         // covered by this parity — the group is inconsistent.
-        if (record.size() > acc.size())
+        if (kFecRecordPrefix + chunk.payload.size() > acc.size())
             return std::nullopt;
-        xorInto(acc, record);
+        xorRecordInto(acc, chunk.header, ByteSpan(chunk.payload));
     }
 
     const std::uint32_t payload_size = getU32(acc.data() + 14);

@@ -389,16 +389,19 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
     };
     std::vector<FrameSendInfo> sent(frames.size());
 
-    const auto sendChunk = [&](ChunkHeader header,
-                               const std::vector<std::uint8_t>
-                                   &payload,
+    // Zero-copy send path: payloads are views into the encoded
+    // frame (or the parity scratch), serialized into one reusable
+    // wire buffer — the serialize step is the only payload copy
+    // between the encoder and the channel.
+    std::vector<std::uint8_t> wire_buf;
+    std::vector<std::uint8_t> parity_buf;
+    const auto sendChunk = [&](ChunkHeader header, ByteSpan payload,
                                FrameSendInfo &info) {
         header.sequence = next_sequence++;
-        const std::vector<std::uint8_t> wire =
-            serializeChunk(header, payload);
-        info.wire_bytes += wire.size();
+        serializeChunkInto(header, payload, wire_buf);
+        info.wire_bytes += wire_buf.size();
         ++report.stats.chunks_sent;
-        for (const auto &arrival : channel.transmit(wire))
+        for (const auto &arrival : channel.transmit(wire_buf))
             receiver.ingest(arrival);
     };
 
@@ -580,8 +583,11 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
         // Sub-frame slicing: one chunk per MTU payload so a bit
         // flip costs a slice, not the frame. mtu_payload == 0
         // reproduces the v1 one-chunk-per-frame wire byte for byte.
-        std::vector<ParsedChunk> slices = sliceFramePayload(
-            base, encoded->bitstream, session_.mtu_payload);
+        // Slices are views into encoded->bitstream, which stays
+        // alive (and unmodified) through the NACK rounds below.
+        std::vector<ChunkView> slices = sliceFramePayloadViews(
+            base, ByteSpan(encoded->bitstream),
+            session_.mtu_payload);
 
         // XOR-parity FEC: every group_size data chunks emit one
         // parity chunk. Groups never span frames, so the receiver
@@ -634,13 +640,13 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
                     parity.fec_seq = kFecParitySeq;
                     parity.fec_group_size =
                         slices[begin].header.fec_group_size;
-                    const std::vector<ParsedChunk> group(
+                    const std::vector<ChunkView> group(
                         slices.begin() +
                             static_cast<std::ptrdiff_t>(begin),
                         slices.begin() +
                             static_cast<std::ptrdiff_t>(end));
-                    sendChunk(parity, buildFecParity(group),
-                              info);
+                    buildFecParityInto(group, parity_buf);
+                    sendChunk(parity, ByteSpan(parity_buf), info);
                     ++report.stats.parity_sent;
                 }
             }
@@ -683,7 +689,7 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
                               slices[i].payload, info);
                 for (std::size_t lane = 0; lane < lanes;
                      ++lane) {
-                    std::vector<ParsedChunk> group;
+                    std::vector<ChunkView> group;
                     for (std::size_t j = lane; j < count;
                          j += lanes)
                         group.push_back(slices[begin + j]);
@@ -695,8 +701,8 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
                     parity.fec_seq = kFecParitySeq;
                     parity.fec_group_size =
                         static_cast<std::uint8_t>(group.size());
-                    sendChunk(parity, buildFecParity(group),
-                              info);
+                    buildFecParityInto(group, parity_buf);
+                    sendChunk(parity, ByteSpan(parity_buf), info);
                     ++report.stats.parity_sent;
                 }
             }

@@ -19,6 +19,7 @@
 #include "edgepcc/common/rng.h"
 #include "edgepcc/core/video_codec.h"
 #include "edgepcc/dataset/synthetic_human.h"
+#include "edgepcc/platform/arena.h"
 #include "edgepcc/stream/stream_file.h"
 
 // -----------------------------------------------------------------
@@ -447,6 +448,64 @@ TEST_F(RobustnessTest, AllDuplicatePointsRoundTrip)
         EXPECT_EQ(decoded->cloud.y()[0], 200) << config.name;
         EXPECT_EQ(decoded->cloud.z()[0], 50) << config.name;
     }
+}
+
+// -----------------------------------------------------------------
+// FrameArena: growth failure + steady-state reuse
+// -----------------------------------------------------------------
+
+TEST_F(RobustnessTest, ArenaGrowthFailurePropagatesAsBadAlloc)
+{
+    FrameArena arena(1u << 12);
+    {
+        ScopedAllocFailure arm(0);
+        EXPECT_THROW(arena.allocate(64), std::bad_alloc);
+        EXPECT_TRUE(arm.fired());
+    }
+    // The failed growth must leave the arena consistent: the next
+    // attempt (heap healthy again) succeeds.
+    EXPECT_NE(arena.allocate(64), nullptr);
+}
+
+TEST_F(RobustnessTest, ArenaSteadyStateReusesWarmBlocks)
+{
+    FrameArena arena;
+    // Warm-up frame: carve a realistic mix of scratch sizes,
+    // including one spilling past the first block.
+    for (int i = 0; i < 8; ++i)
+        arena.allocateArray<std::uint64_t>(40000);
+    const std::size_t reserved = arena.bytesReserved();
+    const std::size_t blocks = arena.upstreamBlockCount();
+    arena.reset();
+    EXPECT_EQ(arena.bytesUsed(), 0u);
+    {
+        // Replay the same carve with the very next heap allocation
+        // armed to fail: the warm blocks must satisfy it with zero
+        // upstream traffic, or the countdown fires and throws.
+        ScopedAllocFailure arm(0);
+        for (int i = 0; i < 8; ++i)
+            arena.allocateArray<std::uint64_t>(40000);
+        EXPECT_FALSE(arm.fired());
+    }
+    EXPECT_EQ(arena.bytesReserved(), reserved);
+    EXPECT_EQ(arena.upstreamBlockCount(), blocks);
+}
+
+TEST_F(RobustnessTest, ScopedFrameArenaRestoresPreviousBinding)
+{
+    EXPECT_EQ(currentFrameArena(), nullptr);
+    FrameArena outer_arena;
+    FrameArena inner_arena;
+    {
+        ScopedFrameArena outer(&outer_arena);
+        EXPECT_EQ(currentFrameArena(), &outer_arena);
+        {
+            ScopedFrameArena inner(&inner_arena);
+            EXPECT_EQ(currentFrameArena(), &inner_arena);
+        }
+        EXPECT_EQ(currentFrameArena(), &outer_arena);
+    }
+    EXPECT_EQ(currentFrameArena(), nullptr);
 }
 
 #ifdef EDGEPCC_CLI_BINARY

@@ -52,19 +52,27 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "edgepcc/attr/segment_codec.h"
+#include "edgepcc/common/crc32c.h"
+#include "edgepcc/common/rng.h"
 #include "edgepcc/common/timer.h"
 #include "edgepcc/common/trace.h"
 #include "edgepcc/core/codec_config.h"
 #include "edgepcc/core/video_codec.h"
 #include "edgepcc/dataset/synthetic_human.h"
 #include "edgepcc/metrics/quality.h"
+#include "edgepcc/morton/morton.h"
+#include "edgepcc/parallel/radix_sort.h"
 #include "edgepcc/parallel/thread_pool.h"
+#include "edgepcc/platform/arena.h"
 #include "edgepcc/platform/device_model.h"
+#include "edgepcc/platform/simd.h"
 #include "edgepcc/serve/fault_injector.h"
 #include "edgepcc/serve/serve_scheduler.h"
 #include "edgepcc/stream/overload_controller.h"
@@ -426,6 +434,188 @@ runWorkload(const std::vector<VoxelCloud> &frames,
     return metrics;
 }
 
+// -----------------------------------------------------------------
+// Dispatched-kernel micro-bench (the "kernels" JSON section; see
+// docs/PERFORMANCE.md "Reading the kernel bench")
+// -----------------------------------------------------------------
+
+/** One dispatched kernel, measured under the active ISA and again
+ *  under forced-scalar dispatch on identical inputs. */
+struct KernelBenchResult {
+    std::string name;
+    std::size_t points = 0;  ///< items per rep (bytes for the
+                             ///< byte-stream kernels)
+    double p50_ns_per_point = 0.0;
+    double p95_ns_per_point = 0.0;
+    double scalar_p50_ns_per_point = 0.0;
+
+    double
+    speedupVsScalar() const
+    {
+        return p50_ns_per_point > 0.0
+                   ? scalar_p50_ns_per_point / p50_ns_per_point
+                   : 0.0;
+    }
+};
+
+struct KernelBenchMetrics {
+    std::string simd_level;  ///< ISA the non-scalar pass ran on
+    std::vector<KernelBenchResult> kernels;
+
+    /** Geometric mean of the per-kernel speedups — the number the
+     *  >=2x SIMD acceptance gate pins. */
+    double
+    aggregateSpeedup() const
+    {
+        if (kernels.empty())
+            return 0.0;
+        double log_sum = 0.0;
+        for (const KernelBenchResult &k : kernels)
+            log_sum += std::log(
+                std::max(k.speedupVsScalar(), 1e-9));
+        return std::exp(log_sum /
+                        static_cast<double>(kernels.size()));
+    }
+};
+
+/** Defeats dead-code elimination of the timed kernels. */
+volatile std::uint64_t g_kernel_sink = 0;
+
+/** Runs fn() `reps` times after one warm-up; ns/point stats. */
+PercentileStats
+timeKernel(int reps, std::size_t points,
+           const std::function<void()> &fn)
+{
+    fn();  // warm-up: page in buffers, settle dispatch
+    std::vector<double> ns_per_point;
+    ns_per_point.reserve(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+        WallTimer timer;
+        fn();
+        ns_per_point.push_back(timer.seconds() * 1e9 /
+                               static_cast<double>(points));
+    }
+    return computePercentiles(ns_per_point);
+}
+
+/**
+ * Micro-benches every SIMD-dispatched kernel on fixed synthetic
+ * inputs, once under the active dispatch level and once under
+ * forced scalar. Runs with a bound FrameArena like a real frame, so
+ * the arena-scratch paths are the ones measured.
+ */
+KernelBenchMetrics
+runKernelBench()
+{
+    constexpr std::size_t kPoints = 1u << 17;
+    // Cache-resident on purpose: at DRAM-bound sizes every ISA
+    // saturates the memory bus and the numbers measure the machine,
+    // not the kernel.
+    constexpr std::size_t kBytes = 256u << 10;
+    constexpr int kReps = 15;
+
+    KernelBenchMetrics metrics;
+    metrics.simd_level = simdLevelName(activeSimdLevel());
+
+    FrameArena arena;
+    ScopedFrameArena bind(&arena);
+
+    Rng rng(20260809);
+    std::vector<std::uint16_t> x(kPoints), y(kPoints), z(kPoints);
+    for (std::size_t i = 0; i < kPoints; ++i) {
+        x[i] = static_cast<std::uint16_t>(rng.bounded(1u << 16));
+        y[i] = static_cast<std::uint16_t>(rng.bounded(1u << 16));
+        z[i] = static_cast<std::uint16_t>(rng.bounded(1u << 16));
+    }
+    std::vector<std::uint64_t> codes(kPoints);
+    mortonEncodeBatch(x.data(), y.data(), z.data(), kPoints,
+                      codes.data());
+    std::vector<std::uint32_t> dx(kPoints), dy(kPoints),
+        dz(kPoints);
+    std::vector<std::uint64_t> work_keys(kPoints);
+    std::vector<std::uint32_t> work_vals(kPoints);
+    AttrChannels channels;
+    for (auto &channel : channels) {
+        channel.resize(kPoints);
+        for (std::size_t i = 0; i < kPoints; ++i)
+            channel[i] =
+                static_cast<std::int32_t>(rng.bounded(256));
+    }
+    const SegmentCodecConfig seg_config{};
+    std::vector<std::uint8_t> bytes(kBytes);
+    for (std::size_t i = 0; i < kBytes; ++i)
+        bytes[i] = static_cast<std::uint8_t>(rng.bounded(256));
+    std::vector<std::uint8_t> xor_acc(kBytes, 0);
+
+    struct Kernel {
+        const char *name;
+        std::size_t points;
+        std::function<void()> fn;
+    };
+    const Kernel kernels[] = {
+        {"morton.encode", kPoints,
+         [&] {
+             mortonEncodeBatch(x.data(), y.data(), z.data(),
+                               kPoints, codes.data());
+             g_kernel_sink = g_kernel_sink + codes[kPoints - 1];
+         }},
+        {"morton.decode", kPoints,
+         [&] {
+             mortonDecodeBatch(codes.data(), kPoints, dx.data(),
+                               dy.data(), dz.data());
+             g_kernel_sink = g_kernel_sink + dx[kPoints - 1];
+         }},
+        {"radix.sort", kPoints,
+         [&] {
+             // The copy-in is timed for both ISA passes alike, so
+             // the speedup ratio is undistorted.
+             std::copy(codes.begin(), codes.end(),
+                       work_keys.begin());
+             for (std::size_t i = 0; i < kPoints; ++i)
+                 work_vals[i] = static_cast<std::uint32_t>(i);
+             radixSortKeysValues(work_keys.data(),
+                                 work_vals.data(), kPoints, 48);
+             g_kernel_sink = g_kernel_sink + work_keys[kPoints - 1];
+         }},
+        {"residual.pack", kPoints,
+         [&] {
+             arena.reset();
+             auto payload =
+                 encodeSegmentAttr(channels, seg_config);
+             g_kernel_sink =
+                 g_kernel_sink +
+                 (payload.hasValue() ? payload->size() : 0);
+         }},
+        {"crc32c", kBytes,
+         [&] {
+             g_kernel_sink =
+                 g_kernel_sink + crc32c(bytes.data(), kBytes);
+         }},
+        {"fec.xor", kBytes,
+         [&] {
+             xorBytes(xor_acc.data(), bytes.data(), kBytes);
+             g_kernel_sink = g_kernel_sink + xor_acc[kBytes - 1];
+         }},
+    };
+
+    for (const Kernel &kernel : kernels) {
+        KernelBenchResult result;
+        result.name = kernel.name;
+        result.points = kernel.points;
+        const PercentileStats active =
+            timeKernel(kReps, kernel.points, kernel.fn);
+        result.p50_ns_per_point = active.p50;
+        result.p95_ns_per_point = active.p95;
+        setSimdLevelForTesting(SimdLevel::kScalar);
+        const PercentileStats scalar =
+            timeKernel(kReps, kernel.points, kernel.fn);
+        clearSimdLevelForTesting();
+        result.scalar_p50_ns_per_point = scalar.p50;
+        metrics.kernels.push_back(result);
+    }
+    return metrics;
+}
+
 void
 writeStats(std::FILE *out, const char *key,
            const PercentileStats &stats, const char *trailer)
@@ -442,6 +632,7 @@ writeResults(const std::string &path, const CodecConfig &config,
              const VideoSpec &spec, int frames, std::size_t threads,
              const RunMetrics &metrics, double overhead_fraction,
              std::size_t trace_events,
+             const KernelBenchMetrics &kernel_bench,
              const ResilienceMetrics &resilience,
              const OverloadBenchMetrics &overload,
              const ServeBenchMetrics &serve_bench)
@@ -543,6 +734,30 @@ writeResults(const std::string &path, const CodecConfig &config,
                      i + 1 < summaries.size() ? "," : "");
     }
     (void)std::fprintf(out, "  ],\n");
+
+    (void)std::fprintf(out, "  \"kernels\": {\n");
+    (void)std::fprintf(out, "    \"simd_level\": \"%s\",\n",
+                 kernel_bench.simd_level.c_str());
+    (void)std::fprintf(out,
+                 "    \"aggregate_speedup_vs_scalar\": %.9g,\n",
+                 kernel_bench.aggregateSpeedup());
+    (void)std::fprintf(out, "    \"items\": [\n");
+    for (std::size_t i = 0; i < kernel_bench.kernels.size(); ++i) {
+        const KernelBenchResult &k = kernel_bench.kernels[i];
+        (void)std::fprintf(
+            out,
+            "      {\"name\": \"%s\", \"points\": %zu, "
+            "\"p50_ns_per_point\": %.9g, "
+            "\"p95_ns_per_point\": %.9g, "
+            "\"scalar_p50_ns_per_point\": %.9g, "
+            "\"speedup_vs_scalar\": %.9g}%s\n",
+            k.name.c_str(), k.points, k.p50_ns_per_point,
+            k.p95_ns_per_point, k.scalar_p50_ns_per_point,
+            k.speedupVsScalar(),
+            i + 1 < kernel_bench.kernels.size() ? "," : "");
+    }
+    (void)std::fprintf(out, "    ]\n");
+    (void)std::fprintf(out, "  },\n");
     if (resilience.enabled) {
         const SessionStats &s = resilience.stats;
         (void)std::fprintf(out, "  \"resilience\": {\n");
@@ -1269,10 +1484,18 @@ main(int argc, char **argv)
                 rec.mttr_s * 1e3, rec.worst_recovery_s * 1e3);
     }
 
+    const KernelBenchMetrics kernel_bench = runKernelBench();
+    (void)std::fprintf(
+        stderr,
+        "kernels on %s: aggregate speedup vs scalar %.2fx\n",
+        kernel_bench.simd_level.c_str(),
+        kernel_bench.aggregateSpeedup());
+
     const int rc = writeResults(out_path, config, spec, frames,
                                 worker_count, *metrics,
                                 overhead_fraction, trace_events,
-                                resilience, overload, serve_bench);
+                                kernel_bench, resilience, overload,
+                                serve_bench);
     if (rc == 0)
         (void)std::fprintf(stderr, "wrote %s (%d frames, config %s)\n",
                      out_path.c_str(), frames,

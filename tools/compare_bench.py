@@ -112,6 +112,40 @@ def compare(old, new, latency_tol, ratio_tol, check_host):
             stage["model_s"]["p50"],
         )
 
+    # SIMD kernel micro-bench (host ns/point, see
+    # docs/PERFORMANCE.md). Host-measured, so only gated when both
+    # runs dispatched on the same ISA — a changed simd_level is a
+    # different experiment (reported, not gated).
+    old_kernels = old.get("kernels", {})
+    new_kernels = new.get("kernels", {})
+    if old_kernels and new_kernels:
+        old_level = old_kernels.get("simd_level")
+        new_level = new_kernels.get("simd_level")
+        if old_level != new_level:
+            lines.append(
+                f"  kernels: simd_level changed "
+                f"({old_level} -> {new_level}), not gated"
+            )
+        else:
+            old_items = {
+                k["name"]: k for k in old_kernels.get("items", [])
+            }
+            for item in new_kernels.get("items", []):
+                ref = old_items.get(item["name"])
+                if ref is None:
+                    lines.append(
+                        f"  kernel {item['name']}: new "
+                        f"(no baseline)"
+                    )
+                    continue
+                check_latency(
+                    f"kernel {item['name']} p50 ns/pt",
+                    ref["p50_ns_per_point"],
+                    item["p50_ns_per_point"],
+                )
+    elif new_kernels:
+        lines.append("  kernels: new (no baseline)")
+
     ratio_change = rel_change(
         oe["compression_ratio"], ne["compression_ratio"]
     )
@@ -278,6 +312,20 @@ def self_test():
             {"name": "geom.morton", "model_s": {"p50": 0.004}},
             {"name": "attr.segment", "model_s": {"p50": 0.006}},
         ],
+        "kernels": {
+            "simd_level": "avx2",
+            "aggregate_speedup_vs_scalar": 2.4,
+            "items": [
+                {
+                    "name": "morton.encode",
+                    "p50_ns_per_point": 1.8,
+                },
+                {
+                    "name": "crc32c",
+                    "p50_ns_per_point": 0.14,
+                },
+            ],
+        },
         "resilience": {
             "modes": {
                 "nack": {
@@ -328,6 +376,27 @@ def self_test():
     within_tol["end_to_end"]["encode_model_s"]["p50"] *= 1.05
     found, _ = compare(base, within_tol, 0.10, 0.02, False)
     assert not found, "5% slowdown is within the 10% tolerance"
+
+    kernel_slow = copy.deepcopy(base)
+    kernel_slow["kernels"]["items"][0]["p50_ns_per_point"] *= 1.20
+    found, _ = compare(base, kernel_slow, 0.10, 0.02, False)
+    assert found, "20% kernel p50 slowdown must be flagged"
+
+    kernel_within = copy.deepcopy(base)
+    kernel_within["kernels"]["items"][0][
+        "p50_ns_per_point"] *= 1.05
+    found, _ = compare(base, kernel_within, 0.10, 0.02, False)
+    assert not found, "5% kernel slowdown is within the tolerance"
+
+    level_changed = copy.deepcopy(kernel_slow)
+    level_changed["kernels"]["simd_level"] = "scalar"
+    found, _ = compare(base, level_changed, 0.10, 0.02, False)
+    assert not found, "changed simd_level is reported, not gated"
+
+    no_kernels = copy.deepcopy(base)
+    del no_kernels["kernels"]
+    found, _ = compare(no_kernels, base, 0.10, 0.02, False)
+    assert not found, "kernels without a baseline are not gated"
 
     e2e_slow = copy.deepcopy(base)
     e2e_slow["resilience"]["modes"]["fec"]["e2e_latency_s"][

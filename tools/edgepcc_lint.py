@@ -24,6 +24,11 @@ libclang dependency, so it runs anywhere Python does):
                    at least one trace span (ScopedTrace) or
                    work-counter stage (ScopedStage) so profiles
                    stay complete
+  hot-memcpy       no naked `memcpy` in hot-path .cpp files: bulk
+                   byte movement there goes through the span-based
+                   framing APIs or the SIMD-dispatched kernels
+                   (docs/PERFORMANCE.md); the ratchet baseline
+                   carries the blessed lane-load idioms
   include-hygiene  public headers that name a pinned std:: symbol
                    include the owning standard header directly
                    (transitive includes rot; see the SYMBOL_HEADERS
@@ -118,6 +123,7 @@ RULES = (
     "decoder-check",
     "naked-alloc",
     "trace-span",
+    "hot-memcpy",
     "include-hygiene",
 )
 
@@ -377,6 +383,24 @@ def rule_trace_span(path, raw, clean, raw_lines):
         f"{path}:trace-span")]
 
 
+def rule_hot_memcpy(path, raw, clean, raw_lines):
+    m = re.match(r"src/([a-z_]+)/[^/]+\.cpp$", path)
+    if not m or m.group(1) not in HOT_PATH_DIRS:
+        return []
+    findings = []
+    for idx, line_text in enumerate(clean.splitlines(), start=1):
+        if re.match(r"\s*#\s*include", line_text):
+            continue
+        if re.search(r"\bmemcpy\s*\(", line_text):
+            findings.append(Finding(
+                "hot-memcpy", path, idx,
+                "naked `memcpy` in a hot-path kernel (move bytes "
+                "through the span-based framing APIs or the "
+                "dispatched SIMD kernels; see docs/PERFORMANCE.md)",
+                f"{path}:hot-memcpy:{idx}"))
+    return findings
+
+
 def rule_include_hygiene(path, raw, clean, raw_lines):
     if not (path.startswith("include/") and path.endswith(".h")):
         return []
@@ -409,6 +433,7 @@ RULE_FUNCS = {
     "decoder-check": rule_decoder_check,
     "naked-alloc": rule_naked_alloc,
     "trace-span": rule_trace_span,
+    "hot-memcpy": rule_hot_memcpy,
     "include-hygiene": rule_include_hygiene,
 }
 
@@ -514,6 +539,17 @@ SELF_TEST_CASES = [
      0),
     ("trace-span", "src/platform/not_hot.cpp",
      "void f()\n{\n}\n",
+     0),
+    ("hot-memcpy", "src/stream/bad_copy.cpp",
+     "void f(uint8_t *dst, const uint8_t *src)\n{\n"
+     "    std::memcpy(dst, src, 64);\n}\n",
+     1),
+    ("hot-memcpy", "src/platform/allowed_copy.cpp",
+     "void f(uint8_t *dst, const uint8_t *src)\n{\n"
+     "    std::memcpy(dst, src, 64);\n}\n",
+     0),
+    ("hot-memcpy", "src/stream/commented_copy.cpp",
+     "void f()\n{\n    // memcpy(would, be, bad)\n}\n",
      0),
     ("include-hygiene", "include/edgepcc/x/bad_header.h",
      "#include <cstdint>\nnamespace e {\nstd::vector<int> v();\n}\n",
