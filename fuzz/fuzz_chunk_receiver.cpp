@@ -12,6 +12,7 @@
 #include "edgepcc/core/video_codec.h"
 #include "edgepcc/morton/morton.h"
 #include "edgepcc/stream/chunk_stream.h"
+#include "edgepcc/stream/rs_fec.h"
 #include "edgepcc/stream/stream_session.h"
 
 #include "fuzz_common.h"
@@ -60,9 +61,45 @@ seedPayload()
         header.frame_id = f;
         header.gop_id = gop_id;
         header.frame_type = encoded->stats.type;
-        const std::vector<std::uint8_t> chunk =
-            serializeChunk(header, encoded->bitstream);
-        wire.insert(wire.end(), chunk.begin(), chunk.end());
+        if (f + 1 < kExpectedFrames) {
+            const std::vector<std::uint8_t> chunk =
+                serializeChunk(header, encoded->bitstream);
+            wire.insert(wire.end(), chunk.begin(), chunk.end());
+            continue;
+        }
+        // Last frame rides as v2 RS-FEC slices plus Cauchy parity
+        // rows so the seed corpus reaches the Reed-Solomon group
+        // reassembler, not just the v1 scanner.
+        std::vector<ParsedChunk> slices =
+            sliceFramePayload(header, encoded->bitstream, 256);
+        const auto k =
+            static_cast<std::uint8_t>(slices.size() < 255
+                                          ? slices.size()
+                                          : 255);
+        std::vector<ChunkView> views;
+        for (std::size_t i = 0; i < slices.size(); ++i) {
+            ChunkHeader &sh = slices[i].header;
+            sh.flags |= kChunkFlagFec | kChunkFlagRsFec;
+            sh.fec_group = 1;
+            sh.fec_seq = static_cast<std::uint8_t>(i);
+            sh.fec_group_size = k;
+            views.push_back(
+                ChunkView{sh, ByteSpan(slices[i].payload)});
+            const auto chunk =
+                serializeChunk(sh, slices[i].payload);
+            wire.insert(wire.end(), chunk.begin(), chunk.end());
+        }
+        std::vector<std::uint8_t> parity;
+        for (int row = 0; row < 2; ++row) {
+            buildRsParityInto(views, row, parity);
+            ChunkHeader ph = slices.front().header;
+            ph.flags = static_cast<std::uint8_t>(
+                kChunkFlagParity | kChunkFlagFec |
+                kChunkFlagRsFec);
+            ph.fec_seq = rsParitySeq(row);
+            const auto chunk = serializeChunk(ph, parity);
+            wire.insert(wire.end(), chunk.begin(), chunk.end());
+        }
     }
     return wire;
 }

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Fuzz target: Reed-Solomon FEC group reassembler.
+ *
+ * The input bytes are scanned as chunk wire; every chunk that
+ * parses is sorted into a synthetic FEC group (data rows keyed by
+ * fec_seq, parity payloads keyed by their rsParitySeq row) and fed
+ * to recoverRsChunks() under an attacker-chosen k. The decoder must
+ * either decline (nullopt) or return fully validated chunks —
+ * in-range sequence numbers and payload sizes that match the
+ * embedded record — and must never read or write out of bounds no
+ * matter how inconsistent the group composition is. The raw bytes
+ * also go through the resilient receiver so the session-level RS
+ * path (group tracking, parity buffering, NACK fallback) sees the
+ * same adversarial wire.
+ */
+
+#include <map>
+
+#include "edgepcc/stream/chunk_stream.h"
+#include "edgepcc/stream/rs_fec.h"
+#include "edgepcc/stream/stream_session.h"
+
+#include "fuzz_common.h"
+
+namespace edgepcc::fuzzing {
+
+namespace {
+constexpr int kSeedGroupSize = 4;
+constexpr int kSeedParityRows = 2;
+}  // namespace
+
+/** A pristine RS group: k data chunks plus m Cauchy parity rows,
+ *  exactly as the sender emits them. */
+std::vector<std::uint8_t>
+seedPayload()
+{
+    std::vector<ParsedChunk> group;
+    for (int i = 0; i < kSeedGroupSize; ++i) {
+        ParsedChunk chunk;
+        chunk.header.sequence = static_cast<std::uint32_t>(i);
+        chunk.header.frame_id = 9;
+        chunk.header.gop_id = 8;
+        chunk.header.frame_type = Frame::Type::kPredicted;
+        chunk.header.flags = kChunkFlagFec | kChunkFlagRsFec;
+        chunk.header.slice_index = static_cast<std::uint16_t>(i);
+        chunk.header.slice_count = kSeedGroupSize;
+        chunk.header.fec_group = 3;
+        chunk.header.fec_seq = static_cast<std::uint8_t>(i);
+        chunk.header.fec_group_size = kSeedGroupSize;
+        chunk.payload.assign(
+            static_cast<std::size_t>(40 + i * 13),
+            static_cast<std::uint8_t>(0x21 * (i + 1)));
+        group.push_back(chunk);
+    }
+
+    std::vector<ChunkView> views;
+    views.reserve(group.size());
+    for (const ParsedChunk &chunk : group)
+        views.push_back(
+            ChunkView{chunk.header, ByteSpan(chunk.payload)});
+
+    std::vector<std::uint8_t> wire;
+    for (const ParsedChunk &chunk : group) {
+        const auto bytes = serializeChunk(chunk.header,
+                                          chunk.payload);
+        wire.insert(wire.end(), bytes.begin(), bytes.end());
+    }
+    std::vector<std::uint8_t> parity;
+    for (int row = 0; row < kSeedParityRows; ++row) {
+        buildRsParityInto(views, row, parity);
+        ChunkHeader header = group.front().header;
+        header.flags = static_cast<std::uint8_t>(
+            kChunkFlagParity | kChunkFlagFec | kChunkFlagRsFec);
+        header.fec_seq = rsParitySeq(row);
+        const auto bytes = serializeChunk(header, parity);
+        wire.insert(wire.end(), bytes.begin(), bytes.end());
+    }
+    return wire;
+}
+
+}  // namespace edgepcc::fuzzing
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    using namespace edgepcc;
+    if (size > fuzzing::kMaxInputBytes)
+        return 0;
+    const std::vector<std::uint8_t> wire(data, data + size);
+
+    // Phase 1: direct group reassembly. Whatever chunks survive the
+    // wire scan become one group; k comes from the first chunk's
+    // claimed group size so mismatched metadata is exercised too.
+    const std::vector<ParsedChunk> chunks = scanWire(wire);
+    if (!chunks.empty()) {
+        std::map<std::uint8_t, ParsedChunk> group_data;
+        std::map<int, std::vector<std::uint8_t>> parity_rows;
+        for (const ParsedChunk &chunk : chunks) {
+            const int row = rsParityRow(chunk.header.fec_seq);
+            if ((chunk.header.flags & kChunkFlagParity) != 0 &&
+                row >= 0 && row < kRsMaxGroupPlusParity)
+                parity_rows[row] = chunk.payload;
+            else
+                group_data[chunk.header.fec_seq] = chunk;
+        }
+        const int k = chunks.front().header.fec_group_size != 0
+                          ? chunks.front().header.fec_group_size
+                          : fuzzing::kSeedGroupSize;
+        const auto recovered =
+            recoverRsChunks(k, group_data, parity_rows);
+        if (recovered.has_value()) {
+            for (const ParsedChunk &chunk : *recovered) {
+                fuzzing::require(chunk.header.fec_seq <
+                                     static_cast<unsigned>(k),
+                                 "recovered fec_seq out of group");
+                fuzzing::require(
+                    group_data.find(chunk.header.fec_seq) ==
+                        group_data.end(),
+                    "recovered a chunk that was never missing");
+                fuzzing::require(chunk.payload.size() <=
+                                     fuzzing::kMaxInputBytes,
+                                 "recovered payload impossibly big");
+            }
+        }
+    }
+
+    // Phase 2: the resilient receiver over the same bytes — the
+    // session-side RS group tracker must stay crash-free and report
+    // one validated outcome per expected frame.
+    StreamReceiver receiver;
+    receiver.ingest(wire);
+    const std::vector<SessionFrame> frames = receiver.decodeAll(2);
+    fuzzing::require(frames.size() == 2,
+                     "receiver must report every expected frame");
+    for (const SessionFrame &frame : frames) {
+        const std::uint32_t grid = frame.cloud.gridSize();
+        for (std::size_t i = 0; i < frame.cloud.size(); ++i) {
+            fuzzing::require(frame.cloud.x()[i] < grid,
+                             "receiver x out of grid");
+            fuzzing::require(frame.cloud.y()[i] < grid,
+                             "receiver y out of grid");
+            fuzzing::require(frame.cloud.z()[i] < grid,
+                             "receiver z out of grid");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * GF(2^8) arithmetic for the Reed-Solomon erasure codec.
+ *
+ * The field is GF(256) with the primitive reduction polynomial
+ * x^8 + x^4 + x^3 + x^2 + 1 (0x11d) and generator 2 — the standard
+ * choice of storage erasure codes. Multiplication and inversion go
+ * through log/exp tables built once at first use; the tables are
+ * immutable after construction, so lookups are thread-safe and
+ * allocation free.
+ *
+ * The bulk kernel (`dst[i] ^= coeff * src[i]` over whole parity
+ * rows) does NOT live here: it is `gfMulAddBytes` in
+ * platform/simd.h, dispatched scalar/SSE4/AVX2 like every other hot
+ * kernel. This header is the scalar reference arithmetic those
+ * kernels (and the matrix solve in stream/rs_fec.cpp) are defined
+ * against.
+ */
+
+#ifndef EDGEPCC_COMMON_GF256_H
+#define EDGEPCC_COMMON_GF256_H
+
+#include <cstdint>
+
+namespace edgepcc {
+
+/** Log/exp tables for GF(256) over 0x11d, generator 2. */
+struct Gf256Tables {
+    /** exp[i] = 2^i; doubled to 510 entries so gfMul can index
+     *  log[a] + log[b] without a modulo. */
+    std::uint8_t exp[510];
+    /** log[a] for a in [1, 255]; log[0] is unused (set to 0). */
+    std::uint8_t log[256];
+};
+
+/** The process-wide tables (built on first call, then immutable). */
+const Gf256Tables &gf256Tables();
+
+/** a * b in GF(256). */
+inline std::uint8_t
+gfMul(std::uint8_t a, std::uint8_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    const Gf256Tables &t = gf256Tables();
+    return t.exp[static_cast<unsigned>(t.log[a]) + t.log[b]];
+}
+
+/** Multiplicative inverse; gfInv(0) is undefined (returns 0). */
+inline std::uint8_t
+gfInv(std::uint8_t a)
+{
+    if (a == 0)
+        return 0;
+    const Gf256Tables &t = gf256Tables();
+    return t.exp[255 - t.log[a]];
+}
+
+/** a / b in GF(256); b == 0 is undefined (returns 0). */
+inline std::uint8_t
+gfDiv(std::uint8_t a, std::uint8_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    const Gf256Tables &t = gf256Tables();
+    return t.exp[static_cast<unsigned>(t.log[a]) + 255 -
+                 t.log[b]];
+}
+
+/**
+ * Bitwise reference multiply (Russian-peasant, no tables). Exists
+ * so tests can cross-check the tables against the polynomial
+ * definition; production code uses gfMul.
+ */
+std::uint8_t gfMulSlow(std::uint8_t a, std::uint8_t b);
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_COMMON_GF256_H

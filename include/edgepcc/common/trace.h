@@ -69,6 +69,29 @@ class Tracer
         return enabled_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * Span verbosity. Level 0 (default) records only stage-grained
+     * spans; level >= kVerbosityKernel additionally records
+     * per-kernel spans (Morton batches, radix passes, GF(256)
+     * parity rows, ...), which are far more numerous — keep them
+     * off unless inspecting a kernel timeline. Spans opt in by
+     * passing their level to ScopedTrace; the check costs one extra
+     * relaxed load only while tracing is enabled.
+     */
+    void
+    setVerbosity(int level)
+    {
+        verbosity_.store(level, std::memory_order_relaxed);
+    }
+    int
+    verbosity() const
+    {
+        return verbosity_.load(std::memory_order_relaxed);
+    }
+
+    /** Verbosity level at which per-kernel spans record. */
+    static constexpr int kVerbosityKernel = 1;
+
     /** Seconds on the tracer's monotonic clock. */
     static double nowSeconds();
 
@@ -93,6 +116,7 @@ class Tracer
     mutable Mutex mutex_;
     std::vector<TraceEvent> events_ EDGEPCC_GUARDED_BY(mutex_);
     std::atomic<bool> enabled_{false};
+    std::atomic<int> verbosity_{0};
 };
 
 /**
@@ -103,9 +127,13 @@ class Tracer
 class ScopedTrace
 {
   public:
-    explicit ScopedTrace(const char *name)
+    /** `min_verbosity > 0` makes the span conditional on the
+     *  tracer's verbosity knob (per-kernel spans pass
+     *  Tracer::kVerbosityKernel); stage spans use the default. */
+    explicit ScopedTrace(const char *name, int min_verbosity = 0)
     {
-        if (Tracer::global().enabled()) {
+        if (Tracer::global().enabled() &&
+            Tracer::global().verbosity() >= min_verbosity) {
             name_ = name;
             start_s_ = Tracer::nowSeconds();
         }

@@ -92,6 +92,18 @@ void clearSimdLevelForTesting();
 void xorBytes(std::uint8_t *dst, const std::uint8_t *src,
               std::size_t n);
 
+/**
+ * dst[i] ^= coeff * src[i] in GF(256) (polynomial 0x11d) for `n`
+ * bytes — the Reed-Solomon parity/recovery inner loop. Dispatched:
+ * scalar goes through the common/gf256.h log/exp tables; SSE4/AVX2
+ * split each byte into nibbles and resolve both products with
+ * PSHUFB lookups into two 16-entry product tables derived from
+ * `coeff`. coeff == 0 is a no-op, coeff == 1 degenerates to
+ * xorBytes. `dst` and `src` must not overlap.
+ */
+void gfMulAddBytes(std::uint8_t *dst, const std::uint8_t *src,
+                   std::uint8_t coeff, std::size_t n);
+
 }  // namespace edgepcc
 
 #endif  // EDGEPCC_PLATFORM_SIMD_H

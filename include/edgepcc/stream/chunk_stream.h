@@ -70,7 +70,9 @@ inline constexpr std::size_t kChunkHeaderBytesV2 =
 /** Backstop against absurd payload sizes from damaged headers. */
 inline constexpr std::uint32_t kMaxChunkPayload = 1u << 28;
 
-/** `fec_seq` sentinel carried by parity chunks. */
+/** `fec_seq` sentinel carried by parity chunks. XOR parity always
+ *  uses exactly this value; Reed-Solomon parity row `p` uses
+ *  kFecParitySeq - p (see rsParitySeq). */
 inline constexpr std::uint8_t kFecParitySeq = 0xff;
 
 /** Chunk flag bits. */
@@ -78,16 +80,58 @@ enum ChunkFlags : std::uint8_t {
     kChunkFlagRetransmit = 1u << 0,  ///< NACK-driven resend
     kChunkFlagParity = 1u << 1,      ///< payload is FEC parity
     kChunkFlagFec = 1u << 2,         ///< member of an FEC group
-    kChunkFlagV2 = 1u << 7,          ///< extension fields present
+    /** Parity-scheme bit: the chunk's FEC group uses Reed-Solomon
+     *  parity (up to m losses per group) instead of XOR (one loss).
+     *  Never set on XOR or v1 wires, so those stay byte-identical. */
+    kChunkFlagRsFec = 1u << 3,
+    kChunkFlagV2 = 1u << 7,  ///< extension fields present
 };
 
-/** XOR-parity FEC knob (see docs/RESILIENCE.md). */
+/** Parity scheme for an FEC group. */
+enum class FecScheme : std::uint8_t {
+    kXor = 0,          ///< one parity chunk, single-loss recovery
+    kReedSolomon = 1,  ///< m parity chunks, up-to-m-loss recovery
+};
+
+const char *fecSchemeName(FecScheme scheme);
+
+/** FEC knob (see docs/RESILIENCE.md "Forward error correction"). */
 struct FecSpec {
     bool enabled = false;
-    /** Data chunks per parity chunk. Groups never span frames, so
+    /** Data chunks per parity group. Groups never span frames, so
      *  the last group of a frame may be smaller. */
     int group_size = 4;
+    /** Parity scheme. kXor reproduces the PR 4 wire byte for byte;
+     *  kReedSolomon emits `parity_chunks` Cauchy-coded parity rows
+     *  per group and sets kChunkFlagRsFec on every member. */
+    FecScheme scheme = FecScheme::kXor;
+    /** RS parity rows per group (m). Ignored for kXor. Must satisfy
+     *  1 <= m < group_size and group_size + m <= 255 (the Cauchy
+     *  matrix needs k + m distinct field points and the data/parity
+     *  fec_seq ranges must not collide). */
+    int parity_chunks = 2;
 };
+
+/**
+ * fec_seq value of Reed-Solomon parity row `row` (0-based):
+ * kFecParitySeq - row, growing downward so row 0 coincides with the
+ * XOR sentinel and data sequence numbers (0..k-1, k <= 255 - m)
+ * can never collide with parity rows.
+ */
+inline constexpr std::uint8_t
+rsParitySeq(int row)
+{
+    return static_cast<std::uint8_t>(kFecParitySeq - row);
+}
+
+/** Inverse of rsParitySeq: the parity row index of a parity
+ *  chunk's fec_seq. */
+inline constexpr int
+rsParityRow(std::uint8_t fec_seq)
+{
+    return static_cast<int>(kFecParitySeq) -
+           static_cast<int>(fec_seq);
+}
 
 /** Transport metadata carried by every chunk. */
 struct ChunkHeader {
@@ -122,6 +166,13 @@ struct ChunkHeader {
     isParity() const
     {
         return (flags & kChunkFlagParity) != 0;
+    }
+
+    /** True when the chunk's FEC group is Reed-Solomon coded. */
+    bool
+    isRsFec() const
+    {
+        return (flags & kChunkFlagRsFec) != 0;
     }
 
     /** Serialized header size for this chunk's version. */
@@ -252,6 +303,31 @@ void buildFecParityInto(const std::vector<ChunkView> &group,
 std::optional<ParsedChunk> recoverFecChunk(
     const std::vector<ParsedChunk> &received,
     const std::vector<std::uint8_t> &parity_payload);
+
+/** Size of the fixed per-chunk prefix of an FEC record (frame_id,
+ *  gop_id, slice_index/count, frame_type, fec_seq, payload_size);
+ *  the payload follows. XOR and RS parity both code over records so
+ *  a recovery rebuilds header identity and bytes together. */
+inline constexpr std::size_t kFecRecordPrefixBytes = 18;
+
+/** Serializes a chunk's FEC-record prefix into `out`
+ *  (kFecRecordPrefixBytes bytes). */
+void writeFecRecordPrefix(std::uint8_t *out,
+                          const ChunkHeader &header,
+                          std::size_t payload_size);
+
+/**
+ * Parses a reconstructed FEC record back into a chunk, validating
+ * the embedded payload_size against the record length (the slack
+ * tail must be all zero — non-zero slack means the erasure algebra
+ * was fed an inconsistent group) and rejecting impossible headers
+ * (slice_count == 0, payload_size > kMaxChunkPayload). The
+ * returned chunk carries kChunkFlagV2 | kChunkFlagFec plus
+ * `extra_flags` (the RS path adds kChunkFlagRsFec).
+ */
+std::optional<ParsedChunk> recoverFecRecord(
+    const std::vector<std::uint8_t> &record,
+    std::uint8_t extra_flags = 0);
 
 }  // namespace edgepcc
 

@@ -26,6 +26,11 @@ namespace edgepcc {
 
 /** Fixed-stage latencies and pipeline configuration. */
 struct PipelineConfig {
+    // Out-of-line so the string-bearing member constructors are not
+    // inlined into every caller (GCC 12 flags the inlined cleanup
+    // paths with a spurious -Wmaybe-uninitialized under -O2).
+    PipelineConfig();
+
     /** 3D content generation (LiDAR scan / photogrammetry); the
      *  paper cites "10s of milliseconds". */
     double capture_seconds = 0.030;
@@ -48,8 +53,14 @@ struct PipelineConfig {
      */
     bool transport = false;
     /** Transport knobs (MTU slicing, FEC, NACK retries). The
-     *  channel spec inside is overwritten from `network`. */
+     *  channel spec inside is overwritten from `network` unless
+     *  `use_session_channel` is set. */
     SessionConfig session{};
+    /** Keep `session.channel` as configured instead of deriving it
+     *  from `network` — lets callers inject bursty or otherwise
+     *  shaped channels the analytic network spec cannot express.
+     *  Latency pricing still uses `network`. */
+    bool use_session_channel = false;
     /** Fault-injection seed for the transport channel. */
     std::uint64_t transport_seed = 1;
 };

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * GF(256) Reed-Solomon erasure codec over FEC-group records.
+ *
+ * The XOR parity of PR 4 recovers exactly one lost chunk per group;
+ * on the burst channels the paper's edge links actually see,
+ * consecutive losses inside one group still cost a NACK round-trip.
+ * This codec generalizes the parity to m rows: a group of k data
+ * chunks emits m = FecSpec::parity_chunks parity chunks, and ANY
+ * subset of up to m lost data chunks is recoverable from the
+ * surviving rows — no retransmission.
+ *
+ * Code construction (docs/RESILIENCE.md "Reed-Solomon parity"):
+ * parity row p is the GF(256) linear combination
+ *
+ *     P_p = sum_i C[p][i] * R_i ,   C[p][i] = 1 / ((k + p) ^ i)
+ *
+ * over the group's FEC *records* R_i (the same 18-byte prefix +
+ * payload layout the XOR parity codes over, zero-padded to the
+ * longest record), with the Cauchy coefficients C built from the
+ * distinct field points x_p = k + p and y_i = i. Every square
+ * submatrix of a Cauchy matrix is invertible, which is exactly the
+ * MDS property the erasure decode needs; it holds for any
+ * k + m <= 255 (validated at session setup). The inner loop is
+ * `gfMulAddBytes` (platform/simd.h), dispatched scalar/SSE4/AVX2
+ * with the scalar path as the byte-identical reference.
+ *
+ * Decode is classic erasure algebra: subtract the known data
+ * records from each surviving parity row (leaving the syndromes of
+ * the e missing records), then solve the e x e Cauchy subsystem by
+ * Gaussian elimination over GF(256), applying the same row
+ * operations to the syndrome byte rows.
+ *
+ * On the wire parity row p travels as fec_seq = rsParitySeq(p)
+ * (0xff, 0xfe, ...) with kChunkFlagRsFec set on every group member;
+ * m itself is never transmitted — the receiver decodes as soon as
+ * (received data rows) + (received parity rows) >= k.
+ */
+
+#ifndef EDGEPCC_STREAM_RS_FEC_H
+#define EDGEPCC_STREAM_RS_FEC_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "edgepcc/stream/chunk_stream.h"
+
+namespace edgepcc {
+
+/** Maximum k + m the Cauchy construction supports. */
+inline constexpr int kRsMaxGroupPlusParity = 255;
+
+/** Cauchy encode coefficient C[row][i] for a k-data group:
+ *  1 / ((k + row) ^ i). Requires 0 <= i < k and k + row <= 255. */
+std::uint8_t rsCoefficient(int k, int row, int i);
+
+/**
+ * Builds Reed-Solomon parity row `row` over one FEC group's data
+ * chunks into `parity` (cleared first): the GF(256) combination of
+ * the group's records, sized to the longest record. Callers reuse
+ * `parity` across rows and groups; like buildFecParityInto the
+ * payload bytes are read in place from the views, never copied.
+ */
+void buildRsParityInto(const std::vector<ChunkView> &group, int row,
+                       std::vector<std::uint8_t> &parity);
+
+/**
+ * Recovers every missing data chunk of a k-data Reed-Solomon group
+ * from the received data chunks (`data`, keyed by fec_seq) and
+ * parity payloads (`parity_rows`, keyed by parity row index).
+ *
+ * Succeeds when at least (k - data.size()) parity rows are present
+ * and the algebra checks out; the recovered chunks are returned in
+ * ascending fec_seq order with validated headers (recoverFecRecord).
+ * Returns nullopt on inconsistent input — fewer rows than
+ * erasures, data sequence numbers outside [0, k), parity rows
+ * shorter than a known record, or recovered records whose embedded
+ * sizes don't fit — never fabricated data. Defensive against
+ * adversarial metadata: every index is range-checked, so fuzzed
+ * group compositions cannot read or write out of bounds.
+ */
+std::optional<std::vector<ParsedChunk>> recoverRsChunks(
+    int k, const std::map<std::uint8_t, ParsedChunk> &data,
+    const std::map<int, std::vector<std::uint8_t>> &parity_rows);
+
+}  // namespace edgepcc
+
+#endif  // EDGEPCC_STREAM_RS_FEC_H

@@ -49,6 +49,7 @@
 #include "edgepcc/stream/lossy_channel.h"
 #include "edgepcc/stream/overload_controller.h"
 #include "edgepcc/stream/rate_controller.h"
+#include "edgepcc/stream/redundancy_controller.h"
 
 namespace edgepcc {
 
@@ -104,10 +105,19 @@ struct FecStats {
     std::size_t single_loss_recovered = 0;
     /** Groups still missing data after recovery (NACK fallback). */
     std::size_t unrecovered_groups = 0;
+    /** Reed-Solomon groups missing two or more data chunks. */
+    std::size_t multi_loss_groups = 0;
+    /** Multi-loss groups fully rebuilt from parity rows — losses
+     *  that XOR parity (or NACK-free delivery) could never cover. */
+    std::size_t multi_loss_recovered = 0;
 
     /** Fraction of single-loss groups needing no retransmission;
      *  1.0 when no group lost exactly one chunk. */
     double singleLossRecoveredFraction() const;
+
+    /** Fraction of multi-loss RS groups recovered without any
+     *  retransmission; 1.0 when no group lost >= 2 chunks. */
+    double multiLossRecoveredFraction() const;
 };
 
 /** Aggregate transport + ladder accounting. */
@@ -215,12 +225,19 @@ class StreamReceiver
         }
     };
 
-    /** One XOR-parity group's receive state. */
+    /** One FEC group's receive state (XOR or Reed-Solomon; the
+     *  scheme travels in the chunk flags). Recovered chunks are
+     *  buffered as slices but never inserted into `data`, so
+     *  `expected - data.size()` stays the channel's original loss
+     *  count for accounting. */
     struct FecGroup {
         std::uint8_t expected = 0;  ///< data chunks in the group
-        bool parity_present = false;
+        bool rs = false;  ///< kChunkFlagRsFec seen on a member
+        bool parity_present = false;  ///< XOR parity arrived
         bool recovered = false;
-        std::vector<std::uint8_t> parity;
+        std::vector<std::uint8_t> parity;  ///< XOR parity payload
+        /** RS parity payloads keyed by parity row index. */
+        std::map<int, std::vector<std::uint8_t>> parity_rows;
         std::map<std::uint8_t, ParsedChunk> data;
     };
 
@@ -276,6 +293,16 @@ struct SessionConfig {
     /** Force an I frame right after an unrecovered loss, so damage
      *  cannot propagate past the next frame. */
     bool keyframe_on_loss = true;
+    /**
+     * Unified redundancy negotiation (redundancy_controller.h):
+     * when enabled (requires fec.enabled with
+     * FecScheme::kReedSolomon), one controller picks (RS k/m, GOP
+     * length, reuse-threshold bitrate rung) against a single wire
+     * budget and SUPERSEDES adaptive_fec (rejected at validation),
+     * adaptive_gop and keyframe_on_loss — GOP shortening and forced
+     * keyframes then fire only on genuinely unrecoverable loss.
+     */
+    RedundancyConfig redundancy{};
     /** Deadline-aware encode ladder + admission control + watchdog
      *  (see overload_controller.h). Disabled by default: the clean
      *  path stays byte-identical with overload.enabled == false. */
@@ -292,6 +319,19 @@ struct SessionConfig {
      */
     RetryPolicy retransmitPolicy() const;
 };
+
+/**
+ * Validates a SessionConfig before any chunk is built, instead of
+ * the historical silent clamping. Rejected (with a descriptive
+ * Status): FEC group_size < 2 or > 255, RS parity m < 1 or
+ * m >= group_size, k + m past the GF(256) Cauchy bound,
+ * interleaving without FEC/slicing or with lanes that don't divide
+ * the group's slice budget, adaptive_fec without FEC or stacked
+ * under the redundancy controller, redundancy without RS FEC, and
+ * negative retry/backoff knobs. StreamSession::run calls this
+ * first; serve/pipeline layers inherit the check.
+ */
+Status validateSessionConfig(const SessionConfig &config);
 
 /**
  * End-to-end resilient session: encode -> slice (+FEC parity) ->

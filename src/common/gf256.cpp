@@ -1,0 +1,53 @@
+#include "edgepcc/common/gf256.h"
+
+namespace edgepcc {
+
+namespace {
+
+Gf256Tables
+buildTables()
+{
+    Gf256Tables t{};
+    std::uint8_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+        t.exp[i] = x;
+        t.log[x] = static_cast<std::uint8_t>(i);
+        // x *= 2 with reduction by 0x11d.
+        const bool carry = (x & 0x80u) != 0;
+        x = static_cast<std::uint8_t>(x << 1);
+        if (carry)
+            x ^= 0x1du;
+    }
+    // Mirror the cycle so exp[log a + log b] needs no modulo
+    // (indices reach at most 254 + 254 = 508).
+    for (int i = 255; i < 510; ++i)
+        t.exp[i] = t.exp[i - 255];
+    return t;
+}
+
+}  // namespace
+
+const Gf256Tables &
+gf256Tables()
+{
+    static const Gf256Tables tables = buildTables();
+    return tables;
+}
+
+std::uint8_t
+gfMulSlow(std::uint8_t a, std::uint8_t b)
+{
+    std::uint8_t product = 0;
+    while (b != 0) {
+        if (b & 1u)
+            product ^= a;
+        const bool carry = (a & 0x80u) != 0;
+        a = static_cast<std::uint8_t>(a << 1);
+        if (carry)
+            a ^= 0x1du;
+        b >>= 1;
+    }
+    return product;
+}
+
+}  // namespace edgepcc

@@ -13,6 +13,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "edgepcc/common/gf256.h"
+
 #if EDGEPCC_SIMD_X86
 #include <immintrin.h>
 #endif
@@ -195,6 +197,131 @@ xorBytes(std::uint8_t *dst, const std::uint8_t *src, std::size_t n)
     }
 #endif
     xorBytesScalar(dst, src, n);
+}
+
+namespace {
+
+/**
+ * 16-entry nibble product tables for one coefficient: for byte
+ * b = hi<<4 | lo, coeff*b = lo_table[lo] ^ hi_table[hi] (GF
+ * multiplication distributes over XOR). Built per kernel call —
+ * 32 table multiplies against parity rows that are KBs long.
+ */
+struct GfNibbleTables {
+    std::uint8_t lo[16];
+    std::uint8_t hi[16];
+};
+
+GfNibbleTables
+buildNibbleTables(std::uint8_t coeff)
+{
+    GfNibbleTables t;
+    for (std::uint8_t v = 0; v < 16; ++v) {
+        t.lo[v] = gfMul(coeff, v);
+        t.hi[v] = gfMul(coeff, static_cast<std::uint8_t>(v << 4));
+    }
+    return t;
+}
+
+void
+gfMulAddBytesScalar(std::uint8_t *dst, const std::uint8_t *src,
+                    std::uint8_t coeff, std::size_t n)
+{
+    // The nibble decomposition (not a log/exp lookup per byte) is
+    // the scalar reference so every dispatch level computes the
+    // exact same table-derived products.
+    const GfNibbleTables t = buildNibbleTables(coeff);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t b = src[i];
+        dst[i] ^= t.lo[b & 0x0fu] ^ t.hi[b >> 4];
+    }
+}
+
+#if EDGEPCC_SIMD_X86
+
+__attribute__((target("sse4.2"))) void
+gfMulAddBytesSse4(std::uint8_t *dst, const std::uint8_t *src,
+                  std::uint8_t coeff, std::size_t n)
+{
+    const GfNibbleTables t = buildNibbleTables(coeff);
+    const __m128i lo_tbl = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(t.lo));
+    const __m128i hi_tbl = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(t.hi));
+    const __m128i nib = _mm_set1_epi8(0x0f);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i s = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i));
+        const __m128i d = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(dst + i));
+        const __m128i lo = _mm_shuffle_epi8(
+            lo_tbl, _mm_and_si128(s, nib));
+        const __m128i hi = _mm_shuffle_epi8(
+            hi_tbl,
+            _mm_and_si128(_mm_srli_epi16(s, 4), nib));
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(dst + i),
+            _mm_xor_si128(d, _mm_xor_si128(lo, hi)));
+    }
+    gfMulAddBytesScalar(dst + i, src + i, coeff, n - i);
+}
+
+__attribute__((target("avx2"))) void
+gfMulAddBytesAvx2(std::uint8_t *dst, const std::uint8_t *src,
+                  std::uint8_t coeff, std::size_t n)
+{
+    const GfNibbleTables t = buildNibbleTables(coeff);
+    const __m256i lo_tbl = _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(t.lo)));
+    const __m256i hi_tbl = _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(t.hi)));
+    const __m256i nib = _mm256_set1_epi8(0x0f);
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i s = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        const __m256i d = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + i));
+        const __m256i lo = _mm256_shuffle_epi8(
+            lo_tbl, _mm256_and_si256(s, nib));
+        const __m256i hi = _mm256_shuffle_epi8(
+            hi_tbl,
+            _mm256_and_si256(_mm256_srli_epi16(s, 4), nib));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(dst + i),
+            _mm256_xor_si256(d, _mm256_xor_si256(lo, hi)));
+    }
+    gfMulAddBytesScalar(dst + i, src + i, coeff, n - i);
+}
+
+#endif  // EDGEPCC_SIMD_X86
+
+}  // namespace
+
+void
+gfMulAddBytes(std::uint8_t *dst, const std::uint8_t *src,
+              std::uint8_t coeff, std::size_t n)
+{
+    if (coeff == 0)
+        return;
+    if (coeff == 1) {
+        xorBytes(dst, src, n);
+        return;
+    }
+#if EDGEPCC_SIMD_X86
+    switch (activeSimdLevel()) {
+      case SimdLevel::kAvx2:
+        gfMulAddBytesAvx2(dst, src, coeff, n);
+        return;
+      case SimdLevel::kSse4:
+        gfMulAddBytesSse4(dst, src, coeff, n);
+        return;
+      case SimdLevel::kScalar:
+        break;
+    }
+#endif
+    gfMulAddBytesScalar(dst, src, coeff, n);
 }
 
 }  // namespace edgepcc

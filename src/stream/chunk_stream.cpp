@@ -44,15 +44,39 @@ getU32(const std::uint8_t *data)
            static_cast<std::uint32_t>(data[3]) << 24;
 }
 
-/** FEC record prefix: frame_id u32 | gop_id u32 | slice_index u16 |
- *  slice_count u16 | frame_type u8 | fec_seq u8 | payload_size u32,
- *  followed by the payload. The parity XORs whole records so a
- *  reconstruction recovers header identity and bytes together. */
-constexpr std::size_t kFecRecordPrefix = 18;
+/**
+ * XORs one chunk's FEC record into `acc` without materializing the
+ * record: the 18-byte prefix is built on the stack, the payload is
+ * XORed straight out of the view (SIMD-dispatched). Grows `acc`
+ * with zero padding when the record is longer.
+ */
+void
+xorRecordInto(std::vector<std::uint8_t> &acc,
+              const ChunkHeader &header, ByteSpan payload)
+{
+    const std::size_t record_size =
+        kFecRecordPrefixBytes + payload.size();
+    if (record_size > acc.size())
+        acc.resize(record_size, 0);
+    std::uint8_t prefix[kFecRecordPrefixBytes];
+    writeFecRecordPrefix(prefix, header, payload.size());
+    xorBytes(acc.data(), prefix, kFecRecordPrefixBytes);
+    if (!payload.empty())
+        xorBytes(acc.data() + kFecRecordPrefixBytes,
+                 payload.data(), payload.size());
+}
+
+}  // namespace
+
+const char *
+fecSchemeName(FecScheme scheme)
+{
+    return scheme == FecScheme::kReedSolomon ? "rs" : "xor";
+}
 
 void
-writeFecPrefix(std::uint8_t *out, const ChunkHeader &header,
-               std::size_t payload_size)
+writeFecRecordPrefix(std::uint8_t *out, const ChunkHeader &header,
+                     std::size_t payload_size)
 {
     const auto put32 = [&](std::size_t at, std::uint32_t value) {
         out[at] = static_cast<std::uint8_t>(value & 0xffu);
@@ -74,29 +98,46 @@ writeFecPrefix(std::uint8_t *out, const ChunkHeader &header,
     put32(14, static_cast<std::uint32_t>(payload_size));
 }
 
-/**
- * XORs one chunk's FEC record into `acc` without materializing the
- * record: the 18-byte prefix is built on the stack, the payload is
- * XORed straight out of the view (SIMD-dispatched). Grows `acc`
- * with zero padding when the record is longer.
- */
-void
-xorRecordInto(std::vector<std::uint8_t> &acc,
-              const ChunkHeader &header, ByteSpan payload)
+std::optional<ParsedChunk>
+recoverFecRecord(const std::vector<std::uint8_t> &record,
+               std::uint8_t extra_flags)
 {
-    const std::size_t record_size =
-        kFecRecordPrefix + payload.size();
-    if (record_size > acc.size())
-        acc.resize(record_size, 0);
-    std::uint8_t prefix[kFecRecordPrefix];
-    writeFecPrefix(prefix, header, payload.size());
-    xorBytes(acc.data(), prefix, kFecRecordPrefix);
-    if (!payload.empty())
-        xorBytes(acc.data() + kFecRecordPrefix, payload.data(),
-                 payload.size());
-}
+    if (record.size() < kFecRecordPrefixBytes)
+        return std::nullopt;
+    const std::uint32_t payload_size = getU32(record.data() + 14);
+    if (payload_size > kMaxChunkPayload ||
+        kFecRecordPrefixBytes + payload_size > record.size())
+        return std::nullopt;
+    // A consistent reconstruction leaves the padding past the
+    // record's true end all zero. Non-zero slack means the erasure
+    // algebra was fed the wrong group composition (for XOR: two or
+    // more chunks were missing) — reject instead of fabricating.
+    for (std::size_t i = kFecRecordPrefixBytes + payload_size;
+         i < record.size(); ++i) {
+        if (record[i] != 0)
+            return std::nullopt;
+    }
 
-}  // namespace
+    ParsedChunk chunk;
+    chunk.header.frame_id = getU32(record.data());
+    chunk.header.gop_id = getU32(record.data() + 4);
+    chunk.header.slice_index = getU16(record.data() + 8);
+    chunk.header.slice_count = getU16(record.data() + 10);
+    chunk.header.frame_type = record[12] == 1
+                                  ? Frame::Type::kPredicted
+                                  : Frame::Type::kIntra;
+    chunk.header.fec_seq = record[13];
+    chunk.header.flags = static_cast<std::uint8_t>(
+        kChunkFlagV2 | kChunkFlagFec | extra_flags);
+    if (chunk.header.slice_count == 0)
+        return std::nullopt;
+    chunk.payload.assign(
+        record.begin() +
+            static_cast<std::ptrdiff_t>(kFecRecordPrefixBytes),
+        record.begin() + static_cast<std::ptrdiff_t>(
+                             kFecRecordPrefixBytes + payload_size));
+    return chunk;
+}
 
 void
 serializeChunkInto(const ChunkHeader &header, ByteSpan payload,
@@ -330,47 +371,18 @@ std::optional<ParsedChunk>
 recoverFecChunk(const std::vector<ParsedChunk> &received,
                 const std::vector<std::uint8_t> &parity_payload)
 {
-    if (parity_payload.size() < kFecRecordPrefix)
+    if (parity_payload.size() < kFecRecordPrefixBytes)
         return std::nullopt;
     std::vector<std::uint8_t> acc = parity_payload;
     for (const ParsedChunk &chunk : received) {
         // A record longer than the parity means this chunk was not
         // covered by this parity — the group is inconsistent.
-        if (kFecRecordPrefix + chunk.payload.size() > acc.size())
+        if (kFecRecordPrefixBytes + chunk.payload.size() >
+            acc.size())
             return std::nullopt;
         xorRecordInto(acc, chunk.header, ByteSpan(chunk.payload));
     }
-
-    const std::uint32_t payload_size = getU32(acc.data() + 14);
-    if (payload_size > kMaxChunkPayload ||
-        kFecRecordPrefix + payload_size > acc.size())
-        return std::nullopt;
-    // With exactly one record missing, everything past its end must
-    // have XOR-cancelled to zero. Non-zero tail bytes mean two or
-    // more chunks were missing: reject instead of fabricating data.
-    for (std::size_t i = kFecRecordPrefix + payload_size;
-         i < acc.size(); ++i) {
-        if (acc[i] != 0)
-            return std::nullopt;
-    }
-
-    ParsedChunk chunk;
-    chunk.header.frame_id = getU32(acc.data());
-    chunk.header.gop_id = getU32(acc.data() + 4);
-    chunk.header.slice_index = getU16(acc.data() + 8);
-    chunk.header.slice_count = getU16(acc.data() + 10);
-    chunk.header.frame_type = acc[12] == 1
-                                  ? Frame::Type::kPredicted
-                                  : Frame::Type::kIntra;
-    chunk.header.fec_seq = acc[13];
-    chunk.header.flags = kChunkFlagV2 | kChunkFlagFec;
-    if (chunk.header.slice_count == 0)
-        return std::nullopt;
-    chunk.payload.assign(acc.begin() + kFecRecordPrefix,
-                         acc.begin() +
-                             static_cast<std::ptrdiff_t>(
-                                 kFecRecordPrefix + payload_size));
-    return chunk;
+    return recoverFecRecord(acc);
 }
 
 }  // namespace edgepcc

@@ -4,6 +4,8 @@
 
 namespace edgepcc {
 
+PipelineConfig::PipelineConfig() = default;
+
 double
 PipelineReport::meanTotalSeconds() const
 {
@@ -68,8 +70,9 @@ evaluateTransport(const std::vector<VoxelCloud> &frames,
     const EdgeDeviceModel decoder_model(config.decoder_device);
 
     SessionConfig session = config.session;
-    session.channel = ChannelSpec::fromNetwork(
-        config.network, config.transport_seed);
+    if (!config.use_session_channel)
+        session.channel = ChannelSpec::fromNetwork(
+            config.network, config.transport_seed);
     // The deadline ladder judges encode latency on the same device
     // the pipeline prices the encode stage with.
     if (session.overload.enabled)

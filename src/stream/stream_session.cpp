@@ -8,6 +8,7 @@
 #include "edgepcc/common/trace.h"
 #include "edgepcc/interframe/block_matcher.h"
 #include "edgepcc/platform/device_model.h"
+#include "edgepcc/stream/rs_fec.h"
 
 namespace edgepcc {
 
@@ -46,6 +47,15 @@ FecStats::singleLossRecoveredFraction() const
                      static_cast<double>(single_loss_groups);
 }
 
+double
+FecStats::multiLossRecoveredFraction() const
+{
+    return multi_loss_groups == 0
+               ? 1.0
+               : static_cast<double>(multi_loss_recovered) /
+                     static_cast<double>(multi_loss_groups);
+}
+
 // -----------------------------------------------------------------
 // StreamReceiver
 // -----------------------------------------------------------------
@@ -71,8 +81,30 @@ StreamReceiver::bufferSliceLocked(const ParsedChunk &chunk)
 void
 StreamReceiver::tryRecoverLocked(FecGroup &group)
 {
-    if (group.recovered || !group.parity_present ||
-        group.expected == 0 ||
+    if (group.recovered || group.expected == 0 ||
+        group.data.size() >=
+            static_cast<std::size_t>(group.expected))
+        return;
+    if (group.rs) {
+        // Reed-Solomon: solvable once the received data rows plus
+        // parity rows reach k. Retried on every later arrival (a
+        // failed attempt may succeed once another row lands).
+        const std::size_t missing =
+            group.expected - group.data.size();
+        if (group.parity_rows.size() < missing)
+            return;
+        std::optional<std::vector<ParsedChunk>> rebuilt =
+            recoverRsChunks(group.expected, group.data,
+                            group.parity_rows);
+        if (!rebuilt.has_value())
+            return;
+        group.recovered = true;
+        recovered_chunks_ += rebuilt->size();
+        for (const ParsedChunk &chunk : *rebuilt)
+            bufferSliceLocked(chunk);
+        return;
+    }
+    if (!group.parity_present ||
         group.data.size() + 1 !=
             static_cast<std::size_t>(group.expected))
         return;
@@ -98,7 +130,15 @@ StreamReceiver::ingest(const std::vector<std::uint8_t> &wire)
     for (ParsedChunk &chunk : chunks) {
         if (chunk.header.isParity()) {
             FecGroup &group = groups_[chunk.header.fec_group];
-            if (!group.parity_present) {
+            if (chunk.header.isRsFec()) {
+                group.rs = true;
+                // Parity row index from the fec_seq encoding
+                // (0xff, 0xfe, ...); first intact copy of each
+                // row wins.
+                group.parity_rows.emplace(
+                    rsParityRow(chunk.header.fec_seq),
+                    std::move(chunk.payload));
+            } else if (!group.parity_present) {
                 group.parity_present = true;
                 group.parity = std::move(chunk.payload);
             }
@@ -110,6 +150,8 @@ StreamReceiver::ingest(const std::vector<std::uint8_t> &wire)
         bufferSliceLocked(chunk);
         if ((chunk.header.flags & kChunkFlagFec) != 0) {
             FecGroup &group = groups_[chunk.header.fec_group];
+            if (chunk.header.isRsFec())
+                group.rs = true;
             if (group.expected == 0)
                 group.expected = chunk.header.fec_group_size;
             group.data.emplace(chunk.header.fec_seq,
@@ -176,19 +218,36 @@ StreamReceiver::fecStats() const
     stats.recovered_chunks = recovered_chunks_;
     for (const auto &[id, group] : groups_) {
         ++stats.groups;
-        if (group.parity_present)
-            ++stats.parity_received;
         const std::size_t expected = group.expected;
         const std::size_t data_missing =
             expected > group.data.size()
                 ? expected - group.data.size()
                 : 0;
-        const std::size_t missing_total =
-            data_missing + (group.parity_present ? 0 : 1);
-        if (missing_total == 1) {
-            ++stats.single_loss_groups;
-            if (data_missing == 0 || group.recovered)
-                ++stats.single_loss_recovered;
+        if (group.rs) {
+            stats.parity_received += group.parity_rows.size();
+            // RS accounting keys off data losses alone (a lost
+            // parity row needs no recovery): one lost data chunk
+            // is a single-loss group, two or more are the
+            // multi-loss case XOR could never cover.
+            if (data_missing == 1) {
+                ++stats.single_loss_groups;
+                if (group.recovered)
+                    ++stats.single_loss_recovered;
+            } else if (data_missing >= 2) {
+                ++stats.multi_loss_groups;
+                if (group.recovered)
+                    ++stats.multi_loss_recovered;
+            }
+        } else {
+            if (group.parity_present)
+                ++stats.parity_received;
+            const std::size_t missing_total =
+                data_missing + (group.parity_present ? 0 : 1);
+            if (missing_total == 1) {
+                ++stats.single_loss_groups;
+                if (data_missing == 0 || group.recovered)
+                    ++stats.single_loss_recovered;
+            }
         }
         if (data_missing > 0 && !group.recovered)
             ++stats.unrecovered_groups;
@@ -331,6 +390,109 @@ SessionConfig::retransmitPolicy() const
     return policy;
 }
 
+Status
+validateSessionConfig(const SessionConfig &config)
+{
+    if (config.max_retransmits < 0)
+        return invalidArgument(
+            "SessionConfig: max_retransmits must be >= 0, got " +
+            std::to_string(config.max_retransmits));
+    if (config.backoff_ms < 0.0)
+        return invalidArgument(
+            "SessionConfig: backoff_ms must be >= 0");
+
+    const FecSpec &fec = config.fec;
+    if (fec.enabled) {
+        if (fec.group_size < 2 || fec.group_size > 255)
+            return invalidArgument(
+                "SessionConfig: fec.group_size must be in [2, "
+                "255], got " +
+                std::to_string(fec.group_size));
+        if (fec.scheme == FecScheme::kReedSolomon) {
+            if (fec.parity_chunks < 1)
+                return invalidArgument(
+                    "SessionConfig: RS fec.parity_chunks must be "
+                    ">= 1, got " +
+                    std::to_string(fec.parity_chunks));
+            if (fec.parity_chunks >= fec.group_size)
+                return invalidArgument(
+                    "SessionConfig: RS parity m (" +
+                    std::to_string(fec.parity_chunks) +
+                    ") must be < group size k (" +
+                    std::to_string(fec.group_size) +
+                    "); at m >= k plain repetition is cheaper");
+            if (fec.group_size + fec.parity_chunks >
+                kRsMaxGroupPlusParity)
+                return invalidArgument(
+                    "SessionConfig: fec.group_size + "
+                    "parity_chunks must be <= 255 (GF(256) Cauchy "
+                    "bound)");
+        }
+    } else {
+        if (config.fec_interleave > 1)
+            return invalidArgument(
+                "SessionConfig: fec_interleave > 1 requires "
+                "fec.enabled");
+        if (config.adaptive_fec)
+            return invalidArgument(
+                "SessionConfig: adaptive_fec requires "
+                "fec.enabled");
+    }
+
+    if (config.fec_interleave < 1)
+        return invalidArgument(
+            "SessionConfig: fec_interleave must be >= 1, got " +
+            std::to_string(config.fec_interleave));
+    if (config.fec_interleave > 1) {
+        if (config.mtu_payload == 0)
+            return invalidArgument(
+                "SessionConfig: fec_interleave > 1 requires MTU "
+                "slicing (mtu_payload != 0) — one chunk per frame "
+                "leaves nothing to stripe");
+        if (fec.group_size % config.fec_interleave != 0)
+            return invalidArgument(
+                "SessionConfig: fec_interleave (" +
+                std::to_string(config.fec_interleave) +
+                ") must divide the group's slice budget "
+                "(fec.group_size = " +
+                std::to_string(fec.group_size) +
+                ") so every lane carries equal-depth groups");
+    }
+
+    const RedundancyConfig &red = config.redundancy;
+    if (red.enabled) {
+        if (!fec.enabled || fec.scheme != FecScheme::kReedSolomon)
+            return invalidArgument(
+                "SessionConfig: redundancy controller requires "
+                "fec.enabled with FecScheme::kReedSolomon");
+        if (config.adaptive_fec)
+            return invalidArgument(
+                "SessionConfig: adaptive_fec cannot stack under "
+                "the redundancy controller (it owns the FEC "
+                "geometry)");
+        if (red.min_group_size < 2 ||
+            red.max_group_size < red.min_group_size)
+            return invalidArgument(
+                "SessionConfig: redundancy group-size bounds "
+                "invalid (need 2 <= min <= max)");
+        if (red.min_parity < 1 || red.max_parity < red.min_parity)
+            return invalidArgument(
+                "SessionConfig: redundancy parity bounds invalid "
+                "(need 1 <= min <= max)");
+        if (red.max_group_size + red.max_parity >
+            kRsMaxGroupPlusParity)
+            return invalidArgument(
+                "SessionConfig: redundancy max_group_size + "
+                "max_parity must be <= 255");
+        if (red.max_parity_share <= 0.0 ||
+            red.max_parity_share >= 1.0)
+            return invalidArgument(
+                "SessionConfig: redundancy max_parity_share must "
+                "be in (0, 1)");
+    }
+    return Status();
+}
+
 StreamSession::StreamSession(CodecConfig codec,
                              SessionConfig session)
     : codec_(std::move(codec)), session_(std::move(session))
@@ -342,6 +504,9 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
 {
     if (frames.empty())
         return invalidArgument("StreamSession::run: no frames");
+    if (Status valid = validateSessionConfig(session_);
+        !valid.isOk())
+        return valid;
 
     ScopedTrace trace("session.run");
     VideoEncoder encoder(codec_);
@@ -350,6 +515,12 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
     AdaptiveGopController gop(session_.gop, codec_.gop_size);
     AdaptiveFecController fec_ctrl(session_.fec_adaptive,
                                    session_.fec.group_size);
+    // Unified redundancy negotiation; supersedes the two stacked
+    // controllers above (and keyframe_on_loss) when enabled.
+    const bool redundancy_on = session_.redundancy.enabled;
+    RedundancyController redundancy(
+        session_.redundancy, codec_.gop_size,
+        codec_.block_match.reuse_threshold);
 
     SessionReport report;
     report.stats = SessionStats{};
@@ -377,6 +548,13 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
     std::uint32_t gop_id = 0;
     std::uint16_t next_fec_group = 0;
     bool force_key = false;
+    // Channel-stat watermarks for the redundancy controller's
+    // per-frame loss/burst feedback (the deterministic stand-in
+    // for a receiver loss report).
+    std::size_t fb_sent = 0;
+    std::size_t fb_lost = 0;
+    std::size_t fb_bursts = 0;
+    std::size_t fb_burst_dropped = 0;
 
     /** Per-frame transport accounting attached after decodeAll. */
     struct FrameSendInfo {
@@ -502,9 +680,33 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
             }
         }
 
-        if (session_.adaptive_gop &&
-            (!overload_on || rung < OverloadRung::kInterOnly))
+        RedundancyDecision negotiated;
+        if (redundancy_on) {
+            negotiated = redundancy.decide();
+            if (negotiated.reuse_threshold >= 0.0) {
+                // Bitrate rung: steer P-frame payloads toward the
+                // post-parity budget. Re-applied every frame —
+                // the overload rung switch above replaces the
+                // codec config wholesale.
+                CodecConfig tuned =
+                    overload_on && applied_any_rung
+                        ? OverloadController::configForRung(
+                              codec_, applied_rung,
+                              session_.overload)
+                        : codec_;
+                tuned.block_match.reuse_threshold =
+                    negotiated.reuse_threshold;
+                encoder.updateCoding(tuned);
+            }
+            if (!overload_on || rung < OverloadRung::kInterOnly)
+                encoder.setGopSize(negotiated.gop_size);
+            if (redundancy.consumeForcedKeyframe())
+                force_key = true;
+        } else if (session_.adaptive_gop &&
+                   (!overload_on ||
+                    rung < OverloadRung::kInterOnly)) {
             encoder.setGopSize(gop.gopSize());
+        }
         if (force_key) {
             encoder.forceKeyframe();
             ++report.stats.keyframes_forced;
@@ -589,19 +791,34 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
             base, ByteSpan(encoded->bitstream),
             session_.mtu_payload);
 
-        // XOR-parity FEC: every group_size data chunks emit one
-        // parity chunk. Groups never span frames, so the receiver
-        // can recover a loss before this frame's NACK check runs.
-        // The group size is fixed (fec.group_size) or driven by the
-        // EWMA loss estimate (adaptive_fec).
+        // Parity FEC: every group_size data chunks emit parity —
+        // one XOR chunk (single-loss recovery) or parity_rows RS
+        // rows (up to m losses). Groups never span frames, so the
+        // receiver can recover a loss before this frame's NACK
+        // check runs. The geometry is fixed (fec.group_size /
+        // parity_chunks), EWMA-driven (adaptive_fec), or negotiated
+        // by the redundancy controller.
         const std::size_t group_size =
             session_.fec.enabled
                 ? static_cast<std::size_t>(std::max(
-                      session_.adaptive_fec
+                      redundancy_on ? negotiated.group_size
+                      : session_.adaptive_fec
                           ? fec_ctrl.groupSize()
                           : session_.fec.group_size,
                       1))
                 : 0;
+        const FecScheme scheme = session_.fec.scheme;
+        const int parity_rows =
+            scheme == FecScheme::kReedSolomon
+                ? std::max(redundancy_on
+                               ? negotiated.parity_chunks
+                               : session_.fec.parity_chunks,
+                           1)
+                : 1;
+        const std::uint8_t fec_flags = static_cast<std::uint8_t>(
+            kChunkFlagFec |
+            (scheme == FecScheme::kReedSolomon ? kChunkFlagRsFec
+                                               : 0));
         const std::size_t lanes_cfg =
             group_size != 0 && session_.fec_interleave > 1
                 ? static_cast<std::size_t>(session_.fec_interleave)
@@ -621,7 +838,7 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
                     const std::uint8_t count =
                         static_cast<std::uint8_t>(end - begin);
                     for (std::size_t i = begin; i < end; ++i) {
-                        slices[i].header.flags |= kChunkFlagFec;
+                        slices[i].header.flags |= fec_flags;
                         slices[i].header.fec_group = group_id;
                         slices[i].header.fec_seq =
                             static_cast<std::uint8_t>(i - begin);
@@ -633,11 +850,10 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
                               slices[i].payload, info);
                 if (group_size != 0) {
                     ChunkHeader parity = base;
-                    parity.flags =
-                        kChunkFlagParity | kChunkFlagFec;
+                    parity.flags = static_cast<std::uint8_t>(
+                        kChunkFlagParity | fec_flags);
                     parity.fec_group =
                         slices[begin].header.fec_group;
-                    parity.fec_seq = kFecParitySeq;
                     parity.fec_group_size =
                         slices[begin].header.fec_group_size;
                     const std::vector<ChunkView> group(
@@ -645,9 +861,24 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
                             static_cast<std::ptrdiff_t>(begin),
                         slices.begin() +
                             static_cast<std::ptrdiff_t>(end));
-                    buildFecParityInto(group, parity_buf);
-                    sendChunk(parity, ByteSpan(parity_buf), info);
-                    ++report.stats.parity_sent;
+                    if (scheme == FecScheme::kReedSolomon) {
+                        for (int row = 0; row < parity_rows;
+                             ++row) {
+                            parity.fec_seq = rsParitySeq(row);
+                            buildRsParityInto(group, row,
+                                              parity_buf);
+                            sendChunk(parity,
+                                      ByteSpan(parity_buf),
+                                      info);
+                            ++report.stats.parity_sent;
+                        }
+                    } else {
+                        parity.fec_seq = kFecParitySeq;
+                        buildFecParityInto(group, parity_buf);
+                        sendChunk(parity, ByteSpan(parity_buf),
+                                  info);
+                        ++report.stats.parity_sent;
+                    }
                 }
             }
         } else {
@@ -675,7 +906,7 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
                     const std::size_t lane_size =
                         count / lanes +
                         (lane < count % lanes ? 1 : 0);
-                    slices[i].header.flags |= kChunkFlagFec;
+                    slices[i].header.flags |= fec_flags;
                     slices[i].header.fec_group =
                         static_cast<std::uint16_t>(base_group +
                                                    lane);
@@ -694,16 +925,30 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
                          j += lanes)
                         group.push_back(slices[begin + j]);
                     ChunkHeader parity = base;
-                    parity.flags =
-                        kChunkFlagParity | kChunkFlagFec;
+                    parity.flags = static_cast<std::uint8_t>(
+                        kChunkFlagParity | fec_flags);
                     parity.fec_group = static_cast<std::uint16_t>(
                         base_group + lane);
-                    parity.fec_seq = kFecParitySeq;
                     parity.fec_group_size =
                         static_cast<std::uint8_t>(group.size());
-                    buildFecParityInto(group, parity_buf);
-                    sendChunk(parity, ByteSpan(parity_buf), info);
-                    ++report.stats.parity_sent;
+                    if (scheme == FecScheme::kReedSolomon) {
+                        for (int row = 0; row < parity_rows;
+                             ++row) {
+                            parity.fec_seq = rsParitySeq(row);
+                            buildRsParityInto(group, row,
+                                              parity_buf);
+                            sendChunk(parity,
+                                      ByteSpan(parity_buf),
+                                      info);
+                            ++report.stats.parity_sent;
+                        }
+                    } else {
+                        parity.fec_seq = kFecParitySeq;
+                        buildFecParityInto(group, parity_buf);
+                        sendChunk(parity, ByteSpan(parity_buf),
+                                  info);
+                        ++report.stats.parity_sent;
+                    }
                 }
             }
         }
@@ -755,14 +1000,47 @@ StreamSession::run(const std::vector<VoxelCloud> &frames)
             ++report.stats.frames_lost;
             // Unrecovered loss: re-anchor at the next frame so a
             // lost I frame cannot poison the rest of its GOP.
-            if (session_.keyframe_on_loss)
+            // Under the redundancy controller that decision is
+            // its keyframe rule (unrecoverable loss only).
+            if (session_.keyframe_on_loss && !redundancy_on)
                 force_key = true;
         }
-        if (session_.adaptive_gop || session_.adaptive_fec)
-            gop.onFrameDelivery(delivered);
-        if (session_.adaptive_fec)
-            fec_ctrl.onLossEstimate(gop.estimatedLoss(),
-                                    delivered);
+        if (redundancy_on) {
+            // Loss report from the channel-stat deltas of this
+            // frame's sends (data + parity + retransmits). Using
+            // channel truth — not post-recovery receiver state —
+            // keeps the burst estimate honest: losses the parity
+            // absorbed must still count, or m would decay and
+            // oscillate against the very bursts it covers.
+            const ChannelStats &ch = channel.stats();
+            const std::size_t sent_d = ch.chunks_in - fb_sent;
+            const std::size_t lost_now =
+                ch.dropped + ch.truncated + ch.bit_flipped;
+            const std::size_t lost_d = lost_now - fb_lost;
+            const std::size_t bursts_d = ch.bursts - fb_bursts;
+            const std::size_t burst_drop_d =
+                ch.burst_dropped - fb_burst_dropped;
+            fb_sent = ch.chunks_in;
+            fb_lost = lost_now;
+            fb_bursts = ch.bursts;
+            fb_burst_dropped = ch.burst_dropped;
+            const int max_burst =
+                bursts_d > 0
+                    ? static_cast<int>(
+                          (burst_drop_d + bursts_d - 1) /
+                          bursts_d)
+                    : (lost_d > 0 ? 1 : 0);
+            redundancy.onFrameFeedback(
+                static_cast<int>(sent_d),
+                static_cast<int>(lost_d), max_burst, delivered);
+            redundancy.onEncodedFrame(type, info.payload_bytes);
+        } else {
+            if (session_.adaptive_gop || session_.adaptive_fec)
+                gop.onFrameDelivery(delivered);
+            if (session_.adaptive_fec)
+                fec_ctrl.onLossEstimate(gop.estimatedLoss(),
+                                        delivered);
+        }
     }
 
     for (const auto &arrival : channel.flush())

@@ -637,6 +637,92 @@ TEST(SessionFec, InterleavedCleanChannelAllOk)
 }
 
 // -----------------------------------------------------------------
+// Reed-Solomon burst acceptance
+// -----------------------------------------------------------------
+
+SessionConfig
+rsBurstConfig(double burst_rate, int burst_length,
+              std::uint64_t seed)
+{
+    SessionConfig session;
+    session.channel =
+        ChannelSpec::bursty(burst_rate, burst_length, seed);
+    session.mtu_payload = 400;
+    session.fec.enabled = true;
+    session.fec.scheme = FecScheme::kReedSolomon;
+    session.fec.group_size = 6;
+    session.fec.parity_chunks = 3;
+    return session;
+}
+
+/** PR 10 acceptance: on a bursty channel (burst length >= 3) an RS
+ *  session with parity depth >= burst length recovers >= 90% of
+ *  multi-loss groups with zero NACK round-trips. */
+TEST(SessionRsFec, BurstLossRecoversWithoutRetransmit)
+{
+    const auto frames = testVideo(20);
+    StreamSession stream(makeIntraInterV1Config(),
+                         rsBurstConfig(0.02, 3, 1));
+    auto report = stream.run(frames);
+    ASSERT_TRUE(report.hasValue());
+
+    // Bursts actually hit FEC groups with multiple losses --
+    // patterns XOR parity could never cover.
+    EXPECT_GT(report->fec.multi_loss_groups, 0u);
+    EXPECT_GE(report->fec.multiLossRecoveredFraction(), 0.9);
+    EXPECT_GT(report->fec.recovered_chunks, 0u);
+
+    // Every group was rebuilt from parity before the NACK
+    // fallback fired: no retransmission round-trips at all.
+    EXPECT_EQ(report->stats.retransmits, 0u);
+    EXPECT_EQ(report->stats.frames_lost, 0u);
+    EXPECT_EQ(report->stats.frames_ok, frames.size());
+}
+
+/** On the identical burst channel, XOR parity (depth 1) leaves
+ *  multi-loss groups for the NACK fallback while RS solves them
+ *  in-stream. */
+TEST(SessionRsFec, FewerRetransmitsThanXorOnBurstChannel)
+{
+    const auto frames = testVideo(20);
+    SessionConfig rs = rsBurstConfig(0.02, 3, 1);
+    SessionConfig xor_fec = rs;
+    xor_fec.fec.scheme = FecScheme::kXor;
+
+    auto rs_report =
+        StreamSession(makeIntraInterV1Config(), rs).run(frames);
+    auto xor_report =
+        StreamSession(makeIntraInterV1Config(), xor_fec)
+            .run(frames);
+    ASSERT_TRUE(rs_report.hasValue());
+    ASSERT_TRUE(xor_report.hasValue());
+
+    // XOR cannot rebuild any multi-loss group; RS rebuilt them
+    // all, so only the XOR run pays retransmission round-trips.
+    EXPECT_EQ(xor_report->fec.multi_loss_recovered, 0u);
+    EXPECT_GT(xor_report->stats.retransmits,
+              rs_report->stats.retransmits);
+    EXPECT_GT(rs_report->fec.multi_loss_recovered, 0u);
+}
+
+/** Clean channel: RS parity rows ride along but no recovery or
+ *  retransmission activity happens. */
+TEST(SessionRsFec, CleanChannelSendsParityOnly)
+{
+    const auto frames = testVideo(6);
+    SessionConfig session = rsBurstConfig(0.0, 3, 7);
+    session.channel = ChannelSpec::clean();
+    auto report =
+        StreamSession(makeIntraInterV1Config(), session)
+            .run(frames);
+    ASSERT_TRUE(report.hasValue());
+    EXPECT_GT(report->stats.parity_sent, 0u);
+    EXPECT_EQ(report->fec.recovered_chunks, 0u);
+    EXPECT_EQ(report->stats.retransmits, 0u);
+    EXPECT_EQ(report->stats.frames_ok, frames.size());
+}
+
+// -----------------------------------------------------------------
 // Network-aware pipeline evaluation
 // -----------------------------------------------------------------
 

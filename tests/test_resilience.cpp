@@ -695,6 +695,30 @@ TEST(StreamSession, AcceptanceFivePercentLossThirtyFrames)
         EXPECT_EQ(report->frames[f].frame_id, f);
 }
 
+/** PR 10 acceptance: a 2-3-loss burst channel is survivable
+ *  without any retransmission once RS parity depth covers the
+ *  burst length. The redundancy controller is deliberately off so
+ *  the geometry under test stays fixed. */
+TEST(StreamSession, RsBurstAcceptanceNoNackRoundTrips)
+{
+    const auto frames = testVideo(20, 17, 4000);
+    SessionConfig session;
+    session.channel = ChannelSpec::bursty(0.02, 3, 1);
+    session.mtu_payload = 400;
+    session.fec.enabled = true;
+    session.fec.scheme = FecScheme::kReedSolomon;
+    session.fec.group_size = 6;
+    session.fec.parity_chunks = 3;
+
+    StreamSession stream(makeIntraInterV1Config(), session);
+    auto report = stream.run(frames);
+    ASSERT_TRUE(report.hasValue());
+    EXPECT_GT(report->fec.multi_loss_groups, 0u);
+    EXPECT_GE(report->fec.multiLossRecoveredFraction(), 0.9);
+    EXPECT_EQ(report->stats.retransmits, 0u);
+    EXPECT_EQ(report->stats.frames_lost, 0u);
+}
+
 TEST(StreamSession, DeterministicAcrossRuns)
 {
     const auto frames = testVideo(9);

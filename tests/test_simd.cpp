@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "edgepcc/common/crc32c.h"
+#include "edgepcc/common/gf256.h"
 #include "edgepcc/common/rng.h"
 #include "edgepcc/core/codec_config.h"
 #include "edgepcc/core/video_codec.h"
@@ -22,6 +23,7 @@
 #include "edgepcc/morton/morton.h"
 #include "edgepcc/parallel/radix_sort.h"
 #include "edgepcc/platform/simd.h"
+#include "edgepcc/stream/rs_fec.h"
 
 namespace edgepcc {
 namespace {
@@ -226,6 +228,77 @@ TEST(SimdEquivalence, XorBytesMatchesScalarXor)
             xorBytes(dst.data(), src.data(), n);
             EXPECT_EQ(dst, reference)
                 << "n=" << n << " level="
+                << simdLevelName(forced.applied());
+        }
+    }
+}
+
+TEST(SimdEquivalence, GfMulAddBytesMatchesTableReference)
+{
+    Rng rng(13);
+    for (const std::size_t n :
+         {0u, 1u, 15u, 16u, 17u, 31u, 32u, 33u, 1000u}) {
+        std::vector<std::uint8_t> src(n), base(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            src[i] = static_cast<std::uint8_t>(rng.bounded(256));
+            base[i] = static_cast<std::uint8_t>(rng.bounded(256));
+        }
+        // Coefficients hitting the fast paths (0 = no-op, 1 = XOR)
+        // and both nibble halves of the PSHUFB tables.
+        for (const std::uint8_t coeff : {0, 1, 2, 0x0f, 0x1d,
+                                         0x53, 0x80, 0xca, 0xff}) {
+            std::vector<std::uint8_t> reference = base;
+            for (std::size_t i = 0; i < n; ++i)
+                reference[i] ^= gfMul(coeff, src[i]);
+            for (const SimdLevel level : forceableLevels()) {
+                ScopedSimdLevel forced(level);
+                std::vector<std::uint8_t> dst = base;
+                gfMulAddBytes(dst.data(), src.data(), coeff, n);
+                EXPECT_EQ(dst, reference)
+                    << "n=" << n << " coeff=" << int(coeff)
+                    << " level="
+                    << simdLevelName(forced.applied());
+            }
+        }
+    }
+}
+
+TEST(SimdEquivalence, RsParityRowsIdenticalAcrossLevels)
+{
+    // Whole parity rows built through the dispatcher must be
+    // byte-identical to the forced-scalar rows: RS recovery math
+    // depends on sender and receiver agreeing bit for bit.
+    Rng rng(17);
+    std::vector<std::vector<std::uint8_t>> payloads;
+    std::vector<ChunkView> group;
+    for (int i = 0; i < 6; ++i) {
+        std::vector<std::uint8_t> payload(
+            static_cast<std::size_t>(64 + 37 * i));
+        for (auto &b : payload)
+            b = static_cast<std::uint8_t>(rng.bounded(256));
+        payloads.push_back(std::move(payload));
+    }
+    for (int i = 0; i < 6; ++i) {
+        ChunkHeader header;
+        header.frame_id = 3;
+        header.fec_seq = static_cast<std::uint8_t>(i);
+        header.slice_index = static_cast<std::uint16_t>(i);
+        header.slice_count = 6;
+        group.push_back({header, ByteSpan(payloads[
+            static_cast<std::size_t>(i)])});
+    }
+    for (int row = 0; row < 3; ++row) {
+        std::vector<std::uint8_t> reference;
+        {
+            ScopedSimdLevel forced(SimdLevel::kScalar);
+            buildRsParityInto(group, row, reference);
+        }
+        for (const SimdLevel level : forceableLevels()) {
+            ScopedSimdLevel forced(level);
+            std::vector<std::uint8_t> parity;
+            buildRsParityInto(group, row, parity);
+            EXPECT_EQ(parity, reference)
+                << "row=" << row << " level="
                 << simdLevelName(forced.applied());
         }
     }

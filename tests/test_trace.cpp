@@ -24,6 +24,7 @@ class TraceTest : public ::testing::Test
     TearDown() override
     {
         Tracer::global().setEnabled(false);
+        Tracer::global().setVerbosity(0);
         Tracer::global().clear();
     }
 };
@@ -47,6 +48,27 @@ TEST_F(TraceTest, EnabledSpansRecordNameAndDuration)
     EXPECT_STREQ(events[0].name, "test.enabled");
     EXPECT_GE(events[0].dur_s, 0.0);
     EXPECT_GE(events[0].start_s, 0.0);
+}
+
+TEST_F(TraceTest, KernelSpansGatedByVerbosity)
+{
+    Tracer::global().setEnabled(true);
+    // Default verbosity 0: per-kernel spans are skipped, stage
+    // spans still record.
+    {
+        ScopedTrace kernel("test.kernel",
+                           Tracer::kVerbosityKernel);
+        ScopedTrace stage("test.stage");
+    }
+    EXPECT_EQ(Tracer::global().eventCount(), 1u);
+
+    Tracer::global().setVerbosity(Tracer::kVerbosityKernel);
+    {
+        ScopedTrace kernel("test.kernel",
+                           Tracer::kVerbosityKernel);
+    }
+    EXPECT_EQ(Tracer::global().eventCount(), 2u);
+    Tracer::global().setVerbosity(0);
 }
 
 TEST_F(TraceTest, StopEndsSpanEarlyAndIsIdempotent)

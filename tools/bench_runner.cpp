@@ -134,6 +134,7 @@ struct ModeMetrics {
     std::size_t parity_sent = 0;
     std::size_t fec_recovered_chunks = 0;
     double fec_single_loss_recovered_fraction = 1.0;
+    double fec_multi_loss_recovered_fraction = 1.0;
     double ok_or_concealed_fraction = 0.0;
 };
 
@@ -152,8 +153,22 @@ struct ResilienceMetrics {
     std::string network_name;
     std::size_t mtu_payload = 0;
     int fec_group_size = 0;
+    /** RS mode (present only with --fec-scheme rs). */
+    bool rs_enabled = false;
+    int fec_parity = 0;
+    double burst_rate = 0.0;
+    int burst_length = 0;
     ModeMetrics nack;
     ModeMetrics fec;
+    ModeMetrics rs;
+};
+
+/** Channel shaping shared by all modes of one comparison. */
+struct ModeChannel {
+    /** > 0 replaces the network-derived channel with a pure burst
+     *  channel (burst_rate per-chunk start probability). */
+    double burst_rate = 0.0;
+    int burst_length = 4;
 };
 
 /** Network-aware end-to-end evaluation of one transport mode. */
@@ -161,7 +176,8 @@ Expected<ModeMetrics>
 runMode(const std::vector<VoxelCloud> &frames,
         const CodecConfig &config, const NetworkSpec &network,
         std::size_t mtu_payload, bool fec_enabled,
-        int fec_group_size, std::uint64_t channel_seed)
+        int fec_group_size, FecScheme fec_scheme, int fec_parity,
+        const ModeChannel &shape, std::uint64_t channel_seed)
 {
     PipelineConfig pipe;
     pipe.network = network;
@@ -170,6 +186,15 @@ runMode(const std::vector<VoxelCloud> &frames,
     pipe.session.mtu_payload = mtu_payload;
     pipe.session.fec.enabled = fec_enabled;
     pipe.session.fec.group_size = fec_group_size;
+    pipe.session.fec.scheme = fec_scheme;
+    pipe.session.fec.parity_chunks = fec_parity;
+    if (shape.burst_rate > 0.0) {
+        // Same bursty channel for every mode in the comparison, so
+        // nack-vs-xor-vs-rs differ only in the recovery scheme.
+        pipe.use_session_channel = true;
+        pipe.session.channel = ChannelSpec::bursty(
+            shape.burst_rate, shape.burst_length, channel_seed);
+    }
 
     auto report = evaluatePipeline(frames, config, pipe);
     if (!report)
@@ -198,6 +223,8 @@ runMode(const std::vector<VoxelCloud> &frames,
     mode.fec_recovered_chunks = report->fec.recovered_chunks;
     mode.fec_single_loss_recovered_fraction =
         report->fec.singleLossRecoveredFraction();
+    mode.fec_multi_loss_recovered_fraction =
+        report->fec.multiLossRecoveredFraction();
     mode.ok_or_concealed_fraction =
         report->session.okOrConcealedFraction();
     return mode;
@@ -796,6 +823,14 @@ writeResults(const std::string &path, const CodecConfig &config,
                      resilience.mtu_payload);
         (void)std::fprintf(out, "    \"fec_group_size\": %d,\n",
                      resilience.fec_group_size);
+        (void)std::fprintf(out, "    \"fec_scheme\": \"%s\",\n",
+                     resilience.rs_enabled ? "rs" : "xor");
+        (void)std::fprintf(out, "    \"fec_parity\": %d,\n",
+                     resilience.fec_parity);
+        (void)std::fprintf(out, "    \"burst_rate\": %.9g,\n",
+                     resilience.burst_rate);
+        (void)std::fprintf(out, "    \"burst_length\": %d,\n",
+                     resilience.burst_length);
         (void)std::fprintf(out, "    \"modes\": {\n");
         const auto write_mode = [out](const char *name,
                                       const ModeMetrics &m,
@@ -830,12 +865,20 @@ writeResults(const std::string &path, const CodecConfig &config,
                 m.fec_single_loss_recovered_fraction);
             (void)std::fprintf(
                 out,
+                "        \"fec_multi_loss_recovered_fraction\": "
+                "%.9g,\n",
+                m.fec_multi_loss_recovered_fraction);
+            (void)std::fprintf(
+                out,
                 "        \"ok_or_concealed_fraction\": %.9g\n",
                 m.ok_or_concealed_fraction);
             (void)std::fprintf(out, "      }%s\n", trailer);
         };
         write_mode("nack", resilience.nack, ",");
-        write_mode("fec", resilience.fec, "");
+        write_mode("fec", resilience.fec,
+                   resilience.rs_enabled ? "," : "");
+        if (resilience.rs_enabled)
+            write_mode("rs", resilience.rs, "");
         (void)std::fprintf(out, "    },\n");
         if (resilience.concealed_attr_psnr_db >= 0.0)
             (void)std::fprintf(
@@ -1026,12 +1069,18 @@ usage()
         "usage: bench_runner [--config tmc13|cwipc|intra|v1|v2]\n"
         "                    [--frames N] [--points N] [--seed N]\n"
         "                    [--threads N] [--out FILE]\n"
-        "                    [--trace FILE] [--measure-overhead]\n"
+        "                    [--trace FILE] [--trace-verbosity N]\n"
+        "                    [--measure-overhead]\n"
         "                    [--loss R] [--channel-seed N]\n"
         "                    [--network wifi|lte|5g] [--mtu N]\n"
         "                    [--fec-group K] [--deadline-ms MS]\n"
         "                    [--load-spec SPEC] [--sessions N]\n"
         "\n"
+        "  --trace-verbosity N  span detail for --trace: 0 (default)\n"
+        "                    stage-grained only, >= 1 adds the\n"
+        "                    per-kernel spans (stream.rs_encode,\n"
+        "                    stream.rs_decode,\n"
+        "                    stream.redundancy_decide)\n"
         "  --loss R          run the loss-resilient session at\n"
         "                    chunk-loss rate R and add a\n"
         "                    \"resilience\" JSON section, including\n"
@@ -1042,8 +1091,18 @@ usage()
         "  --mtu N           slice frame payloads into N-byte\n"
         "                    chunks in the modes comparison\n"
         "                    (default 1200)\n"
-        "  --fec-group K     XOR-parity group size: 1 parity chunk\n"
-        "                    per K data chunks (default 4)\n"
+        "  --fec-group K     FEC group size: K data chunks per\n"
+        "                    parity group (default 4, min 2)\n"
+        "  --fec-scheme S    xor (default) or rs: with rs, a third\n"
+        "                    \"rs\" entry joins the modes comparison\n"
+        "                    using Reed-Solomon parity\n"
+        "  --fec-parity M    RS parity rows per group (default 2,\n"
+        "                    must be < --fec-group)\n"
+        "  --burst-rate R    replace the modes-comparison channel\n"
+        "                    with a pure burst channel: bursts of\n"
+        "                    --burst-length drops start with\n"
+        "                    probability R per chunk (default off)\n"
+        "  --burst-length L  chunks swallowed per burst (default 4)\n"
         "  --deadline-ms MS  run the deadline-aware overload ladder\n"
         "                    with a per-frame encode budget of MS\n"
         "                    milliseconds and add an \"overload\"\n"
@@ -1076,6 +1135,7 @@ main(int argc, char **argv)
     std::string config_name = "v1";
     std::string out_path = "BENCH_results.json";
     std::string trace_path;
+    int trace_verbosity = 0;
     int frames = 8;
     std::size_t points = 20000;
     std::uint64_t seed = 1;
@@ -1086,6 +1146,10 @@ main(int argc, char **argv)
     std::string network_name = "wifi";
     std::size_t mtu_payload = 1200;
     int fec_group = 4;
+    std::string fec_scheme_name = "xor";
+    int fec_parity = 2;
+    double burst_rate = 0.0;
+    int burst_length = 4;
     double deadline_ms = -1.0;
     std::string load_spec = "none";
     int sessions = 0;
@@ -1132,6 +1196,11 @@ main(int argc, char **argv)
             if (!v)
                 return usage();
             trace_path = v;
+        } else if (arg == "--trace-verbosity") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            trace_verbosity = std::atoi(v);
         } else if (arg == "--measure-overhead") {
             measure_overhead = true;
         } else if (arg == "--loss") {
@@ -1160,6 +1229,26 @@ main(int argc, char **argv)
             if (!v)
                 return usage();
             fec_group = std::atoi(v);
+        } else if (arg == "--fec-scheme") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            fec_scheme_name = v;
+        } else if (arg == "--fec-parity") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            fec_parity = std::atoi(v);
+        } else if (arg == "--burst-rate") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            burst_rate = std::atof(v);
+        } else if (arg == "--burst-length") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            burst_length = std::atoi(v);
         } else if (arg == "--deadline-ms") {
             const char *v = next();
             if (!v)
@@ -1194,9 +1283,27 @@ main(int argc, char **argv)
                      "bench_runner: --loss must be in [0, 1]\n");
         return 2;
     }
-    if (fec_group < 1) {
+    if (fec_group < 2) {
         (void)std::fprintf(stderr,
-                     "bench_runner: --fec-group must be >= 1\n");
+                     "bench_runner: --fec-group must be >= 2\n");
+        return 2;
+    }
+    if (fec_scheme_name != "xor" && fec_scheme_name != "rs") {
+        (void)std::fprintf(stderr,
+                     "bench_runner: --fec-scheme must be xor or "
+                     "rs\n");
+        return 2;
+    }
+    if (fec_parity < 1 || fec_parity >= fec_group) {
+        (void)std::fprintf(stderr,
+                     "bench_runner: --fec-parity must be in "
+                     "[1, --fec-group)\n");
+        return 2;
+    }
+    if (burst_rate < 0.0 || burst_rate > 1.0 || burst_length < 1) {
+        (void)std::fprintf(stderr,
+                     "bench_runner: --burst-rate in [0, 1], "
+                     "--burst-length >= 1\n");
         return 2;
     }
     if (sessions < 0) {
@@ -1300,6 +1407,7 @@ main(int argc, char **argv)
 
     Tracer::global().clear();
     Tracer::global().setEnabled(!trace_path.empty());
+    Tracer::global().setVerbosity(trace_verbosity);
     auto metrics =
         runWorkload(cloud_frames, config, model, true);
     Tracer::global().setEnabled(false);
@@ -1308,17 +1416,11 @@ main(int argc, char **argv)
                      metrics.status().message().c_str());
         return 1;
     }
-    const std::size_t trace_events = Tracer::global().eventCount();
-    if (!trace_path.empty()) {
-        std::ofstream trace_out(trace_path);
-        writeChromeTrace(Tracer::global().events(), trace_out);
-        if (!trace_out) {
-            (void)std::fprintf(stderr,
-                         "bench_runner: cannot write %s\n",
-                         trace_path.c_str());
-            return 1;
-        }
-    }
+    // Stash the main-run spans; the resilience session spans (the
+    // stream.* kernels behind --trace-verbosity) are appended below
+    // and the file is written once, after both captures.
+    std::vector<TraceEvent> trace_capture =
+        Tracer::global().events();
 
     // Tracing overhead: the identical workload with spans off vs
     // on, alternated so slow host drift (frequency scaling, cache
@@ -1368,6 +1470,12 @@ main(int argc, char **argv)
 
     ResilienceMetrics resilience;
     if (loss_rate >= 0.0) {
+        // Trace the session runs too: the stream-layer spans
+        // (stream.rs_encode / stream.rs_decode /
+        // stream.redundancy_decide at kernel verbosity) only fire
+        // inside the resilient sessions, not the codec-only run.
+        Tracer::global().clear();
+        Tracer::global().setEnabled(!trace_path.empty());
         auto run = runResilience(cloud_frames, config, loss_rate,
                                  channel_seed);
         if (!run) {
@@ -1394,13 +1502,23 @@ main(int argc, char **argv)
         resilience.network_name = network.name;
         resilience.mtu_payload = mtu_payload;
         resilience.fec_group_size = fec_group;
+        resilience.rs_enabled = fec_scheme_name == "rs";
+        resilience.fec_parity = fec_parity;
+        resilience.burst_rate = burst_rate;
+        resilience.burst_length = burst_length;
+        ModeChannel shape;
+        shape.burst_rate = burst_rate;
+        shape.burst_length = burst_length;
         auto nack_mode =
             runMode(cloud_frames, config, network, mtu_payload,
                     /*fec_enabled=*/false, fec_group,
+                    FecScheme::kXor, fec_parity, shape,
                     channel_seed);
         auto fec_mode =
             runMode(cloud_frames, config, network, mtu_payload,
-                    /*fec_enabled=*/true, fec_group, channel_seed);
+                    /*fec_enabled=*/true, fec_group,
+                    FecScheme::kXor, fec_parity, shape,
+                    channel_seed);
         if (!nack_mode || !fec_mode) {
             (void)std::fprintf(stderr, "bench_runner: %s\n",
                          (!nack_mode ? nack_mode.status()
@@ -1411,6 +1529,29 @@ main(int argc, char **argv)
         }
         resilience.nack = *nack_mode;
         resilience.fec = *fec_mode;
+        if (resilience.rs_enabled) {
+            auto rs_mode = runMode(
+                cloud_frames, config, network, mtu_payload,
+                /*fec_enabled=*/true, fec_group,
+                FecScheme::kReedSolomon, fec_parity, shape,
+                channel_seed);
+            if (!rs_mode) {
+                (void)std::fprintf(
+                    stderr, "bench_runner: %s\n",
+                    rs_mode.status().message().c_str());
+                return 1;
+            }
+            resilience.rs = *rs_mode;
+            (void)std::fprintf(
+                stderr,
+                "rs mode p50 %.1f ms (%zu retransmits, %zu "
+                "chunks recovered, multi-loss recovery %.0f%%)\n",
+                resilience.rs.e2e_latency_s.p50 * 1e3,
+                resilience.rs.retransmits,
+                resilience.rs.fec_recovered_chunks,
+                resilience.rs.fec_multi_loss_recovered_fraction *
+                    100.0);
+        }
         (void)std::fprintf(
             stderr,
             "end-to-end over %s at loss %.3g: nack p50 %.1f ms "
@@ -1424,6 +1565,23 @@ main(int argc, char **argv)
             resilience.fec.fec_recovered_chunks,
             resilience.fec.fec_single_loss_recovered_fraction *
                 100.0);
+        Tracer::global().setEnabled(false);
+        const auto session_events = Tracer::global().events();
+        trace_capture.insert(trace_capture.end(),
+                             session_events.begin(),
+                             session_events.end());
+    }
+
+    const std::size_t trace_events = trace_capture.size();
+    if (!trace_path.empty()) {
+        std::ofstream trace_out(trace_path);
+        writeChromeTrace(trace_capture, trace_out);
+        if (!trace_out) {
+            (void)std::fprintf(stderr,
+                         "bench_runner: cannot write %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
     }
 
     OverloadBenchMetrics overload;

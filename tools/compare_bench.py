@@ -193,6 +193,23 @@ def compare(old, new, latency_tol, ratio_tol, check_host):
             old_modes[mode]["recovery_s_mean"],
             new_modes[mode]["recovery_s_mean"],
         )
+        # FEC recovery effectiveness: the fraction of multi-loss
+        # groups the decoder solved without retransmission. A drop
+        # of more than 5 points is a resilience regression even if
+        # latency stayed flat (NACKs may be masking it).
+        key = "fec_multi_loss_recovered_fraction"
+        if key in old_modes[mode] and key in new_modes[mode]:
+            old_frac = old_modes[mode][key]
+            new_frac = new_modes[mode][key]
+            if new_frac < old_frac - 0.05:
+                regressions.append(
+                    f"resilience.{mode} multi-loss recovery "
+                    f"{old_frac:.2f} -> {new_frac:.2f}"
+                )
+            lines.append(
+                f"  resilience.{mode} multi-loss recovered "
+                f"{old_frac:>8.2f} {new_frac:>12.2f}"
+            )
 
     # Overload ladder (--deadline-ms runs): modelled p99 encode
     # latency under injected load, plus the deadline-miss rate.
@@ -336,6 +353,11 @@ def self_test():
                     "e2e_latency_s": {"p50": 0.050},
                     "recovery_s_mean": 0.0009,
                 },
+                "rs": {
+                    "e2e_latency_s": {"p50": 0.048},
+                    "recovery_s_mean": 0.0004,
+                    "fec_multi_loss_recovered_fraction": 0.95,
+                },
             },
         },
         "overload": {
@@ -409,6 +431,24 @@ def self_test():
         "recovery_s_mean"] *= 1.50
     found, _ = compare(base, recovery_slow, 0.10, 0.02, False)
     assert found, "50% recovery-time growth must be flagged"
+
+    rs_slow = copy.deepcopy(base)
+    rs_slow["resilience"]["modes"]["rs"]["e2e_latency_s"][
+        "p50"] *= 1.20
+    found, _ = compare(base, rs_slow, 0.10, 0.02, False)
+    assert found, "20% RS end-to-end slowdown must be flagged"
+
+    rs_weaker = copy.deepcopy(base)
+    rs_weaker["resilience"]["modes"]["rs"][
+        "fec_multi_loss_recovered_fraction"] = 0.70
+    found, _ = compare(base, rs_weaker, 0.10, 0.02, False)
+    assert found, "multi-loss recovery drop must be flagged"
+
+    rs_jitter = copy.deepcopy(base)
+    rs_jitter["resilience"]["modes"]["rs"][
+        "fec_multi_loss_recovered_fraction"] = 0.92
+    found, _ = compare(base, rs_jitter, 0.10, 0.02, False)
+    assert not found, "3pt recovery jitter is within tolerance"
 
     no_resilience = copy.deepcopy(base)
     del no_resilience["resilience"]
